@@ -1,0 +1,620 @@
+(* Benchmark harness: one subcommand per table/figure of the paper's
+   evaluation (section 6), plus the motivating example, the section 6.7
+   limitation study, a QE-method ablation, and bechamel micro-benchmarks.
+
+   Usage:  main.exe [motivating|fig6|table2|table3|fig7|fig8|fig9|limits|
+                     ablation|micro|all]
+   Environment:
+     SIA_BENCH_QUERIES   number of generated queries   (default 200)
+     SIA_CASE_QUERIES    case-study log size           (default 1000)
+     SIA_SF_ONE          engine scale factor for "SF 1"  (default 0.05)
+     SIA_SF_TEN          engine scale factor for "SF 10" (default 0.5) *)
+
+module Ast = Sia_sql.Ast
+module Printer = Sia_sql.Printer
+module Schema = Sia_relalg.Schema
+module Planner = Sia_relalg.Planner
+module Cost = Sia_relalg.Cost
+module Tpch = Sia_engine.Tpch
+module Eval = Sia_engine.Eval
+module Exec = Sia_engine.Exec
+open Sia_smt
+open Sia_core
+module Qgen = Sia_workload.Qgen
+module Case_study = Sia_workload.Case_study
+
+let env_int name default =
+  match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with Some s -> float_of_string s | None -> default
+
+let n_queries () = env_int "SIA_BENCH_QUERIES" 200
+let n_case () = env_int "SIA_CASE_QUERIES" 1000
+let sf_one () = env_float "SIA_SF_ONE" 0.05
+let sf_ten () = env_float "SIA_SF_TEN" 0.5
+
+let header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Shared experiment state: run every variant on every (query, column
+   subset) pair once, reuse across table2/table3/fig7/fig8.            *)
+(* ------------------------------------------------------------------ *)
+
+type cell = {
+  possible : bool;  (** a non-trivial valid predicate exists (ground truth) *)
+  sia : Synthesize.stats;
+  tc_valid : bool;
+  tc_optimal : bool;
+  v1 : Synthesize.stats;
+  v2 : Synthesize.stats;
+}
+
+type run_row = {
+  gq : Qgen.gen_query;
+  subset : string list;
+  cell : cell;
+}
+
+let is_optimal_pred catalog from pred p1 =
+  (* p1 is optimal iff no unsatisfaction tuple satisfies it:
+     p1 /\ not (exists others. p) must be unsat. *)
+  match Encode.build_env catalog from pred with
+  | exception Encode.Unsupported _ -> false
+  | exception Not_found -> false
+  | env ->
+    let p_formula = Encode.encode_bool env pred in
+    let cols1 = List.map (fun (c : Ast.column) -> c.Ast.name) (Ast.pred_columns p1) in
+    let st = Samples.make_state Config.default env ~target_cols:cols1 in
+    (match Samples.project_away_others st p_formula with
+     | None -> false
+     | Some psi ->
+       let p1f = Encode.encode_bool env p1 in
+       (match
+          Solver.solve ~is_int:(Encode.is_int_var env)
+            (Formula.and_ [ p1f; Formula.not_ psi ])
+        with
+        | Solver.Unsat -> true
+        | Solver.Sat _ | Solver.Unknown -> false))
+
+let ground_truth_possible catalog from pred target_cols =
+  match Encode.build_env catalog from pred with
+  | exception Encode.Unsupported _ -> false
+  | exception Not_found -> false
+  | env ->
+    if List.exists (fun c -> not (List.mem c (Encode.columns env))) target_cols then false
+    else begin
+      let p_formula = Encode.encode_bool env pred in
+      let st = Samples.make_state Config.default env ~target_cols in
+      match Samples.project_away_others st p_formula with
+      | None -> false
+      | Some psi ->
+        (match
+           Solver.solve ~is_int:(Encode.is_int_var env) (Formula.not_ psi)
+         with
+         | Solver.Sat _ -> true
+         | Solver.Unsat | Solver.Unknown -> false)
+    end
+
+(* Wall-clock cap per synthesis attempt, as the paper's section 6.2
+   prescribes for production use; keeps the sweep's worst-case bounded. *)
+let budget = Some 6.0
+
+let run_cell (gq : Qgen.gen_query) subset =
+  let catalog = Schema.tpch in
+  let from = gq.Qgen.query.Ast.from in
+  let pred = gq.Qgen.pred in
+  let possible = ground_truth_possible catalog from pred subset in
+  let cfg = { Config.default with Config.time_budget = budget } in
+  let cfg_v1 = { Config.sia_v1 with Config.time_budget = budget } in
+  let cfg_v2 = { Config.sia_v2 with Config.time_budget = budget } in
+  let sia = Synthesize.synthesize ~cfg catalog ~from ~pred ~target_cols:subset in
+  let v1 = Synthesize.synthesize ~cfg:cfg_v1 catalog ~from ~pred ~target_cols:subset in
+  let v2 = Synthesize.synthesize ~cfg:cfg_v2 catalog ~from ~pred ~target_cols:subset in
+  let tc = Baselines.transitive_closure pred ~target_cols:subset in
+  let tc_valid = tc <> None in
+  let tc_optimal =
+    match tc with Some p1 -> is_optimal_pred catalog from pred p1 | None -> false
+  in
+  { possible; sia; tc_valid; tc_optimal; v1; v2 }
+
+let all_rows : run_row list Lazy.t =
+  lazy
+    begin
+      let queries = Qgen.generate ~seed:42 ~count:(n_queries ()) () in
+      let subsets = Qgen.column_subsets 1 @ Qgen.column_subsets 2 @ Qgen.column_subsets 3 in
+      let total = List.length queries * List.length subsets in
+      let done_ = ref 0 in
+      List.concat_map
+        (fun gq ->
+          List.map
+            (fun subset ->
+              incr done_;
+              if !done_ mod 100 = 0 then
+                Printf.eprintf "  [synthesis %d/%d]\n%!" !done_ total;
+              { gq; subset; cell = run_cell gq subset })
+            subsets)
+        queries
+    end
+
+let rows_of_size k =
+  List.filter (fun r -> List.length r.subset = k) (Lazy.force all_rows)
+
+(* ------------------------------------------------------------------ *)
+(* Motivating example (section 2 / 3.2)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let motivating_query =
+  Sia_sql.Parser.parse_query
+    "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey \
+     AND l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01' \
+     AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10"
+
+let run_motivating () =
+  header "Motivating example (section 2): Q1 -> Q2";
+  let result =
+    Rewrite.rewrite_for_table Schema.tpch motivating_query ~target_table:"lineitem"
+  in
+  (match result.Rewrite.synthesized with
+   | Some p -> Printf.printf "synthesized: %s\n" (Printer.string_of_pred p)
+   | None -> Printf.printf "synthesis failed\n");
+  let li, ord = Tpch.generate ~sf:(sf_one ()) () in
+  let tables = [ ("lineitem", li); ("orders", ord) ] in
+  let orig_plan, rew_plan = Rewrite.plans Schema.tpch result in
+  let out1, t1 = Exec.time (fun () -> Exec.run ~tables orig_plan) in
+  (match rew_plan with
+   | None -> ()
+   | Some plan ->
+     let out2, t2 = Exec.time (fun () -> Exec.run ~tables plan) in
+     Printf.printf "original:  %d rows in %.3f s\n" out1.Sia_engine.Table.nrows t1;
+     Printf.printf "rewritten: %d rows in %.3f s  (speedup %.2fx)\n"
+       out2.Sia_engine.Table.nrows t2 (t1 /. t2);
+     Printf.printf "semantics preserved: %b\n"
+       (out1.Sia_engine.Table.nrows = out2.Sia_engine.Table.nrows);
+     (match result.Rewrite.synthesized with
+      | Some p -> Printf.printf "selectivity on lineitem: %.3f\n" (Eval.selectivity li p)
+      | None -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Fig 6: case study                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig6 () =
+  header "Fig 6: case study (synthetic MaxCompute-style log)";
+  let records = Case_study.simulate ~n_queries:(n_case ()) () in
+  let prospective = List.filter (fun r -> r.Case_study.prospective) records in
+  let relevant = List.filter (fun r -> r.Case_study.relevant) records in
+  Printf.printf "log size: %d, syntax-based prospective: %d, symbolically relevant: %d\n"
+    (List.length records) (List.length prospective) (List.length relevant);
+  let show name (b : Case_study.buckets) total labels =
+    let l1, l2, l3, l4 = labels in
+    let pct n = 100.0 *. float_of_int n /. float_of_int (max 1 total) in
+    Printf.printf "  %-12s %s %5.1f%%  %s %5.1f%%  %s %5.1f%%  %s %5.1f%%\n" name l1
+      (pct b.Case_study.le_1s) l2 (pct b.Case_study.le_10s) l3 (pct b.Case_study.le_100s)
+      l4 (pct b.Case_study.gt_100s)
+  in
+  let report name rs =
+    Printf.printf "%s (%d queries):\n" name (List.length rs);
+    show "exec time" (Case_study.time_buckets rs) (List.length rs)
+      ("<=1s", "<=10s", "<=100s", ">100s");
+    show "cpu" (Case_study.cpu_buckets rs) (List.length rs)
+      ("<=10s", "<=100s", "<=1000s", ">1000s");
+    show "memory" (Case_study.memory_buckets rs) (List.length rs)
+      ("<=0.1G", "<=1G", "<=10G", ">10G");
+    let slow =
+      List.length (List.filter (fun r -> r.Case_study.exec_time_s > 10.0) rs)
+    in
+    Printf.printf "  queries over 10 s (would amortize synthesis): %.2f%%\n"
+      (100.0 *. float_of_int slow /. float_of_int (max 1 (List.length rs)))
+  in
+  report "syntax-based prospective" prospective;
+  report "symbolically relevant" relevant
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: efficacy                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_table2 () =
+  header "Table 1: baseline configurations";
+  Printf.printf
+    "          max-iter  init-true  init-false  per-iter\n\
+     SIA_v1    %8d  %9d  %10d  %8s\n\
+     SIA_v2    %8d  %9d  %10d  %8s\n\
+     SIA       %8d  %9d  %10d  %8d\n"
+    Config.sia_v1.Config.max_iterations Config.sia_v1.Config.initial_true
+    Config.sia_v1.Config.initial_false "N/A" Config.sia_v2.Config.max_iterations
+    Config.sia_v2.Config.initial_true Config.sia_v2.Config.initial_false "N/A"
+    Config.default.Config.max_iterations Config.default.Config.initial_true
+    Config.default.Config.initial_false Config.default.Config.per_iteration;
+  header "Table 2: efficacy (valid / optimal synthesized predicates)";
+  Printf.printf
+    "#cols  possible |  SIA valid  SIA opt |  TC valid |  v1 valid  v1 opt |  v2 valid  v2 opt\n";
+  List.iter
+    (fun k ->
+      let rows = rows_of_size k in
+      let possible = List.filter (fun r -> r.cell.possible) rows in
+      let count f = List.length (List.filter f possible) in
+      Printf.printf
+        "%5d  %8d |  %9d  %7d |  %8d |  %8d  %6d |  %8d  %6d\n" k
+        (List.length possible)
+        (count (fun r -> Synthesize.is_valid_outcome r.cell.sia))
+        (count (fun r -> Synthesize.is_optimal_outcome r.cell.sia))
+        (count (fun r -> r.cell.tc_valid))
+        (count (fun r -> Synthesize.is_valid_outcome r.cell.v1))
+        (count (fun r -> Synthesize.is_optimal_outcome r.cell.v1))
+        (count (fun r -> Synthesize.is_valid_outcome r.cell.v2))
+        (count (fun r -> Synthesize.is_optimal_outcome r.cell.v2)))
+    [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: efficiency                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_table3 () =
+  header "Table 3: efficiency (avg ms per synthesis attempt)";
+  Printf.printf
+    "#cols |     SIA gen   learn  verify |     v1 gen   learn  verify |     v2 gen   learn  verify\n";
+  List.iter
+    (fun k ->
+      let rows = rows_of_size k in
+      let avg f =
+        match rows with
+        | [] -> 0.0
+        | _ ->
+          1000.0 *. List.fold_left (fun acc r -> acc +. f r) 0.0 rows
+          /. float_of_int (List.length rows)
+      in
+      Printf.printf
+        "%5d | %10.1f %7.1f %7.1f | %10.1f %7.1f %7.1f | %10.1f %7.1f %7.1f\n" k
+        (avg (fun r -> r.cell.sia.Synthesize.gen_time))
+        (avg (fun r -> r.cell.sia.Synthesize.learn_time))
+        (avg (fun r -> r.cell.sia.Synthesize.verify_time))
+        (avg (fun r -> r.cell.v1.Synthesize.gen_time))
+        (avg (fun r -> r.cell.v1.Synthesize.learn_time))
+        (avg (fun r -> r.cell.v1.Synthesize.verify_time))
+        (avg (fun r -> r.cell.v2.Synthesize.gen_time))
+        (avg (fun r -> r.cell.v2.Synthesize.learn_time))
+        (avg (fun r -> r.cell.v2.Synthesize.verify_time)))
+    [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 7: iterations to converge                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig7 () =
+  header "Fig 7: learning-loop iterations until an optimal predicate";
+  let buckets = [ (1, 10); (11, 20); (21, 30); (31, 41) ] in
+  Printf.printf "#cols  optimal |  1-10  11-20  21-30  31-41\n";
+  List.iter
+    (fun k ->
+      let rows = rows_of_size k in
+      let optimal =
+        List.filter (fun r -> Synthesize.is_optimal_outcome r.cell.sia) rows
+      in
+      let in_bucket (lo, hi) =
+        List.length
+          (List.filter
+             (fun r ->
+               let i = r.cell.sia.Synthesize.iterations in
+               i >= lo && i <= hi)
+             optimal)
+      in
+      Printf.printf "%5d  %7d | %5d  %5d  %5d  %5d\n" k (List.length optimal)
+        (in_bucket (List.nth buckets 0))
+        (in_bucket (List.nth buckets 1))
+        (in_bucket (List.nth buckets 2))
+        (in_bucket (List.nth buckets 3)))
+    [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 8: sample counts at the final iteration                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig8 () =
+  header "Fig 8: training samples at the final iteration";
+  let show which f =
+    Printf.printf "%s samples:\n#cols |  <=25  <=50  <=100  <=200   >200\n" which;
+    List.iter
+      (fun k ->
+        let rows =
+          List.filter (fun r -> Synthesize.is_valid_outcome r.cell.sia) (rows_of_size k)
+        in
+        let count lo hi =
+          List.length
+            (List.filter
+               (fun r ->
+                 let n = f r.cell.sia in
+                 n > lo && n <= hi)
+               rows)
+        in
+        Printf.printf "%5d | %5d %5d %6d %6d %6d\n" k (count 0 25) (count 25 50)
+          (count 50 100) (count 100 200) (count 200 max_int))
+      [ 1; 2; 3 ]
+  in
+  show "TRUE" (fun s -> s.Synthesize.n_true);
+  show "FALSE" (fun s -> s.Synthesize.n_false)
+
+(* ------------------------------------------------------------------ *)
+(* Fig 9 + Table 4: runtime impact and selectivity                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig9 () =
+  header "Fig 9 / Table 4: runtime impact of rewritten queries";
+  (* Reuse the 3-column (full lineitem set) synthesis per query. *)
+  let rows = rows_of_size 3 in
+  let rewritten =
+    List.filter_map
+      (fun r ->
+        match Synthesize.predicate r.cell.sia with
+        | Some p1 -> Some (r.gq, p1)
+        | None -> None)
+      rows
+  in
+  Printf.printf "queries with a synthesized lineitem-only predicate: %d / %d\n"
+    (List.length rewritten) (List.length rows);
+  let run_sf label sf =
+    let li, ord = Tpch.generate ~sf () in
+    let tables = [ ("lineitem", li); ("orders", ord) ] in
+    let results =
+      List.map
+        (fun ((gq : Qgen.gen_query), p1) ->
+          let q = gq.Qgen.query in
+          let q' =
+            match q.Ast.where with
+            | Some w -> { q with Ast.where = Some (Ast.And (w, p1)) }
+            | None -> { q with Ast.where = Some p1 }
+          in
+          let plan = Planner.plan Schema.tpch q in
+          let plan' = Planner.plan Schema.tpch q' in
+          let out1, t1 = Exec.time (fun () -> Exec.run ~tables plan) in
+          let out2, t2 = Exec.time (fun () -> Exec.run ~tables plan') in
+          if out1.Sia_engine.Table.nrows <> out2.Sia_engine.Table.nrows then
+            Printf.printf "  !! semantics violation on query %d\n" gq.Qgen.id;
+          (gq.Qgen.id, t1, t2, Eval.selectivity li p1))
+        rewritten
+    in
+    let faster = List.filter (fun (_, t1, t2, _) -> t2 < t1) results in
+    let faster2x = List.filter (fun (_, t1, t2, _) -> t2 *. 2.0 < t1) results in
+    let slower = List.filter (fun (_, t1, t2, _) -> t2 >= t1) results in
+    let slower2x = List.filter (fun (_, t1, t2, _) -> t2 > t1 *. 2.0) results in
+    let avg_sel rs =
+      match rs with
+      | [] -> Float.nan
+      | _ ->
+        List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0.0 rs
+        /. float_of_int (List.length rs)
+    in
+    Printf.printf
+      "%s: faster %d (avg sel %.2f) | 2x faster %d (avg sel %.2f) | slower %d (avg sel %.2f) | 2x slower %d (avg sel %.2f)\n"
+      label (List.length faster) (avg_sel faster) (List.length faster2x)
+      (avg_sel faster2x) (List.length slower) (avg_sel slower) (List.length slower2x)
+      (avg_sel slower2x);
+    (* Scatter data, paper-style: original vs rewritten seconds. *)
+    Printf.printf "  scatter (id, original_s, rewritten_s):\n";
+    List.iter
+      (fun (id, t1, t2, _) -> Printf.printf "    %3d  %8.4f  %8.4f\n" id t1 t2)
+      results
+  in
+  run_sf "scale factor one" (sf_one ());
+  run_sf "scale factor ten" (sf_ten ())
+
+(* ------------------------------------------------------------------ *)
+(* Section 6.7 limitation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_limits () =
+  header "Section 6.7 limitation: band predicate a > b && a < b + 50 && 0 < b < 150";
+  let q =
+    Sia_sql.Parser.parse_query
+      "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey AND \
+       l_quantity > o_shippriority AND l_quantity < o_shippriority + 50 AND \
+       o_shippriority > 0 AND o_shippriority < 150"
+  in
+  let pred = Rewrite.rewrite_for_table Schema.tpch q ~target_table:"lineitem" in
+  (match pred.Rewrite.synthesized with
+   | Some p ->
+     Printf.printf "with direction tightening: %s (%s)\n" (Printer.string_of_pred p)
+       (if Synthesize.is_optimal_outcome pred.Rewrite.stats then "optimal" else "valid")
+   | None -> Printf.printf "with direction tightening: failed\n");
+  let cfg = { Config.default with Config.tighten = false } in
+  let raw =
+    Rewrite.rewrite_for_table ~cfg Schema.tpch q ~target_table:"lineitem"
+  in
+  match raw.Rewrite.synthesized with
+  | Some p ->
+    Printf.printf "plain Algorithm 2 (paper): %s (%s)\n" (Printer.string_of_pred p)
+      (if Synthesize.is_optimal_outcome raw.Rewrite.stats then "optimal" else "valid")
+  | None ->
+    Printf.printf "plain Algorithm 2 (paper): no valid predicate -- the non-separable case of section 6.7\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: FM (real) vs Cooper (integer) projection                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation () =
+  header "Ablation: FALSE-sample projection method (FM over R vs Cooper over Z)";
+  let queries = Qgen.generate ~seed:97 ~count:(min 25 (n_queries ())) () in
+  let run method_ =
+    let cfg = { Config.default with Config.qe_method = method_; Config.time_budget = budget } in
+    List.concat_map
+      (fun (gq : Qgen.gen_query) ->
+        List.map
+          (fun subset ->
+            let t0 = Unix.gettimeofday () in
+            let st =
+              Synthesize.synthesize ~cfg Schema.tpch ~from:gq.Qgen.query.Ast.from
+                ~pred:gq.Qgen.pred ~target_cols:subset
+            in
+            (st, Unix.gettimeofday () -. t0))
+          (Qgen.column_subsets 1 @ Qgen.column_subsets 2))
+      queries
+  in
+  let report label results =
+    let valid = List.length (List.filter (fun (s, _) -> Synthesize.is_valid_outcome s) results) in
+    let optimal =
+      List.length (List.filter (fun (s, _) -> Synthesize.is_optimal_outcome s) results)
+    in
+    let time = List.fold_left (fun acc (_, t) -> acc +. t) 0.0 results in
+    Printf.printf "%-22s attempts %d | valid %d | optimal %d | total %.1f s\n" label
+      (List.length results) valid optimal time
+  in
+  report "Fourier-Motzkin (R)" (run `Real);
+  report "Cooper (Z)" (run `Int)
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (bechamel)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_micro () =
+  header "Micro-benchmarks (bechamel, monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  let v = Linexpr.var in
+  let c = Linexpr.of_int in
+  let simplex_test () =
+    let atoms =
+      [
+        Atom.mk_ge (v 0) (c 1);
+        Atom.mk_ge (v 1) (c 1);
+        Atom.mk_le (Linexpr.add (v 0) (v 1)) (c 10);
+        Atom.mk_le (Linexpr.sub (v 0) (v 1)) (c 3);
+      ]
+    in
+    fun () -> ignore (Simplex.solve atoms)
+  in
+  let solver_test () =
+    let f =
+      Formula.and_
+        [
+          Formula.or_
+            [
+              Formula.atom (Atom.mk_le (v 0) (c 0));
+              Formula.atom (Atom.mk_ge (v 0) (c 10));
+            ];
+          Formula.atom (Atom.mk_ge (v 1) (v 0));
+          Formula.atom (Atom.mk_le (v 1) (c 20));
+        ]
+    in
+    fun () -> ignore (Solver.solve ~is_int:(fun _ -> true) f)
+  in
+  let fm_test () =
+    let atoms =
+      [
+        Atom.mk_lt (Linexpr.sub (v 1) (v 2)) (c 20);
+        Atom.mk_lt (Linexpr.sub (v 0) (v 1)) (Linexpr.add (Linexpr.sub (v 1) (v 2)) (c 10));
+        Atom.mk_lt (v 2) (c 0);
+      ]
+    in
+    fun () -> ignore (Fourier_motzkin.eliminate [ 2 ] atoms)
+  in
+  let cooper_test () =
+    let cube =
+      [
+        (Atom.mk_lt (Linexpr.sub (v 1) (v 2)) (c 20), true);
+        (Atom.mk_lt (v 2) (c 0), true);
+      ]
+    in
+    fun () -> ignore (Cooper.eliminate_cube 2 cube)
+  in
+  let svm_test () =
+    let rand = Random.State.make [| 3 |] in
+    let mk label =
+      List.init 40 (fun _ ->
+          let x = Random.State.float rand 10.0 and y = Random.State.float rand 10.0 in
+          [| x; y +. label |])
+    in
+    let pos = mk 5.0 and neg = mk (-5.0) in
+    fun () -> ignore (Sia_svm.Svm.train ~epochs:50 ~pos ~neg ())
+  in
+  let synth_test () =
+    let q = motivating_query in
+    let pred = Rewrite.rewrite_for_table Schema.tpch q ~target_table:"lineitem" in
+    ignore pred;
+    fun () ->
+      ignore
+        (Synthesize.synthesize Schema.tpch ~from:[ "lineitem"; "orders" ]
+           ~pred:
+             (Sia_sql.Parser.parse_predicate
+                "l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'")
+           ~target_cols:[ "l_shipdate" ])
+  in
+  let join_test () =
+    let li, ord = Tpch.generate ~sf:0.002 () in
+    fun () ->
+      ignore
+        (Exec.hash_join ~left:li ~right:ord ~left_key:"l_orderkey" ~right_key:"o_orderkey")
+  in
+  let tests =
+    Test.make_grouped ~name:"sia"
+      [
+        Test.make ~name:"simplex-solve" (Staged.stage (simplex_test ()));
+        Test.make ~name:"dpllt-solve" (Staged.stage (solver_test ()));
+        Test.make ~name:"fm-project" (Staged.stage (fm_test ()));
+        Test.make ~name:"cooper-project" (Staged.stage (cooper_test ()));
+        Test.make ~name:"svm-train" (Staged.stage (svm_test ()));
+        Test.make ~name:"synthesize-1col" (Staged.stage (synth_test ()));
+        Test.make ~name:"hash-join-sf0.002" (Staged.stage (join_test ()));
+      ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.8) ~kde:(Some 1000) ()
+    in
+    let raw_results = Benchmark.all cfg instances tests in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw_results) instances
+    in
+    Analyze.merge ols instances results
+  in
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
+        tbl)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  Printf.printf
+    "sia bench: %s (SIA_BENCH_QUERIES=%d SIA_CASE_QUERIES=%d SIA_SF_ONE=%.3f SIA_SF_TEN=%.3f)\n%!"
+    cmd (n_queries ()) (n_case ()) (sf_one ()) (sf_ten ());
+  let t0 = Unix.gettimeofday () in
+  (match cmd with
+   | "motivating" -> run_motivating ()
+   | "fig6" -> run_fig6 ()
+   | "table2" -> run_table2 ()
+   | "table3" -> run_table3 ()
+   | "fig7" -> run_fig7 ()
+   | "fig8" -> run_fig8 ()
+   | "fig9" | "table4" -> run_fig9 ()
+   | "limits" -> run_limits ()
+   | "ablation" -> run_ablation ()
+   | "micro" -> run_micro ()
+   | "all" ->
+     run_motivating ();
+     run_fig6 ();
+     run_table2 ();
+     run_table3 ();
+     run_fig7 ();
+     run_fig8 ();
+     run_fig9 ();
+     run_limits ();
+     run_ablation ();
+     run_micro ()
+   | other ->
+     Printf.eprintf
+       "unknown experiment %s (expected motivating|fig6|table2|table3|fig7|fig8|fig9|limits|ablation|micro|all)\n"
+       other;
+     exit 1);
+  Printf.printf "\n[%s done in %.1f s]\n" cmd (Unix.gettimeofday () -. t0)

@@ -1,0 +1,72 @@
+(* Command-line interface to Sia: parse a query, synthesize a predicate
+   over the requested columns, print the rewritten query and the plans. *)
+
+module Ast = Sia_sql.Ast
+module Parser = Sia_sql.Parser
+module Printer = Sia_sql.Printer
+module Schema = Sia_relalg.Schema
+module Plan = Sia_relalg.Plan
+open Sia_core
+
+let outcome_string = function
+  | Synthesize.Optimal p -> Printf.sprintf "optimal: %s" (Printer.string_of_pred p)
+  | Synthesize.Valid p -> Printf.sprintf "valid: %s" (Printer.string_of_pred p)
+  | Synthesize.Trivial -> "trivial (only TRUE is valid)"
+  | Synthesize.Failed msg -> "failed: " ^ msg
+
+let run_synthesize query cols table iterations show_plans =
+  let q = Parser.parse_query query in
+  let cfg = { Config.default with Config.max_iterations = iterations } in
+  let result =
+    match cols with
+    | [] -> begin
+      match table with
+      | Some t -> Rewrite.rewrite_for_table ~cfg Schema.tpch q ~target_table:t
+      | None -> failwith "pass --columns or --table"
+    end
+    | cols -> Rewrite.rewrite_for_columns ~cfg Schema.tpch q ~target_cols:cols
+  in
+  let st = result.Rewrite.stats in
+  Printf.printf "outcome:      %s\n" (outcome_string st.Synthesize.outcome);
+  Printf.printf "iterations:   %d\n" st.Synthesize.iterations;
+  Printf.printf "samples:      %d TRUE / %d FALSE\n" st.Synthesize.n_true st.Synthesize.n_false;
+  Printf.printf "time (s):     gen %.3f / learn %.3f / verify %.3f\n" st.Synthesize.gen_time
+    st.Synthesize.learn_time st.Synthesize.verify_time;
+  (match result.Rewrite.rewritten with
+   | Some q' -> Printf.printf "rewritten:    %s\n" (Printer.string_of_query q')
+   | None -> ());
+  if show_plans then begin
+    let orig, rew = Rewrite.plans Schema.tpch result in
+    Printf.printf "\n-- original plan --\n%s" (Plan.to_string orig);
+    match rew with
+    | Some p -> Printf.printf "\n-- rewritten plan --\n%s" (Plan.to_string p)
+    | None -> ()
+  end
+
+open Cmdliner
+
+let query_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"SQL query text.")
+
+let cols_arg =
+  Arg.(value & opt (list string) [] & info [ "c"; "columns" ] ~docv:"COLS"
+         ~doc:"Comma-separated target columns for the synthesized predicate.")
+
+let table_arg =
+  Arg.(value & opt (some string) None & info [ "t"; "table" ] ~docv:"TABLE"
+         ~doc:"Target table: use all of its predicate columns.")
+
+let iters_arg =
+  Arg.(value & opt int Config.default.Config.max_iterations
+       & info [ "i"; "iterations" ] ~docv:"N" ~doc:"Learning-loop budget.")
+
+let plans_arg =
+  Arg.(value & flag & info [ "p"; "plans" ] ~doc:"Print optimized plans for both queries.")
+
+let cmd =
+  let doc = "Synthesize valid predicates over a column subset (Sia, SIGMOD 2021)" in
+  Cmd.v
+    (Cmd.info "sia_cli" ~doc)
+    Term.(const run_synthesize $ query_arg $ cols_arg $ table_arg $ iters_arg $ plans_arg)
+
+let () = exit (Cmd.eval cmd)

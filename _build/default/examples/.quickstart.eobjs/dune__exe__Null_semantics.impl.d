@@ -1,0 +1,1 @@
+examples/null_semantics.ml: Encode Printf Sia_core Sia_relalg Sia_sql Verify

@@ -1,0 +1,1 @@
+examples/null_semantics.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Rewrite Sia_core Sia_relalg Sia_sql Synthesize

@@ -1,0 +1,1 @@
+examples/tpch_motivating.ml: Option Printf Rewrite Sia_core Sia_engine Sia_relalg Sia_sql Sys

@@ -1,0 +1,1 @@
+examples/workload_sweep.ml: List Option Printf Rewrite Sia_core Sia_engine Sia_relalg Sia_sql Sia_workload Synthesize Sys

@@ -1,0 +1,54 @@
+(* Three-valued logic: why Sia's verifier must reason about NULLs.
+
+   Over non-null data, p = (a > 0 OR b > 0) implies the tautology
+   (b > -100 OR b <= -100). Under SQL semantics it does not: for the tuple
+   (a = 1, b = NULL), p is TRUE but the "tautology" evaluates to NULL, so
+   rewriting with it would drop the tuple. Sia's Verify uses the trivalent
+   encoding (value + is-null indicator per nullable column) and rejects it.
+
+   Run with:  dune exec examples/null_semantics.exe *)
+
+module Parser = Sia_sql.Parser
+module Schema = Sia_relalg.Schema
+module Ast = Sia_sql.Ast
+open Sia_core
+
+let catalog : Schema.catalog =
+  [
+    {
+      Schema.tname = "t";
+      row_estimate = 1000;
+      columns =
+        [
+          { Schema.cname = "a"; ctype = Schema.Tint; nullable = true };
+          { Schema.cname = "b"; ctype = Schema.Tint; nullable = true };
+        ];
+    };
+  ]
+
+let verdict = function
+  | Verify.Valid -> "VALID"
+  | Verify.Invalid -> "INVALID"
+  | Verify.Unknown -> "UNKNOWN"
+
+let check p_str p1_str =
+  let p = Parser.parse_predicate p_str in
+  let p1 = Parser.parse_predicate p1_str in
+  let env = Encode.build_env catalog [ "t" ] (Ast.And (p, p1)) in
+  Printf.printf "%-24s implies  %-28s : %s\n" p_str p1_str
+    (verdict (Verify.implies env ~p ~p1))
+
+let () =
+  print_endline "columns a, b are nullable (SQL three-valued logic):\n";
+  (* Value-level tautology, NULL-level trap. *)
+  check "a > 0 OR b > 0" "b > -100 OR b <= -100";
+  (* Keeping the same column structure is fine. *)
+  check "a > 0 OR b > 0" "a > 0 OR b > 0";
+  (* A one-sided weakening that stays on columns p constrains works when p
+     forces them non-null... *)
+  check "a > 0 AND b > 0" "b > 0";
+  (* ...and fails when p can be TRUE while the column is NULL. *)
+  check "a > 0 OR b > 0" "b > 0";
+  print_endline
+    "\nThe second-style predicates are the reason Verify uses the trivalent\n\
+     encoding instead of plain arithmetic implication."

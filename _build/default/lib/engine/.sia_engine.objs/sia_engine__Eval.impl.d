@@ -1,0 +1,1 @@
+lib/engine/eval.ml: Array Sia_sql Table

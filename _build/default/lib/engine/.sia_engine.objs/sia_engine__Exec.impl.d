@@ -1,0 +1,1 @@
+lib/engine/exec.ml: Array Eval Hashtbl List Sia_relalg Sia_sql Stdlib Table Unix

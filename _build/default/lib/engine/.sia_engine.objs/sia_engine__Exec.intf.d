@@ -1,0 +1,1 @@
+lib/engine/exec.mli: Sia_relalg Table

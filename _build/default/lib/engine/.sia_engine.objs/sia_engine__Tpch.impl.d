@@ -1,0 +1,1 @@
+lib/engine/tpch.ml: Array Float List Random Sia_sql Stdlib Table

@@ -1,0 +1,1 @@
+lib/engine/tpch.mli: Table

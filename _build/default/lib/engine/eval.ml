@@ -1,0 +1,64 @@
+module Ast = Sia_sql.Ast
+module Date = Sia_sql.Date
+
+exception Unsupported of string
+
+let rec compile_expr table e : int -> int =
+  match e with
+  | Ast.Col c ->
+    (* Resolution ignores the qualifier: joined tables keep distinct
+       column names (TPC-H prefixes), and single tables are unambiguous. *)
+    let col = Table.column table c.Ast.name in
+    fun row -> col.(row)
+  | Ast.Const (Ast.Cint n) -> fun _ -> n
+  | Ast.Const (Ast.Cdate d) ->
+    let n = Date.to_days d in
+    fun _ -> n
+  | Ast.Const (Ast.Cinterval n) -> fun _ -> n
+  | Ast.Const (Ast.Cfloat _) -> raise (Unsupported "float constant in engine predicate")
+  | Ast.Binop (op, a, b) ->
+    let fa = compile_expr table a and fb = compile_expr table b in
+    (match op with
+     | Ast.Add -> fun row -> fa row + fb row
+     | Ast.Sub -> fun row -> fa row - fb row
+     | Ast.Mul -> fun row -> fa row * fb row
+     | Ast.Div -> fun row -> fa row / fb row)
+
+let rec compile_pred table p : int -> bool =
+  match p with
+  | Ast.Cmp (op, a, b) ->
+    let fa = compile_expr table a and fb = compile_expr table b in
+    (match op with
+     | Ast.Lt -> fun row -> fa row < fb row
+     | Ast.Le -> fun row -> fa row <= fb row
+     | Ast.Gt -> fun row -> fa row > fb row
+     | Ast.Ge -> fun row -> fa row >= fb row
+     | Ast.Eq -> fun row -> fa row = fb row
+     | Ast.Ne -> fun row -> fa row <> fb row)
+  | Ast.And (a, b) ->
+    let fa = compile_pred table a and fb = compile_pred table b in
+    fun row -> fa row && fb row
+  | Ast.Or (a, b) ->
+    let fa = compile_pred table a and fb = compile_pred table b in
+    fun row -> fa row || fb row
+  | Ast.Not a ->
+    let fa = compile_pred table a in
+    fun row -> not (fa row)
+  | Ast.Ptrue -> fun _ -> true
+  | Ast.Pfalse -> fun _ -> false
+
+let filter table p =
+  let f = compile_pred table p in
+  let mask = Array.init table.Table.nrows f in
+  Table.select_rows table mask
+
+let selectivity table p =
+  if table.Table.nrows = 0 then 1.0
+  else begin
+    let f = compile_pred table p in
+    let count = ref 0 in
+    for row = 0 to table.Table.nrows - 1 do
+      if f row then incr count
+    done;
+    float_of_int !count /. float_of_int table.Table.nrows
+  end

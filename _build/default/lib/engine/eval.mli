@@ -1,0 +1,17 @@
+(** Compile predicates to closures over table rows.
+
+    Dates evaluate to day counts and intervals to day spans, so the date
+    arithmetic in predicates reduces to integer arithmetic, exactly as in
+    Sia's encoding. Division is SQL-style integer division (truncation). *)
+
+exception Unsupported of string
+
+val compile_pred : Table.t -> Sia_sql.Ast.pred -> int -> bool
+(** [compile_pred table p] resolves every column of [p] against [table]
+    once, returning a per-row evaluator.
+    @raise Unsupported for float constants (the engine stores ints) and
+    @raise Not_found for unresolvable columns. *)
+
+val filter : Table.t -> Sia_sql.Ast.pred -> Table.t
+val selectivity : Table.t -> Sia_sql.Ast.pred -> float
+(** Fraction of rows accepted. *)

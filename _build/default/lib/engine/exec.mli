@@ -1,0 +1,14 @@
+(** Plan execution: filters and in-memory hash joins over {!Table}s,
+    with wall-clock timing for the runtime experiments (Fig 9). *)
+
+exception Unsupported of string
+
+val hash_join :
+  left:Table.t -> right:Table.t -> left_key:string -> right_key:string -> Table.t
+
+val run : tables:(string * Table.t) list -> Sia_relalg.Plan.t -> Table.t
+(** Execute a logical plan bottom-up.
+    @raise Unsupported for plan shapes outside the engine's fragment. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Result plus elapsed seconds. *)

@@ -1,0 +1,80 @@
+type t = {
+  name : string;
+  col_names : string array;
+  cols : int array array;
+  nrows : int;
+}
+
+let create ~name ~col_names ~rows =
+  let ncols = List.length col_names in
+  let nrows = List.length rows in
+  let cols = Array.init ncols (fun _ -> Array.make nrows 0) in
+  List.iteri
+    (fun r row ->
+      if Array.length row <> ncols then invalid_arg "Table.create: ragged row";
+      Array.iteri (fun c v -> cols.(c).(r) <- v) row)
+    rows;
+  { name; col_names = Array.of_list col_names; cols; nrows }
+
+let of_columns ~name cols =
+  let nrows = match cols with [] -> 0 | (_, c) :: _ -> Array.length c in
+  List.iter
+    (fun (_, c) -> if Array.length c <> nrows then invalid_arg "Table.of_columns: ragged")
+    cols;
+  {
+    name;
+    col_names = Array.of_list (List.map fst cols);
+    cols = Array.of_list (List.map snd cols);
+    nrows;
+  }
+
+let col_index t name =
+  let rec go i =
+    if i >= Array.length t.col_names then raise Not_found
+    else if t.col_names.(i) = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let column t name = t.cols.(col_index t name)
+
+let select_rows t mask =
+  let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask in
+  let cols =
+    Array.map
+      (fun col ->
+        let out = Array.make count 0 in
+        let j = ref 0 in
+        Array.iteri
+          (fun i keep ->
+            if keep then begin
+              out.(!j) <- col.(i);
+              incr j
+            end)
+          mask;
+        out)
+      t.cols
+  in
+  { t with cols; nrows = count }
+
+let gather t rows =
+  let n = Array.length rows in
+  {
+    t with
+    cols = Array.map (fun col -> Array.init n (fun k -> col.(rows.(k)))) t.cols;
+    nrows = n;
+  }
+
+let concat_columns ~name l r li ri =
+  let n = Array.length li in
+  let gather (src : int array) idx =
+    Array.init n (fun k -> src.(idx.(k)))
+  in
+  let lcols = Array.map (fun c -> gather c li) l.cols in
+  let rcols = Array.map (fun c -> gather c ri) r.cols in
+  {
+    name;
+    col_names = Array.append l.col_names r.col_names;
+    cols = Array.append lcols rcols;
+    nrows = n;
+  }

@@ -1,0 +1,28 @@
+(** Columnar in-memory tables. All values are stored as native ints:
+    dates as day counts, DOUBLE columns as fixed-point cents. *)
+
+type t = {
+  name : string;
+  col_names : string array;
+  cols : int array array;  (** column-major, [cols.(c).(row)] *)
+  nrows : int;
+}
+
+val create : name:string -> col_names:string list -> rows:int array list -> t
+(** Rows given row-major; transposed internally.
+    @raise Invalid_argument on ragged input. *)
+
+val of_columns : name:string -> (string * int array) list -> t
+val col_index : t -> string -> int
+(** @raise Not_found for unknown column names. *)
+
+val column : t -> string -> int array
+val select_rows : t -> bool array -> t
+(** Keep rows whose mask bit is set. *)
+
+val concat_columns : name:string -> t -> t -> int array -> int array -> t
+(** [concat_columns ~name l r li ri] builds a table whose rows are the
+    pairs [(l row li.(k), r row ri.(k))]; used by the hash join. *)
+
+val gather : t -> int array -> t
+(** Materialize the given rows, in order (selection-vector flush). *)

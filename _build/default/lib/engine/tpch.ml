@@ -1,0 +1,78 @@
+module Date = Sia_sql.Date
+
+let orders_per_sf = 1_500_000
+let date_lo = Date.to_days (Date.of_ymd 1992 1 1)
+let date_hi = Date.to_days (Date.of_ymd 1998 8 2)
+
+let generate ~sf ?(seed = 7) () =
+  let rand = Random.State.make [| seed |] in
+  let n_orders = int_of_float (Float.max 1.0 (float_of_int orders_per_sf *. sf)) in
+  let uniform lo hi = lo + Random.State.int rand (hi - lo + 1) in
+  let o_orderkey = Array.make n_orders 0 in
+  let o_custkey = Array.make n_orders 0 in
+  let o_totalprice = Array.make n_orders 0 in
+  let o_orderdate = Array.make n_orders 0 in
+  let o_shippriority = Array.make n_orders 0 in
+  let li = ref [] in
+  let n_li = ref 0 in
+  for i = 0 to n_orders - 1 do
+    let okey = i + 1 in
+    o_orderkey.(i) <- okey;
+    o_custkey.(i) <- uniform 1 (Stdlib.max 1 (n_orders / 10));
+    o_totalprice.(i) <- uniform 100_00 500_000_00;
+    (* Leave room for ship/receipt offsets so every date stays in range. *)
+    let odate = uniform date_lo (date_hi - 152) in
+    o_orderdate.(i) <- odate;
+    o_shippriority.(i) <- 0;
+    let lines = uniform 1 7 in
+    for ln = 1 to lines do
+      let ship = odate + uniform 1 121 in
+      let commit = odate + uniform 30 90 in
+      let receipt = ship + uniform 1 30 in
+      li :=
+        [|
+          okey;
+          uniform 1 200_000;
+          uniform 1 10_000;
+          ln;
+          uniform 1 50;
+          uniform 1_00 100_000_00;
+          uniform 0 10;
+          uniform 0 8;
+          ship;
+          commit;
+          receipt;
+        |]
+        :: !li;
+      incr n_li
+    done
+  done;
+  let lineitem =
+    Table.create ~name:"lineitem"
+      ~col_names:
+        [
+          "l_orderkey";
+          "l_partkey";
+          "l_suppkey";
+          "l_linenumber";
+          "l_quantity";
+          "l_extendedprice";
+          "l_discount";
+          "l_tax";
+          "l_shipdate";
+          "l_commitdate";
+          "l_receiptdate";
+        ]
+      ~rows:(List.rev !li)
+  in
+  let orders =
+    Table.of_columns ~name:"orders"
+      [
+        ("o_orderkey", o_orderkey);
+        ("o_custkey", o_custkey);
+        ("o_totalprice", o_totalprice);
+        ("o_orderdate", o_orderdate);
+        ("o_shippriority", o_shippriority);
+      ]
+  in
+  (lineitem, orders)

@@ -1,0 +1,13 @@
+(** TPC-H data generator for the two tables the paper's benchmark uses.
+
+    Follows dbgen's date rules: order dates uniform over
+    [1992-01-01, 1998-08-02]; per order 1-7 lineitems with
+    ship = order + U(1,121), commit = order + U(30,90),
+    receipt = ship + U(1,30). Dates are stored as day counts
+    (see {!Sia_sql.Date}); prices as cents. Deterministic per seed. *)
+
+val orders_per_sf : int
+(** 1_500_000, the TPC-H constant. *)
+
+val generate : sf:float -> ?seed:int -> unit -> Table.t * Table.t
+(** [(lineitem, orders)] at the given scale factor. *)

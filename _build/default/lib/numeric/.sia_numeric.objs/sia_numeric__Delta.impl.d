@@ -1,0 +1,1 @@
+lib/numeric/delta.ml: Format List Rat

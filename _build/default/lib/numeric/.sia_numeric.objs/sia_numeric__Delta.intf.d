@@ -1,0 +1,1 @@
+lib/numeric/delta.mli: Format Rat

@@ -1,0 +1,308 @@
+(* Arbitrary-precision signed integers, base 10^9 little-endian magnitude.
+
+   The magnitude array never has trailing (most-significant) zero limbs and
+   [sign = 0] iff the magnitude is empty. Base 10^9 keeps limb products
+   within native int range (10^18 < 2^62) and makes decimal conversion
+   trivial. *)
+
+let base = 1_000_000_000
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    (* Peel limbs from the negative value: [-(n mod base)] is non-negative
+       for [n < 0], which sidesteps [abs min_int] overflow. *)
+    let m = if n > 0 then -n else n in
+    let rec limbs m acc = if m = 0 then acc else limbs (m / base) (-(m mod base) :: acc) in
+    let big_endian = limbs m [] in
+    normalize sign (Array.of_list (List.rev big_endian))
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let two = of_int 2
+let sign x = x.sign
+let is_zero x = x.sign = 0
+
+let compare_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then compare_mag a.mag b.mag
+  else compare_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + Stdlib.max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    if s >= base then begin
+      r.(i) <- s - base;
+      carry := 1
+    end
+    else begin
+      r.(i) <- s;
+      carry := 0
+    end
+  done;
+  r
+
+(* Precondition: mag a >= mag b. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  r
+
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+let rec add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
+  else begin
+    let c = compare_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then normalize a.sign (sub_mag a.mag b.mag)
+    else normalize b.sign (sub_mag b.mag a.mag)
+  end
+
+and sub a b = add a (neg b)
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make (la + lb) 0 in
+  for i = 0 to la - 1 do
+    let carry = ref 0 in
+    let ai = a.(i) in
+    if ai <> 0 then begin
+      for j = 0 to lb - 1 do
+        let cur = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- cur mod base;
+        carry := cur / base
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let cur = r.(!k) + !carry in
+        r.(!k) <- cur mod base;
+        carry := cur / base;
+        incr k
+      done
+    end
+  done;
+  r
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else normalize (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let mul_int a n = mul a (of_int n)
+
+(* Multiply magnitude by a single limb-sized int (0 <= d < base). *)
+let mul_mag_small a d =
+  if d = 0 then [||]
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let cur = (a.(i) * d) + !carry in
+      r.(i) <- cur mod base;
+      carry := cur / base
+    done;
+    r.(la) <- !carry;
+    r
+  end
+
+(* Compare [a] against [b] shifted left by [k] limbs, without materializing
+   the shift. Both magnitudes may carry most-significant zero limbs. *)
+let effective_length m =
+  let n = ref (Array.length m) in
+  while !n > 0 && m.(!n - 1) = 0 do
+    decr n
+  done;
+  !n
+
+let compare_mag_shifted a b k =
+  let la' = effective_length a in
+  let lb' = effective_length b in
+  let eff = if lb' = 0 then 0 else lb' + k in
+  if la' <> eff then Stdlib.compare la' eff
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else begin
+        let bi = if i >= k && i - k < lb' then b.(i - k) else 0 in
+        if a.(i) <> bi then Stdlib.compare a.(i) bi else go (i - 1)
+      end
+    in
+    go (la' - 1)
+  end
+
+(* In-place: a := a - (b << k). Precondition: a >= b<<k. *)
+let sub_mag_shifted_inplace a b k =
+  let lb = Array.length b in
+  let borrow = ref 0 in
+  for i = k to Array.length a - 1 do
+    let bi = if i - k < lb then b.(i - k) else 0 in
+    let s = a.(i) - bi - !borrow in
+    if s < 0 then begin
+      a.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      a.(i) <- s;
+      borrow := 0
+    end
+  done
+
+(* Schoolbook long division on magnitudes with per-digit binary search.
+   Numbers in this code base stay small (tens of limbs), so the log(base)
+   factor is irrelevant next to correctness. *)
+let divmod_mag a b =
+  if compare_mag a b < 0 then ([||], Array.copy a)
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let q = Array.make (la - lb + 1) 0 in
+    let rem = Array.copy a in
+    for k = la - lb downto 0 do
+      (* Find max d in [0, base) with (b*d) << k <= rem. *)
+      let lo = ref 0 and hi = ref (base - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        let prod = mul_mag_small b mid in
+        if compare_mag_shifted rem prod k >= 0 then lo := mid else hi := mid - 1
+      done;
+      let d = !lo in
+      if d > 0 then begin
+        let prod = mul_mag_small b d in
+        sub_mag_shifted_inplace rem prod k
+      end;
+      q.(k) <- d
+    done;
+    (q, rem)
+  end
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else begin
+    let qm, rm = divmod_mag a.mag b.mag in
+    let q = normalize (a.sign * b.sign) qm in
+    let r = normalize a.sign rm in
+    (q, r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let fdiv a b =
+  let q, r = divmod a b in
+  if is_zero r || sign r = sign b then q else sub q one
+
+let rec gcd_aux a b = if is_zero b then a else gcd_aux b (rem a b)
+let gcd a b = gcd_aux (abs a) (abs b)
+
+let lcm a b = if is_zero a || is_zero b then zero else abs (div (mul a b) (gcd a b))
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let pow x n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc x n = if n = 0 then acc else if n land 1 = 1 then go (mul acc x) (mul x x) (n lsr 1) else go acc (mul x x) (n lsr 1) in
+  go one x n
+
+let to_int x =
+  match x.sign with
+  | 0 -> Some 0
+  | _ ->
+    (* Accumulate from the most significant limb, watching for overflow. *)
+    let ok = ref true in
+    let acc = ref 0 in
+    let limit = Stdlib.max_int / base in
+    for i = Array.length x.mag - 1 downto 0 do
+      if !acc > limit then ok := false;
+      if !ok then begin
+        let v = (!acc * base) + x.mag.(i) in
+        if v < 0 then ok := false else acc := v
+      end
+    done;
+    if !ok then Some (if x.sign < 0 then - !acc else !acc) else None
+
+let to_int_exn x =
+  match to_int x with
+  | Some n -> n
+  | None -> failwith "Bigint.to_int_exn: out of native int range"
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let b = Buffer.create 16 in
+    if x.sign < 0 then Buffer.add_char b '-';
+    let n = Array.length x.mag in
+    Buffer.add_string b (string_of_int x.mag.(n - 1));
+    for i = n - 2 downto 0 do
+      Buffer.add_string b (Printf.sprintf "%09d" x.mag.(i))
+    done;
+    Buffer.contents b
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty";
+  let neg, start = if s.[0] = '-' then (true, 1) else if s.[0] = '+' then (false, 1) else (false, 0) in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let ten = of_int 10 in
+  for i = start to len - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit";
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if neg then { !acc with sign = -(!acc).sign } else !acc
+
+let to_float x =
+  let f = ref 0.0 in
+  for i = Array.length x.mag - 1 downto 0 do
+    f := (!f *. float_of_int base) +. float_of_int x.mag.(i)
+  done;
+  if x.sign < 0 then -. !f else !f
+
+let hash x = Hashtbl.hash (x.sign, x.mag)
+let pp fmt x = Format.pp_print_string fmt (to_string x)

@@ -1,0 +1,60 @@
+(** Arbitrary-precision signed integers.
+
+    Sia's simplex tableau and Fourier-Motzkin elimination square coefficient
+    magnitudes; native [int] overflows silently, so every exact computation
+    in the solver goes through this module. Representation: sign and a
+    little-endian magnitude in base 10^9. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+val two : t
+
+val of_int : int -> t
+
+val to_int : t -> int option
+(** [to_int x] is [Some n] when [x] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+
+val of_string : string -> t
+(** Accepts an optional leading ['-'] followed by decimal digits.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], truncated (round toward
+    zero) division, [sign r = sign a] or [r = 0].
+    @raise Division_by_zero when [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val fdiv : t -> t -> t
+(** Floor division: largest [q] with [q*b <= a] (for [b > 0]). *)
+
+val gcd : t -> t -> t
+(** Non-negative greatest common divisor; [gcd 0 0 = 0]. *)
+
+val lcm : t -> t -> t
+val min : t -> t -> t
+val max : t -> t -> t
+val pow : t -> int -> t
+val to_float : t -> float
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type t = { real : Rat.t; inf : Rat.t }
+
+let make real inf = { real; inf }
+let of_rat r = { real = r; inf = Rat.zero }
+let of_int n = of_rat (Rat.of_int n)
+let zero = of_rat Rat.zero
+let delta = { real = Rat.zero; inf = Rat.one }
+
+let compare a b =
+  let c = Rat.compare a.real b.real in
+  if c <> 0 then c else Rat.compare a.inf b.inf
+
+let equal a b = compare a b = 0
+let add a b = { real = Rat.add a.real b.real; inf = Rat.add a.inf b.inf }
+let sub a b = { real = Rat.sub a.real b.real; inf = Rat.sub a.inf b.inf }
+let neg a = { real = Rat.neg a.real; inf = Rat.neg a.inf }
+let scale k a = { real = Rat.mul k a.real; inf = Rat.mul k a.inf }
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+(* Pick delta0 > 0 such that for every pair (a, b) in the list with
+   a < b lexicographically, a.real + a.inf*delta0 <= b.real + b.inf*delta0
+   still holds. The standard bound: for pairs where a.real < b.real and
+   a.inf > b.inf, delta0 <= (b.real - a.real) / (a.inf - b.inf). *)
+let choose_delta all =
+  let bound = ref Rat.one in
+  let consider a b =
+    if Rat.compare a.real b.real < 0 && Rat.compare a.inf b.inf > 0 then begin
+      let cand = Rat.div (Rat.sub b.real a.real) (Rat.sub a.inf b.inf) in
+      if Rat.compare cand !bound < 0 then bound := cand
+    end
+  in
+  List.iter (fun a -> List.iter (fun b -> consider a b) all) all;
+  let delta0 = Rat.div !bound (Rat.of_int 2) in
+  if Rat.sign delta0 <= 0 then Rat.of_ints 1 1000000 else delta0
+
+let apply delta0 v = Rat.add v.real (Rat.mul v.inf delta0)
+let concretize all v = apply (choose_delta all) v
+
+let pp fmt { real; inf } =
+  if Rat.is_zero inf then Rat.pp fmt real
+  else Format.fprintf fmt "%a%s%a*d" Rat.pp real (if Rat.sign inf >= 0 then "+" else "") Rat.pp inf

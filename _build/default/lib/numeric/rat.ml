@@ -1,0 +1,85 @@
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+    let g = Bigint.gcd num den in
+    { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+let minus_one = { num = Bigint.minus_one; den = Bigint.one }
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+let sign x = Bigint.sign x.num
+let is_zero x = Bigint.is_zero x.num
+let is_integer x = Bigint.equal x.den Bigint.one
+let neg x = { x with num = Bigint.neg x.num }
+let abs x = { x with num = Bigint.abs x.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let div a b = make (Bigint.mul a.num b.den) (Bigint.mul a.den b.num)
+let inv a = make a.den a.num
+
+let compare a b = Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let floor x = Bigint.fdiv x.num x.den
+let ceil x = Bigint.neg (Bigint.fdiv (Bigint.neg x.num) x.den)
+let to_float x = Bigint.to_float x.num /. Bigint.to_float x.den
+
+let to_string x =
+  if is_integer x then Bigint.to_string x.num
+  else Bigint.to_string x.num ^ "/" ^ Bigint.to_string x.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    make
+      (Bigint.of_string (String.sub s 0 i))
+      (Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)))
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> of_bigint (Bigint.of_string s)
+     | Some i ->
+       let int_part = String.sub s 0 i in
+       let frac = String.sub s (i + 1) (String.length s - i - 1) in
+       let scale = Bigint.pow (Bigint.of_int 10) (String.length frac) in
+       let whole = Bigint.of_string (if int_part = "" || int_part = "-" then int_part ^ "0" else int_part) in
+       let f = Bigint.of_string (if frac = "" then "0" else frac) in
+       let f = if Bigint.sign whole < 0 || (int_part <> "" && int_part.[0] = '-') then Bigint.neg f else f in
+       make (Bigint.add (Bigint.mul whole scale) f) scale)
+
+(* Continued-fraction best approximation with bounded denominator. *)
+let of_float_approx ?(max_den = 1_000_000) f =
+  if Float.is_nan f || Float.is_integer f then of_bigint (Bigint.of_string (Printf.sprintf "%.0f" (if Float.is_nan f then 0.0 else f)))
+  else begin
+    let negative = f < 0.0 in
+    let f = Float.abs f in
+    let rec go x (h1, k1) (h2, k2) depth =
+      (* convergents: h/k *)
+      let a = Float.to_int (Float.floor x) in
+      let h = (a * h1) + h2 and k = (a * k1) + k2 in
+      if k > max_den || depth > 30 then (h1, k1)
+      else begin
+        let frac = x -. Float.of_int a in
+        if frac < 1e-12 then (h, k) else go (1.0 /. frac) (h, k) (h1, k1) (depth + 1)
+      end
+    in
+    let h, k = go f (1, 0) (0, 1) 0 in
+    let r = of_ints h (Stdlib.max k 1) in
+    if negative then neg r else r
+  end
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

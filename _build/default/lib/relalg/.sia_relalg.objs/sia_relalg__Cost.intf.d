@@ -1,0 +1,1 @@
+lib/relalg/cost.mli: Plan Schema Sia_sql

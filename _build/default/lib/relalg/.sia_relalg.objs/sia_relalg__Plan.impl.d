@@ -1,0 +1,1 @@
+lib/relalg/plan.ml: Format List Sia_sql Stdlib String

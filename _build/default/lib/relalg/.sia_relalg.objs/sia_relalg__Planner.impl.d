@@ -1,0 +1,1 @@
+lib/relalg/planner.ml: Either List Plan Rules Schema Sia_sql

@@ -1,0 +1,1 @@
+lib/relalg/planner.mli: Plan Schema Sia_sql

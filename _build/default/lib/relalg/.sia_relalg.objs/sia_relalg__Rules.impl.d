@@ -1,0 +1,1 @@
+lib/relalg/rules.ml: List Plan Schema Sia_sql Stdlib

@@ -1,0 +1,1 @@
+lib/relalg/rules.mli: Plan Schema Sia_sql

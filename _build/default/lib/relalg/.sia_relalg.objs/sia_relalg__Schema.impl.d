@@ -1,0 +1,1 @@
+lib/relalg/schema.ml: List Sia_sql

@@ -1,0 +1,1 @@
+lib/relalg/schema.mli: Sia_sql

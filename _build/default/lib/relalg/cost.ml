@@ -1,0 +1,56 @@
+module Ast = Sia_sql.Ast
+
+type estimate = {
+  rows : float;
+  cost : float;
+  memory : float;
+}
+
+let rec default_selectivity = function
+  | Ast.Cmp ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), _, _) -> 0.33
+  | Ast.Cmp (Ast.Eq, _, _) -> 0.05
+  | Ast.Cmp (Ast.Ne, _, _) -> 0.95
+  | Ast.And (a, b) -> default_selectivity a *. default_selectivity b
+  | Ast.Or (a, b) ->
+    let sa = default_selectivity a and sb = default_selectivity b in
+    sa +. sb -. (sa *. sb)
+  | Ast.Not a -> 1.0 -. default_selectivity a
+  | Ast.Ptrue -> 1.0
+  | Ast.Pfalse -> 0.0
+
+(* Per-row operator weights: a scan touches storage, a filter evaluates an
+   expression, a hash join pays build + probe. *)
+let scan_w = 1.0
+let filter_w = 0.25
+let build_w = 2.0
+let probe_w = 1.5
+
+let estimate ?(selectivity = default_selectivity) cat plan =
+  let rec go = function
+    | Plan.Scan t ->
+      let rows = float_of_int (Schema.table cat t).Schema.row_estimate in
+      { rows; cost = rows *. scan_w; memory = 0.0 }
+    | Plan.Filter (p, sub) ->
+      let e = go sub in
+      {
+        rows = e.rows *. selectivity p;
+        cost = e.cost +. (e.rows *. filter_w *. float_of_int (Ast.pred_size p) *. 0.1);
+        memory = e.memory;
+      }
+    | Plan.Project (_, sub) -> go sub
+    | Plan.Join (info, l, r) ->
+      let el = go l and er = go r in
+      let build, probe = if el.rows <= er.rows then (el, er) else (er, el) in
+      let out = probe.rows *. Float.min 1.0 (build.rows /. Float.max 1.0 probe.rows) in
+      let out =
+        match info.residual with
+        | Some p -> out *. selectivity p
+        | None -> out
+      in
+      {
+        rows = Float.max 1.0 out;
+        cost = el.cost +. er.cost +. (build.rows *. build_w) +. (probe.rows *. probe_w);
+        memory = Float.max (Float.max el.memory er.memory) build.rows;
+      }
+  in
+  go plan

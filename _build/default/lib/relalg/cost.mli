@@ -1,0 +1,17 @@
+(** A simple cost model (row estimates plus per-operator weights) used to
+    compare original and rewritten plans and to simulate the case-study
+    metrics of the paper's section 6.2. *)
+
+type estimate = {
+  rows : float;  (** output cardinality *)
+  cost : float;  (** cumulative abstract work units *)
+  memory : float;  (** peak hash-table footprint, in rows *)
+}
+
+val estimate :
+  ?selectivity:(Sia_sql.Ast.pred -> float) -> Schema.catalog -> Plan.t -> estimate
+(** Default selectivity: 0.33 per comparison conjunct, standard
+    System-R-style guesses. Join output assumes the smaller side's key is
+    unique (the lineitem-orders shape). *)
+
+val default_selectivity : Sia_sql.Ast.pred -> float

@@ -1,0 +1,55 @@
+module Ast = Sia_sql.Ast
+module Printer = Sia_sql.Printer
+
+type t =
+  | Scan of string
+  | Filter of Ast.pred * t
+  | Join of join_info * t * t
+  | Project of Ast.select_item list * t
+
+and join_info = {
+  left_key : Ast.column;
+  right_key : Ast.column;
+  residual : Ast.pred option;
+}
+
+let rec tables = function
+  | Scan t -> [ t ]
+  | Filter (_, p) | Project (_, p) -> tables p
+  | Join (_, l, r) -> tables l @ tables r
+
+let rec filters = function
+  | Scan _ -> []
+  | Filter (p, sub) -> p :: filters sub
+  | Project (_, sub) -> filters sub
+  | Join (info, l, r) ->
+    (match info.residual with Some p -> [ p ] | None -> []) @ filters l @ filters r
+
+let equal = Stdlib.( = )
+
+let rec pp_indent fmt indent plan =
+  let pad = String.make indent ' ' in
+  match plan with
+  | Scan t -> Format.fprintf fmt "%sScan %s@." pad t
+  | Filter (p, sub) ->
+    Format.fprintf fmt "%sFilter [%s]@." pad (Printer.string_of_pred p);
+    pp_indent fmt (indent + 2) sub
+  | Project (items, sub) ->
+    let show = function Ast.Star -> "*" | Ast.Column c -> Printer.string_of_column c in
+    Format.fprintf fmt "%sProject [%s]@." pad (String.concat ", " (List.map show items));
+    pp_indent fmt (indent + 2) sub
+  | Join (info, l, r) ->
+    let res =
+      match info.residual with
+      | Some p -> " residual [" ^ Printer.string_of_pred p ^ "]"
+      | None -> ""
+    in
+    Format.fprintf fmt "%sHashJoin %s = %s%s@." pad
+      (Printer.string_of_column info.left_key)
+      (Printer.string_of_column info.right_key)
+      res;
+    pp_indent fmt (indent + 2) l;
+    pp_indent fmt (indent + 2) r
+
+let pp fmt plan = pp_indent fmt 0 plan
+let to_string plan = Format.asprintf "%a" pp plan

@@ -1,0 +1,25 @@
+(** Logical query plans: the small relational algebra Sia's rewriter and
+    the execution engine share (scan, filter, inner join, projection). *)
+
+type t =
+  | Scan of string
+  | Filter of Sia_sql.Ast.pred * t
+  | Join of join_info * t * t
+  | Project of Sia_sql.Ast.select_item list * t
+
+and join_info = {
+  left_key : Sia_sql.Ast.column;
+  right_key : Sia_sql.Ast.column;
+  residual : Sia_sql.Ast.pred option;
+      (** non-equi part of the join condition, evaluated on joined rows *)
+}
+
+val tables : t -> string list
+(** Base tables in plan order. *)
+
+val filters : t -> Sia_sql.Ast.pred list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** EXPLAIN-style indented rendering. *)
+
+val to_string : t -> string

@@ -1,0 +1,76 @@
+module Ast = Sia_sql.Ast
+
+exception Unsupported of string
+
+(* A conjunct [col1 = col2] with the two columns owned by different tables
+   is a join predicate. *)
+let as_join_pred cat from p =
+  match p with
+  | Ast.Cmp (Ast.Eq, Ast.Col c1, Ast.Col c2) -> begin
+    match (Schema.table_of_column cat from c1, Schema.table_of_column cat from c2) with
+    | t1, t2 when t1 <> t2 -> Some (c1, t1, c2, t2)
+    | _, _ -> None
+    | exception Not_found -> None
+  end
+  | Ast.Cmp _ | Ast.And _ | Ast.Or _ | Ast.Not _ | Ast.Ptrue | Ast.Pfalse -> None
+
+let naive_plan cat (q : Ast.query) =
+  let conjuncts = match q.where with Some p -> Ast.conjuncts p | None -> [] in
+  match q.from with
+  | [] -> raise (Unsupported "empty FROM")
+  | [ t ] ->
+    let base = Plan.Scan t in
+    let body =
+      match conjuncts with [] -> base | ps -> Plan.Filter (Ast.conj ps, base)
+    in
+    Plan.Project (q.select, body)
+  | tables ->
+    (* Left-deep join tree: start from the first table, repeatedly attach a
+       table connected to the current tree by an equi-join conjunct. *)
+    let joins, others =
+      List.partition_map
+        (fun p ->
+          match as_join_pred cat q.from p with
+          | Some info -> Either.Left (p, info)
+          | None -> Either.Right p)
+        conjuncts
+    in
+    let rec build tree tree_tables pending_joins remaining =
+      if remaining = [] then (tree, pending_joins)
+      else begin
+        let usable =
+          List.find_opt
+            (fun (_, (_, t1, _, t2)) ->
+              (List.mem t1 tree_tables && List.mem t2 remaining)
+              || (List.mem t2 tree_tables && List.mem t1 remaining))
+            pending_joins
+        in
+        match usable with
+        | None -> raise (Unsupported "no equi-join connects the FROM tables")
+        | Some ((_, (c1, t1, c2, t2)) as j) ->
+          let left_key, right_key, new_table =
+            if List.mem t1 tree_tables then (c1, c2, t2) else (c2, c1, t1)
+          in
+          let tree =
+            Plan.Join
+              ( { Plan.left_key; right_key; residual = None },
+                tree,
+                Plan.Scan new_table )
+          in
+          build tree (new_table :: tree_tables)
+            (List.filter (fun x -> x != j) pending_joins)
+            (List.filter (fun t -> t <> new_table) remaining)
+      end
+    in
+    (match tables with
+     | first :: rest ->
+       let tree, leftover_joins = build (Plan.Scan first) [ first ] joins rest in
+       (* Unused join conjuncts (redundant equalities) become filters. *)
+       let filters = others @ List.map fst leftover_joins in
+       let body =
+         match filters with [] -> tree | ps -> Plan.Filter (Ast.conj ps, tree)
+       in
+       Plan.Project (q.select, body)
+     | [] -> assert false)
+
+let plan cat q = Rules.push_down cat (naive_plan cat q)

@@ -1,0 +1,13 @@
+(** Translate parsed queries into naive logical plans (all WHERE conjuncts
+    evaluated above a left-deep join tree); {!Rules} then improves them. *)
+
+exception Unsupported of string
+
+val naive_plan : Schema.catalog -> Sia_sql.Ast.query -> Plan.t
+(** Joins are formed from equality conjuncts between columns of different
+    tables; every other conjunct becomes a filter above the join.
+    @raise Unsupported when no equi-join connects the FROM tables. *)
+
+val plan : Schema.catalog -> Sia_sql.Ast.query -> Plan.t
+(** [naive_plan] followed by {!Rules.push_down}; the plan Postgres-style
+    optimizers would produce for this fragment. *)

@@ -1,0 +1,80 @@
+module Ast = Sia_sql.Ast
+
+(* Tables that own the columns of [p], resolved against the catalog. A
+   column that does not resolve pins the predicate above every join (we
+   never sink what we cannot attribute). *)
+let pred_tables cat from p =
+  let cols = Ast.pred_columns p in
+  List.map
+    (fun c ->
+      match Schema.table_of_column cat from c with
+      | t -> t
+      | exception Not_found -> "?")
+    cols
+  |> List.sort_uniq Stdlib.compare
+
+let rec sink cat from conjunct plan =
+  let needed = pred_tables cat from conjunct in
+  let covered sub = List.for_all (fun t -> List.mem t (Plan.tables sub)) needed in
+  match plan with
+  | Plan.Join (info, l, r) when covered l -> Plan.Join (info, sink cat from conjunct l, r)
+  | Plan.Join (info, l, r) when covered r -> Plan.Join (info, l, sink cat from conjunct r)
+  | Plan.Filter (p, sub) when covered sub -> Plan.Filter (p, sink cat from conjunct sub)
+  | Plan.Project (items, sub) when covered sub -> Plan.Project (items, sink cat from conjunct sub)
+  | Plan.Scan _ | Plan.Join _ | Plan.Filter _ | Plan.Project _ ->
+    Plan.Filter (conjunct, plan)
+
+let push_down cat plan =
+  let from = Plan.tables plan in
+  (* Strip every filter, then sink each conjunct individually. *)
+  let rec strip = function
+    | Plan.Scan t -> (Plan.Scan t, [])
+    | Plan.Filter (p, sub) ->
+      let sub, ps = strip sub in
+      (sub, Ast.conjuncts p @ ps)
+    | Plan.Project (items, sub) ->
+      let sub, ps = strip sub in
+      (Plan.Project (items, sub), ps)
+    | Plan.Join (info, l, r) ->
+      let l, pl = strip l in
+      let r, pr = strip r in
+      let res = match info.residual with Some p -> Ast.conjuncts p | None -> [] in
+      (Plan.Join ({ info with residual = None }, l, r), res @ pl @ pr)
+  in
+  let bare, conjuncts = strip plan in
+  (* Merge adjacent filters produced by repeated sinking at the end. *)
+  let rec fuse = function
+    | Plan.Filter (p, sub) -> begin
+      match fuse sub with
+      | Plan.Filter (p2, sub2) -> Plan.Filter (Ast.And (p, p2), sub2)
+      | sub' -> Plan.Filter (p, sub')
+    end
+    | Plan.Join (info, l, r) -> Plan.Join (info, fuse l, fuse r)
+    | Plan.Project (items, sub) -> Plan.Project (items, fuse sub)
+    | Plan.Scan t -> Plan.Scan t
+  in
+  fuse (List.fold_left (fun acc p -> sink cat from p acc) bare conjuncts)
+
+let add_conjunct cat plan p =
+  let from = Plan.tables plan in
+  push_down cat (sink cat from p plan)
+
+let pushdown_blocked_tables cat plan =
+  let from = Plan.tables plan in
+  (* A table is blocked when some multi-table predicate references it but
+     no single-table predicate filters it below the join. *)
+  let all_preds = Plan.filters plan in
+  let filtered_alone = ref [] in
+  let referenced_cross = ref [] in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun conj ->
+          match pred_tables cat from conj with
+          | [ t ] when t <> "?" -> filtered_alone := t :: !filtered_alone
+          | ts -> referenced_cross := List.filter (fun t -> t <> "?") ts @ !referenced_cross)
+        (Ast.conjuncts p))
+    all_preds;
+  List.filter
+    (fun t -> List.mem t !referenced_cross && not (List.mem t !filtered_alone))
+    (List.sort_uniq Stdlib.compare from)

@@ -1,0 +1,80 @@
+module Ast = Sia_sql.Ast
+
+type col_type = Tint | Tdouble | Tdate | Ttimestamp
+
+type column_def = {
+  cname : string;
+  ctype : col_type;
+  nullable : bool;
+}
+
+type table_def = {
+  tname : string;
+  columns : column_def list;
+  row_estimate : int;
+}
+
+type catalog = table_def list
+
+let table cat name = List.find (fun t -> t.tname = name) cat
+
+let column cat (c : Ast.column) =
+  match c.Ast.table with
+  | Some tname ->
+    let t = table cat tname in
+    (t, List.find (fun cd -> cd.cname = c.Ast.name) t.columns)
+  | None -> begin
+    let hits =
+      List.filter_map
+        (fun t ->
+          match List.find_opt (fun cd -> cd.cname = c.Ast.name) t.columns with
+          | Some cd -> Some (t, cd)
+          | None -> None)
+        cat
+    in
+    match hits with
+    | [ hit ] -> hit
+    | [] -> raise Not_found
+    | _ :: _ :: _ -> raise Not_found (* ambiguous *)
+  end
+
+let table_of_column cat from c =
+  let scoped = List.map (table cat) from in
+  let t, _ = column scoped c in
+  t.tname
+
+let col name ctype = { cname = name; ctype; nullable = false }
+
+let tpch =
+  [
+    {
+      tname = "lineitem";
+      row_estimate = 6_000_000;
+      columns =
+        [
+          col "l_orderkey" Tint;
+          col "l_partkey" Tint;
+          col "l_suppkey" Tint;
+          col "l_linenumber" Tint;
+          col "l_quantity" Tint;
+          col "l_extendedprice" Tdouble;
+          col "l_discount" Tdouble;
+          col "l_tax" Tdouble;
+          col "l_shipdate" Tdate;
+          col "l_commitdate" Tdate;
+          col "l_receiptdate" Tdate;
+        ];
+    };
+    {
+      tname = "orders";
+      row_estimate = 1_500_000;
+      columns =
+        [
+          col "o_orderkey" Tint;
+          col "o_custkey" Tint;
+          col "o_totalprice" Tdouble;
+          col "o_orderdate" Tdate;
+          col "o_shippriority" Tint;
+        ];
+    };
+  ]

@@ -1,0 +1,33 @@
+(** Table schemas and catalogs: the metadata the planner and Sia's encoder
+    need (column types, nullability, table membership). *)
+
+type col_type = Tint | Tdouble | Tdate | Ttimestamp
+
+type column_def = {
+  cname : string;
+  ctype : col_type;
+  nullable : bool;
+}
+
+type table_def = {
+  tname : string;
+  columns : column_def list;
+  row_estimate : int;  (** cardinality estimate used by the cost model *)
+}
+
+type catalog = table_def list
+
+val table : catalog -> string -> table_def
+(** @raise Not_found for unknown tables. *)
+
+val column : catalog -> Sia_sql.Ast.column -> table_def * column_def
+(** Resolve a possibly-unqualified column against the catalog.
+    @raise Not_found when the column resolves to no table or ambiguously. *)
+
+val table_of_column : catalog -> string list -> Sia_sql.Ast.column -> string
+(** Resolve within the given FROM list; returns the owning table name. *)
+
+val tpch : catalog
+(** The subset of TPC-H that the paper's benchmark uses (lineitem, orders)
+    with the dbgen column set Sia touches, plus row estimates at scale
+    factor 1. *)

@@ -1,0 +1,1 @@
+lib/sia/baselines.ml: Hashtbl List Sia_sql

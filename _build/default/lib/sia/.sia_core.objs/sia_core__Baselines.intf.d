@@ -1,0 +1,1 @@
+lib/sia/baselines.mli: Sia_sql

@@ -1,0 +1,1 @@
+lib/sia/config.mli:

@@ -1,0 +1,1 @@
+lib/sia/encode.ml: Array Atom Bigint Formula Linexpr List Printf Rat Sia_numeric Sia_relalg Sia_smt Sia_sql

@@ -1,0 +1,1 @@
+lib/sia/encode.mli: Formula Rat Sia_numeric Sia_relalg Sia_smt Sia_sql

@@ -1,0 +1,1 @@
+lib/sia/learn.ml: Array Atom Config Encode Formula Int Linexpr List Printf Rat Sia_numeric Sia_smt Sia_sql Sia_svm String Sys Tighten Unix

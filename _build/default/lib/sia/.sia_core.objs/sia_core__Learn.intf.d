@@ -1,0 +1,1 @@
+lib/sia/learn.mli: Config Encode Formula Rat Sia_numeric Sia_smt Sia_sql Tighten

@@ -1,0 +1,1 @@
+lib/sia/render.ml: Encode Sia_relalg Sia_sql

@@ -1,0 +1,1 @@
+lib/sia/render.mli: Encode Sia_sql

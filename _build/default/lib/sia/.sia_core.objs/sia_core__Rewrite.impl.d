@@ -1,0 +1,1 @@
+lib/sia/rewrite.ml: Config List Option Sia_relalg Sia_sql Synthesize

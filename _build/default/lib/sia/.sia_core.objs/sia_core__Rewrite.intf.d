@@ -1,0 +1,1 @@
+lib/sia/rewrite.mli: Config Sia_relalg Sia_sql Synthesize

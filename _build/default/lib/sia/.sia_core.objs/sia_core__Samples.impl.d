@@ -1,0 +1,1 @@
+lib/sia/samples.ml: Array Atom Config Encode Formula Linexpr List Qe Random Sia_smt Solver Stdlib

@@ -1,0 +1,1 @@
+lib/sia/samples.mli: Config Encode Formula Random Rat Sia_numeric Sia_smt

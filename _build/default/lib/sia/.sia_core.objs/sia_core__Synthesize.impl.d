@@ -1,0 +1,1 @@
+lib/sia/synthesize.ml: Array Config Encode Formula Learn List Rat Render Samples Sia_numeric Sia_relalg Sia_smt Sia_sql Solver String Tighten Unix Verify

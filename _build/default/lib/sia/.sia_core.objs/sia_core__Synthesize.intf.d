@@ -1,0 +1,1 @@
+lib/sia/synthesize.mli: Config Sia_relalg Sia_sql

@@ -1,0 +1,1 @@
+lib/sia/tighten.ml: Array Atom Bigint Encode Formula Hashtbl Linexpr List Rat Sia_numeric Sia_smt Solver Stdlib String

@@ -1,0 +1,1 @@
+lib/sia/tighten.mli: Encode Formula Rat Sia_numeric Sia_smt Sia_sql

@@ -1,0 +1,1 @@
+lib/sia/verify.ml: Encode Formula Sia_smt Solver

@@ -1,0 +1,1 @@
+lib/sia/verify.mli: Encode Sia_smt Sia_sql

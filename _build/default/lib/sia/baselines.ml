@@ -1,0 +1,103 @@
+module Ast = Sia_sql.Ast
+module Printer = Sia_sql.Printer
+
+(* Syntactic expression identity. *)
+let expr_key e = Printer.string_of_expr e
+
+(* Normalize a comparison conjunct into edges "smaller THAN bigger"
+   (strict flag), plus equalities as two-way edges. *)
+let edges_of_conjunct p =
+  match p with
+  | Ast.Cmp (Ast.Lt, a, b) -> [ (a, b, true) ]
+  | Ast.Cmp (Ast.Le, a, b) -> [ (a, b, false) ]
+  | Ast.Cmp (Ast.Gt, a, b) -> [ (b, a, true) ]
+  | Ast.Cmp (Ast.Ge, a, b) -> [ (b, a, false) ]
+  | Ast.Cmp (Ast.Eq, a, b) -> [ (a, b, false); (b, a, false) ]
+  | Ast.Cmp (Ast.Ne, _, _) | Ast.And _ | Ast.Or _ | Ast.Not _ | Ast.Ptrue | Ast.Pfalse
+    -> []
+
+let cols_within target p =
+  List.for_all (fun (c : Ast.column) -> List.mem c.Ast.name target) (Ast.pred_columns p)
+
+let transitive_closure p ~target_cols =
+  let conjuncts = Ast.conjuncts p in
+  let edges = List.concat_map edges_of_conjunct conjuncts in
+  (* Saturate: derive a-THAN-c from a-THAN-b, b-THAN-c on syntactically
+     equal middles. Bounded rounds keep the closure finite. *)
+  let seen = Hashtbl.create 32 in
+  List.iter (fun (a, b, s) -> Hashtbl.replace seen (expr_key a, expr_key b) (a, b, s)) edges;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 6 do
+    changed := false;
+    incr rounds;
+    let current = Hashtbl.fold (fun _ e acc -> e :: acc) seen [] in
+    List.iter
+      (fun (a, b, s1) ->
+        List.iter
+          (fun (b', c, s2) ->
+            if expr_key b = expr_key b' && expr_key a <> expr_key c then begin
+              let key = (expr_key a, expr_key c) in
+              let strict = s1 || s2 in
+              match Hashtbl.find_opt seen key with
+              | Some (_, _, s) when s || not strict -> ()
+              | Some _ | None ->
+                Hashtbl.replace seen key (a, c, strict);
+                changed := true
+            end)
+          current)
+      current
+  done;
+  let derived =
+    Hashtbl.fold
+      (fun _ (a, b, strict) acc ->
+        let cmp = if strict then Ast.Lt else Ast.Le in
+        Ast.Cmp (cmp, a, b) :: acc)
+      seen []
+  in
+  let usable =
+    List.filter
+      (fun q ->
+        cols_within target_cols q
+        && Ast.pred_columns q <> []
+        && not (List.exists (fun c -> Printer.string_of_pred c = Printer.string_of_pred q) conjuncts))
+      derived
+  in
+  match usable with [] -> None | qs -> Some (Ast.conj qs)
+
+let constant_propagation p =
+  let conjuncts = Ast.conjuncts p in
+  let bindings =
+    List.filter_map
+      (fun c ->
+        match c with
+        | Ast.Cmp (Ast.Eq, Ast.Col col, Ast.Const k)
+        | Ast.Cmp (Ast.Eq, Ast.Const k, Ast.Col col) -> Some (col, k)
+        | Ast.Cmp _ | Ast.And _ | Ast.Or _ | Ast.Not _ | Ast.Ptrue | Ast.Pfalse -> None)
+      conjuncts
+  in
+  let rec subst_expr e =
+    match e with
+    | Ast.Col c -> begin
+      match List.find_opt (fun (c', _) -> Ast.column_equal c c') bindings with
+      | Some (_, k) -> Ast.Const k
+      | None -> e
+    end
+    | Ast.Const _ -> e
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, subst_expr a, subst_expr b)
+  in
+  let rec subst_pred p =
+    match p with
+    | Ast.Cmp (op, a, b) -> begin
+      (* Keep the defining equality itself untouched. *)
+      match p with
+      | Ast.Cmp (Ast.Eq, Ast.Col _, Ast.Const _) | Ast.Cmp (Ast.Eq, Ast.Const _, Ast.Col _)
+        -> p
+      | _ -> Ast.Cmp (op, subst_expr a, subst_expr b)
+    end
+    | Ast.And (a, b) -> Ast.And (subst_pred a, subst_pred b)
+    | Ast.Or (a, b) -> Ast.Or (subst_pred a, subst_pred b)
+    | Ast.Not a -> Ast.Not (subst_pred a)
+    | Ast.Ptrue | Ast.Pfalse -> p
+  in
+  subst_pred p

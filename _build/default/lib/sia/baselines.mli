@@ -1,0 +1,14 @@
+(** Syntax-driven baselines the paper compares against (section 6.3):
+    transitive-closure transformation and constant propagation. Both are
+    purely syntactic, which is exactly their limitation: arithmetic inside
+    comparisons defeats them. *)
+
+val transitive_closure :
+  Sia_sql.Ast.pred -> target_cols:string list -> Sia_sql.Ast.pred option
+(** Derive comparisons implied by chains of aligned inequalities over
+    syntactically equal expressions ([y1 > x && x > y2] gives [y1 > y2]),
+    then keep the derived conjuncts whose columns all lie in
+    [target_cols]. [None] when nothing usable is derived. *)
+
+val constant_propagation : Sia_sql.Ast.pred -> Sia_sql.Ast.pred
+(** Substitute [col = constant] equalities into sibling conjuncts. *)

@@ -1,0 +1,31 @@
+type t = {
+  max_iterations : int;
+  initial_true : int;
+  initial_false : int;
+  per_iteration : int;
+  qe_method : [ `Real | `Int ];
+  svm_epochs : int;
+  max_learn_models : int;
+  tighten : bool;
+  domain_bound : int;
+  time_budget : float option;
+  seed : int;
+}
+
+let default =
+  {
+    max_iterations = 41;
+    initial_true = 10;
+    initial_false = 10;
+    per_iteration = 5;
+    qe_method = `Real;
+    svm_epochs = 150;
+    max_learn_models = 6;
+    tighten = true;
+    domain_bound = 40_000;
+    time_budget = None;
+    seed = 2021;
+  }
+
+let sia_v1 = { default with max_iterations = 1; initial_true = 110; initial_false = 110 }
+let sia_v2 = { default with max_iterations = 1; initial_true = 220; initial_false = 220 }

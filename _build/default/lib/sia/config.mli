@@ -1,0 +1,31 @@
+(** Synthesis configuration: the knobs Table 1 of the paper compares. *)
+
+type t = {
+  max_iterations : int;  (** learning-loop bound (41 for Sia) *)
+  initial_true : int;  (** initial TRUE samples *)
+  initial_false : int;  (** initial FALSE samples *)
+  per_iteration : int;  (** counter-examples added per loop iteration *)
+  qe_method : [ `Real | `Int ];  (** FALSE-sample projection: FM or Cooper *)
+  svm_epochs : int;
+  max_learn_models : int;  (** disjunction cap in Learn (Alg 2) *)
+  tighten : bool;
+      (** round SVM directions and solver-tighten their thresholds
+          (stabilized learner); disable to reproduce the paper's plain
+          Algorithm 2 and its section 6.7 limitation *)
+  domain_bound : int;  (** |column| bound during sample generation *)
+  time_budget : float option;
+      (** wall-clock cap in seconds on the learning loop, checked between
+          iterations ([None] = unbounded). The paper's section 6.2
+          recommends exactly such a timeout for production use. *)
+  seed : int;
+}
+
+val default : t
+(** The paper's Sia: 41 iterations, 10+10 initial samples, 5 per
+    iteration. *)
+
+val sia_v1 : t
+(** Non-iterative baseline: 1 iteration, 110+110 initial samples. *)
+
+val sia_v2 : t
+(** Non-iterative baseline: 1 iteration, 220+220 initial samples. *)

@@ -1,0 +1,245 @@
+open Sia_numeric
+open Sia_smt
+module Ast = Sia_sql.Ast
+module Schema = Sia_relalg.Schema
+module Date = Sia_sql.Date
+module Printer = Sia_sql.Printer
+
+exception Unsupported of string
+
+type var_info = {
+  vname : string;
+  vtype : Schema.col_type;
+  null_var : int option;
+}
+
+type env = {
+  catalog : Schema.catalog;
+  from : string list;
+  mutable vars : (string * int) list; (* column/composite name -> value var *)
+  mutable infos : (int * var_info) list;
+  mutable next : int;
+  mutable lo : int;
+  mutable hi : int;
+}
+
+let intern env name vtype nullable =
+  match List.assoc_opt name env.vars with
+  | Some v -> v
+  | None ->
+    let v = env.next in
+    env.next <- env.next + 1;
+    let null_var =
+      if nullable then begin
+        let nv = env.next in
+        env.next <- env.next + 1;
+        Some nv
+      end
+      else None
+    in
+    env.vars <- env.vars @ [ (name, v) ];
+    env.infos <- (v, { vname = name; vtype; null_var }) :: env.infos;
+    v
+
+let note_const env n =
+  if n < env.lo then env.lo <- n;
+  if n > env.hi then env.hi <- n
+
+let resolve env c = Schema.column (List.map (Schema.table env.catalog) env.from) c
+
+(* Composite variables stand for column*column or column/column products
+   (section 5.2): the solver treats them as opaque variables, which keeps
+   the theory linear and decidable. *)
+let composite_name op a b =
+  Printf.sprintf "(%s %s %s)" (Printer.string_of_expr a)
+    (match op with Ast.Mul -> "*" | Ast.Div -> "/" | Ast.Add -> "+" | Ast.Sub -> "-")
+    (Printer.string_of_expr b)
+
+let rec expr_to_lin env e =
+  match e with
+  | Ast.Col c ->
+    let _, cd = resolve env c in
+    Linexpr.var (intern env cd.Schema.cname cd.Schema.ctype cd.Schema.nullable)
+  | Ast.Const (Ast.Cint n) ->
+    note_const env n;
+    Linexpr.of_int n
+  | Ast.Const (Ast.Cdate d) ->
+    note_const env (Date.to_days d);
+    Linexpr.of_int (Date.to_days d)
+  | Ast.Const (Ast.Cinterval n) -> Linexpr.of_int n
+  | Ast.Const (Ast.Cfloat f) -> Linexpr.const (Rat.of_float_approx f)
+  | Ast.Binop (op, a, b) -> begin
+    let la = expr_to_lin env a in
+    let lb = expr_to_lin env b in
+    match op with
+    | Ast.Add -> Linexpr.add la lb
+    | Ast.Sub -> Linexpr.sub la lb
+    | Ast.Mul ->
+      if Linexpr.is_const la then Linexpr.scale (Linexpr.constant la) lb
+      else if Linexpr.is_const lb then Linexpr.scale (Linexpr.constant lb) la
+      else Linexpr.var (intern env (composite_name Ast.Mul a b) Schema.Tint false)
+    | Ast.Div ->
+      if Linexpr.is_const lb then begin
+        let k = Linexpr.constant lb in
+        if Rat.is_zero k then raise (Unsupported "division by constant zero")
+        else Linexpr.scale (Rat.inv k) la
+      end
+      else Linexpr.var (intern env (composite_name Ast.Div a b) Schema.Tint false)
+  end
+
+let cmp_to_formula op la lb =
+  match op with
+  | Ast.Lt -> Formula.atom (Atom.mk_lt la lb)
+  | Ast.Le -> Formula.atom (Atom.mk_le la lb)
+  | Ast.Gt -> Formula.atom (Atom.mk_gt la lb)
+  | Ast.Ge -> Formula.atom (Atom.mk_ge la lb)
+  | Ast.Eq -> Formula.atom (Atom.mk_eq la lb)
+  | Ast.Ne -> Formula.not_ (Formula.atom (Atom.mk_eq la lb))
+
+let rec encode_bool env p =
+  match p with
+  | Ast.Cmp (op, a, b) ->
+    let la = expr_to_lin env a in
+    let lb = expr_to_lin env b in
+    cmp_to_formula op la lb
+  | Ast.And (a, b) -> Formula.and_ [ encode_bool env a; encode_bool env b ]
+  | Ast.Or (a, b) -> Formula.or_ [ encode_bool env a; encode_bool env b ]
+  | Ast.Not a -> Formula.not_ (encode_bool env a)
+  | Ast.Ptrue -> Formula.tru
+  | Ast.Pfalse -> Formula.fls
+
+(* Trivalent encoding after Zhou et al. 2019: compute the pair
+   (is-TRUE, is-FALSE); NULL is "neither". A comparison is TRUE (FALSE)
+   only when every nullable column involved is non-null and the arithmetic
+   comparison holds (fails). *)
+let rec encode3 env p =
+  match p with
+  | Ast.Cmp (op, a, b) ->
+    let cols = Ast.expr_columns a @ Ast.expr_columns b in
+    let la = expr_to_lin env a in
+    let lb = expr_to_lin env b in
+    let nonnull =
+      Formula.and_
+        (List.filter_map
+           (fun c ->
+             let _, cd = resolve env c in
+             let v = List.assoc cd.Schema.cname env.vars in
+             match List.assoc_opt v env.infos with
+             | Some { null_var = Some nv; _ } ->
+               Some (Formula.atom (Atom.mk_eq (Linexpr.var nv) Linexpr.zero))
+             | Some { null_var = None; _ } | None -> None)
+           cols)
+    in
+    let t = cmp_to_formula op la lb in
+    let f = cmp_to_formula (Ast.cmp_negate op) la lb in
+    (Formula.and_ [ nonnull; t ], Formula.and_ [ nonnull; f ])
+  | Ast.And (a, b) ->
+    let ta, fa = encode3 env a in
+    let tb, fb = encode3 env b in
+    (Formula.and_ [ ta; tb ], Formula.or_ [ fa; fb ])
+  | Ast.Or (a, b) ->
+    let ta, fa = encode3 env a in
+    let tb, fb = encode3 env b in
+    (Formula.or_ [ ta; tb ], Formula.and_ [ fa; fb ])
+  | Ast.Not a ->
+    let ta, fa = encode3 env a in
+    (fa, ta)
+  | Ast.Ptrue -> (Formula.tru, Formula.fls)
+  | Ast.Pfalse -> (Formula.fls, Formula.tru)
+
+let null_domain env =
+  Formula.and_
+    (List.filter_map
+       (fun (_, info) ->
+         match info.null_var with
+         | Some nv ->
+           Some
+             (Formula.and_
+                [
+                  Formula.atom (Atom.mk_ge (Linexpr.var nv) Linexpr.zero);
+                  Formula.atom (Atom.mk_le (Linexpr.var nv) (Linexpr.of_int 1));
+                ])
+         | None -> None)
+       env.infos)
+
+let encode_is_true env p =
+  let t, _ = encode3 env p in
+  t
+
+let build_env catalog from p =
+  let env = { catalog; from; vars = []; infos = []; next = 0; lo = -100; hi = 100 } in
+  ignore (encode_bool env p);
+  env
+
+let var_of_column env name = List.assoc name env.vars
+let columns env = List.map fst env.vars
+
+let is_int_var env v =
+  match List.assoc_opt v env.infos with
+  | Some { vtype = Schema.Tdouble; _ } -> false
+  | Some { vtype = Schema.Tint | Schema.Tdate | Schema.Ttimestamp; _ } -> true
+  | None -> true (* null indicators *)
+
+let var_name env v =
+  match List.assoc_opt v env.infos with
+  | Some { vname; _ } -> vname
+  | None -> Printf.sprintf "x%d" v
+
+let const_range env = (env.lo, env.hi)
+
+let col_type env name =
+  match List.assoc_opt name env.vars with
+  | None -> Schema.Tint
+  | Some v -> begin
+    match List.assoc_opt v env.infos with
+    | Some { vtype; _ } -> vtype
+    | None -> Schema.Tint
+  end
+
+let column_type env name =
+  match List.assoc_opt name env.vars with
+  | None -> raise Not_found
+  | Some _ -> col_type env name
+
+let value_to_const env name (r : Rat.t) =
+  match col_type env name with
+  | Schema.Tdate | Schema.Ttimestamp ->
+    Ast.Cdate (Date.of_days (Bigint.to_int_exn (Rat.floor r)))
+  | Schema.Tint -> Ast.Cint (Bigint.to_int_exn (Rat.floor r))
+  | Schema.Tdouble -> Ast.Cfloat (Rat.to_float r)
+
+let hyperplane_to_pred env ~cols w b =
+  ignore env;
+  (* positive terms left, negative right, constant on the lighter side *)
+  let terms = List.mapi (fun i name -> (name, w.(i))) cols in
+  let term_expr name (coeff : Rat.t) =
+    let c = Bigint.to_int_exn (Rat.floor (Rat.abs coeff)) in
+    let colref = Ast.Col { Ast.table = None; name } in
+    if c = 1 then colref else Ast.Binop (Ast.Mul, Ast.Const (Ast.Cint c), colref)
+  in
+  let lhs_terms =
+    List.filter_map
+      (fun (n, c) -> if Rat.sign c > 0 then Some (term_expr n c) else None)
+      terms
+  in
+  let rhs_terms =
+    List.filter_map
+      (fun (n, c) -> if Rat.sign c < 0 then Some (term_expr n c) else None)
+      terms
+  in
+  let sum = function
+    | [] -> None
+    | e :: rest -> Some (List.fold_left (fun acc x -> Ast.Binop (Ast.Add, acc, x)) e rest)
+  in
+  let bias = Bigint.to_int_exn (Rat.floor b) in
+  let lhs, rhs =
+    match (sum lhs_terms, sum rhs_terms) with
+    | Some l, Some r ->
+      (* l + bias >= r : attach bias to whichever side keeps it positive *)
+      if bias >= 0 then (Ast.Binop (Ast.Add, l, Ast.Const (Ast.Cint bias)), r)
+      else (l, Ast.Binop (Ast.Add, r, Ast.Const (Ast.Cint (-bias))))
+    | Some l, None -> (l, Ast.Const (Ast.Cint (-bias)))
+    | None, Some r -> (Ast.Const (Ast.Cint bias), r)
+    | None, None -> (Ast.Const (Ast.Cint bias), Ast.Const (Ast.Cint 0))
+  in
+  Ast.Cmp (Ast.Ge, lhs, rhs)

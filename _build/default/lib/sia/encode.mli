@@ -1,0 +1,54 @@
+(** Predicate encoding: SQL predicates to SMT formulas and back.
+
+    Columns become solver variables; DATE constants become day counts
+    (section 3.2's integer transform, with the epoch as origin);
+    multiplication or division of two columns is folded into a fresh
+    composite variable (section 5.2's non-linear workaround). The
+    trivalent encoding (value plus is-null indicator per nullable column,
+    after Zhou et al. 2019) is what {!Verify} uses. *)
+
+open Sia_numeric
+open Sia_smt
+
+exception Unsupported of string
+
+type env
+
+val build_env : Sia_relalg.Schema.catalog -> string list -> Sia_sql.Ast.pred -> env
+(** [build_env catalog from p] resolves and interns every column of [p].
+    @raise Unsupported for column-set predicates the encoding cannot
+    handle; @raise Not_found for unresolvable columns. *)
+
+val var_of_column : env -> string -> int
+(** @raise Not_found when the column is not in the predicate. *)
+
+val columns : env -> string list
+(** Interned predicate columns, in first-occurrence order. *)
+
+val is_int_var : env -> int -> bool
+val var_name : env -> int -> string
+val const_range : env -> int * int
+(** Smallest and largest integer constants appearing in the predicate —
+    the region where sample diversity hints should aim. *)
+
+val encode_bool : env -> Sia_sql.Ast.pred -> Formula.t
+(** Two-valued encoding (NULL-free), used by sample generation. *)
+
+val encode_is_true : env -> Sia_sql.Ast.pred -> Formula.t
+(** Trivalent encoding of "the predicate evaluates to TRUE". Combine with
+    {!null_domain} (a global assumption, never negated). *)
+
+val null_domain : env -> Formula.t
+(** 0/1 domain constraints for the null indicator variables. *)
+
+val hyperplane_to_pred :
+  env -> cols:string list -> Rat.t array -> Rat.t -> Sia_sql.Ast.pred
+(** [hyperplane_to_pred env ~cols w b] renders [w . cols + b >= 0] as a
+    SQL predicate (positive terms left, negative right). *)
+
+val column_type : env -> string -> Sia_relalg.Schema.col_type
+(** Type of an interned column. @raise Not_found for unknown names. *)
+
+val value_to_const : env -> string -> Rat.t -> Sia_sql.Ast.const
+(** Map a model value back to a constant of the column's type (used when
+    printing learned equality predicates). *)

@@ -1,0 +1,34 @@
+(** The [Learn] procedure (Algorithm 2), stabilized by direction
+    tightening: train a linear SVM, round its weight vector to small
+    integer directions, and pick the {!Tighten}ed halfspace that rejects
+    the most FALSE samples. Tightened predicates are valid by construction
+    and accept every TRUE sample.
+
+    When no direction can be tightened (w.x unbounded below on p), the
+    paper's plain Algorithm 2 runs instead: iterate SVMs over
+    misclassified TRUE samples and return the disjunction, snapping the
+    last threshold so all TRUE samples are accepted. *)
+
+open Sia_numeric
+open Sia_smt
+
+type learned = {
+  pred : Sia_sql.Ast.pred;  (** SQL rendering over the target columns *)
+  formula : Formula.t;  (** same predicate over the env's variables *)
+  n_models : int;
+}
+
+val learn :
+  ?cache:Tighten.cache ->
+  ?p1_formula:Formula.t ->
+  Config.t ->
+  Encode.env ->
+  p_formula:Formula.t ->
+  cols:string list ->
+  ts:Rat.t array list ->
+  fs:Rat.t array list ->
+  learned
+(** [ts] must be non-empty. With [fs = []] the result is the trivial
+    [TRUE] predicate. [p1_formula] (the running valid predicate) focuses
+    training on the FALSE samples it still accepts. Postcondition: every
+    sample in [ts] satisfies [formula]. *)

@@ -1,0 +1,49 @@
+module Ast = Sia_sql.Ast
+module Date = Sia_sql.Date
+module Schema = Sia_relalg.Schema
+
+let is_date env name =
+  match Encode.column_type env name with
+  | Schema.Tdate | Schema.Ttimestamp -> true
+  | Schema.Tint | Schema.Tdouble -> false
+  | exception Not_found -> false
+
+(* A bare date-typed column (possibly behind a no-op structure). *)
+let date_col env = function
+  | Ast.Col c when is_date env c.Ast.name -> true
+  | Ast.Col _ | Ast.Const _ | Ast.Binop _ -> false
+
+(* Every column in the expression is date-typed and the expression is a
+   sum/difference (a "span": date - date, date + date ... any integer
+   combination of dates reads as a day count). *)
+let rec date_span env = function
+  | Ast.Col c -> is_date env c.Ast.name
+  | Ast.Const _ -> false
+  | Ast.Binop ((Ast.Add | Ast.Sub), a, b) -> date_span env a && date_span env b
+  | Ast.Binop ((Ast.Mul | Ast.Div), _, _) -> false
+
+let rec beautify_pred env p =
+  match p with
+  | Ast.Cmp (op, a, Ast.Const (Ast.Cint k)) when date_col env a ->
+    Ast.Cmp (op, a, Ast.Const (Ast.Cdate (Date.of_days k)))
+  | Ast.Cmp (op, Ast.Const (Ast.Cint k), b) when date_col env b ->
+    Ast.Cmp (op, Ast.Const (Ast.Cdate (Date.of_days k)), b)
+  | Ast.Cmp (op, a, Ast.Const (Ast.Cint k)) when date_span env a ->
+    (* date - date compared with a constant: a day span. *)
+    Ast.Cmp (op, a, Ast.Const (Ast.Cinterval k))
+  | Ast.Cmp (op, Ast.Const (Ast.Cint k), b) when date_span env b ->
+    Ast.Cmp (op, Ast.Const (Ast.Cinterval k), b)
+  | Ast.Cmp (op, Ast.Binop (Ast.Add, a, Ast.Const (Ast.Cint k)), b)
+    when date_span env a && date_span env b ->
+    (* date + n compared with date: n is an interval. *)
+    Ast.Cmp (op, Ast.Binop (Ast.Add, a, Ast.Const (Ast.Cinterval k)), b)
+  | Ast.Cmp (op, a, Ast.Binop (Ast.Add, b, Ast.Const (Ast.Cint k)))
+    when date_span env a && date_span env b ->
+    Ast.Cmp (op, a, Ast.Binop (Ast.Add, b, Ast.Const (Ast.Cinterval k)))
+  | Ast.Cmp _ -> p
+  | Ast.And (a, b) -> Ast.And (beautify_pred env a, beautify_pred env b)
+  | Ast.Or (a, b) -> Ast.Or (beautify_pred env a, beautify_pred env b)
+  | Ast.Not a -> Ast.Not (beautify_pred env a)
+  | Ast.Ptrue | Ast.Pfalse -> p
+
+let beautify = beautify_pred

@@ -1,0 +1,6 @@
+(** Cosmetic rendering of synthesized predicates: map integer constants
+    back to DATE and INTERVAL literals when the comparison's columns are
+    date-typed, so the rewritten query is valid SQL (not just valid in the
+    engine's integer view). Semantics-preserving by construction. *)
+
+val beautify : Encode.env -> Sia_sql.Ast.pred -> Sia_sql.Ast.pred

@@ -1,0 +1,82 @@
+module Ast = Sia_sql.Ast
+module Schema = Sia_relalg.Schema
+module Planner = Sia_relalg.Planner
+
+type rewrite_result = {
+  original : Ast.query;
+  rewritten : Ast.query option;
+  synthesized : Ast.pred option;
+  stats : Synthesize.stats;
+}
+
+(* The predicate Sia reasons about: the WHERE clause minus cross-table
+   join-key equalities (those stay with the join operator). *)
+let non_join_pred cat (q : Ast.query) =
+  match q.Ast.where with
+  | None -> Ast.Ptrue
+  | Some w ->
+    let is_join_eq p =
+      match p with
+      | Ast.Cmp (Ast.Eq, Ast.Col c1, Ast.Col c2) -> begin
+        match
+          ( Schema.table_of_column cat q.Ast.from c1,
+            Schema.table_of_column cat q.Ast.from c2 )
+        with
+        | t1, t2 -> t1 <> t2
+        | exception Not_found -> false
+      end
+      | Ast.Cmp _ | Ast.And _ | Ast.Or _ | Ast.Not _ | Ast.Ptrue | Ast.Pfalse -> false
+    in
+    Ast.conj (List.filter (fun p -> not (is_join_eq p)) (Ast.conjuncts w))
+
+let attach_result ?cfg cat q pred target_cols =
+  let cfg = Option.value cfg ~default:Config.default in
+  let stats = Synthesize.synthesize ~cfg cat ~from:q.Ast.from ~pred ~target_cols in
+  match Synthesize.predicate stats with
+  | None -> { original = q; rewritten = None; synthesized = None; stats }
+  | Some p1 ->
+    let where' =
+      match q.Ast.where with None -> Some p1 | Some w -> Some (Ast.And (w, p1))
+    in
+    {
+      original = q;
+      rewritten = Some { q with Ast.where = where' };
+      synthesized = Some p1;
+      stats;
+    }
+
+let rewrite_for_columns ?cfg cat q ~target_cols =
+  attach_result ?cfg cat q (non_join_pred cat q) target_cols
+
+let rewrite_for_table ?cfg cat q ~target_table =
+  let pred = non_join_pred cat q in
+  let target_cols =
+    List.filter_map
+      (fun c ->
+        match Schema.table_of_column cat q.Ast.from c with
+        | t when t = target_table -> Some c.Ast.name
+        | _ -> None
+        | exception Not_found -> None)
+      (Ast.pred_columns pred)
+  in
+  if target_cols = [] then
+    {
+      original = q;
+      rewritten = None;
+      synthesized = None;
+      stats =
+        {
+          Synthesize.outcome = Synthesize.Failed "no target-table columns in predicate";
+          iterations = 0;
+          n_true = 0;
+          n_false = 0;
+          gen_time = 0.0;
+          learn_time = 0.0;
+          verify_time = 0.0;
+        };
+    }
+  else attach_result ?cfg cat q pred target_cols
+
+let plans cat r =
+  ( Planner.plan cat r.original,
+    Option.map (Planner.plan cat) r.rewritten )

@@ -1,0 +1,33 @@
+(** Query rewriting: attach a synthesized predicate to a query so that the
+    optimizer's pushdown rule can exploit it (the end-to-end flow of the
+    paper's Fig 5). *)
+
+type rewrite_result = {
+  original : Sia_sql.Ast.query;
+  rewritten : Sia_sql.Ast.query option;  (** [None] when synthesis failed *)
+  synthesized : Sia_sql.Ast.pred option;
+  stats : Synthesize.stats;
+}
+
+val rewrite_for_table :
+  ?cfg:Config.t ->
+  Sia_relalg.Schema.catalog ->
+  Sia_sql.Ast.query ->
+  target_table:string ->
+  rewrite_result
+(** Synthesize a predicate over the columns of [target_table] that appear
+    in the query's WHERE clause (excluding join-key equalities), and
+    conjoin it to the WHERE clause. *)
+
+val rewrite_for_columns :
+  ?cfg:Config.t ->
+  Sia_relalg.Schema.catalog ->
+  Sia_sql.Ast.query ->
+  target_cols:string list ->
+  rewrite_result
+
+val plans :
+  Sia_relalg.Schema.catalog ->
+  rewrite_result ->
+  Sia_relalg.Plan.t * Sia_relalg.Plan.t option
+(** Optimized plans for the original and (when present) rewritten query. *)

@@ -1,0 +1,113 @@
+
+open Sia_smt
+
+type gen_state = {
+  env : Encode.env;
+  target_vars : int list;
+  rand : Random.State.t;
+  cfg : Config.t;
+}
+
+let make_state cfg env ~target_cols =
+  {
+    env;
+    target_vars = List.map (Encode.var_of_column env) target_cols;
+    rand = Random.State.make [| cfg.Config.seed |];
+    cfg;
+  }
+
+let not_old st existing =
+  Formula.and_
+    (List.map
+       (fun sample ->
+         Formula.not_
+           (Formula.and_
+              (List.mapi
+                 (fun i v ->
+                   Formula.atom (Atom.mk_eq (Linexpr.var v) (Linexpr.const sample.(i))))
+                 st.target_vars)))
+       existing)
+
+let box_range st =
+  (* Sample inside a box sized from the predicate's own constants: samples
+     light-years from the decision boundary teach the SVM nothing, and a
+     smaller box keeps branch-and-bound quick. [domain_bound] caps it. *)
+  let lo, hi = Encode.const_range st.env in
+  let span = Stdlib.max 50 (hi - lo) in
+  let cap = st.cfg.Config.domain_bound in
+  (Stdlib.max (-cap) (lo - (2 * span)), Stdlib.min cap (hi + (2 * span)))
+
+let bounds st =
+  let lo, hi = box_range st in
+  Formula.and_
+    (List.concat_map
+       (fun name ->
+         let v = Encode.var_of_column st.env name in
+         [
+           Formula.atom (Atom.mk_ge (Linexpr.var v) (Linexpr.of_int lo));
+           Formula.atom (Atom.mk_le (Linexpr.var v) (Linexpr.of_int hi));
+         ])
+       (Encode.columns st.env))
+
+(* Diversity hints: random half-space nudges around the predicate's own
+   constant range, so consecutive models do not cluster at the same vertex
+   of the feasible region (the paper's "additional heuristics"). Hints are
+   soft: dropped one by one if they make the query unsat. *)
+let hints st =
+  let lo, hi = box_range st in
+  List.filter_map
+    (fun v ->
+      if Random.State.bool st.rand then begin
+        let pivot = lo + Random.State.int st.rand (Stdlib.max 1 (hi - lo)) in
+        let atom =
+          if Random.State.bool st.rand then Atom.mk_le (Linexpr.var v) (Linexpr.of_int pivot)
+          else Atom.mk_ge (Linexpr.var v) (Linexpr.of_int pivot)
+        in
+        Some (Formula.atom atom)
+      end
+      else None)
+    st.target_vars
+
+let is_int st = Encode.is_int_var st.env
+
+(* Models are enumerated in chunks: each chunk shares one incremental
+   solver instance (blocking clauses keep samples distinct) and carries its
+   own random half-space hints for diversity. A chunk that comes back empty
+   under hints is retried without them — only that verdict decides
+   exhaustion. *)
+let chunk_size = 12
+
+let gen_models st ~base ~count ~existing =
+  let samples = ref [] in
+  let exhausted = ref false in
+  let extract model =
+    Array.of_list (List.map (fun v -> Solver.model_value model v) st.target_vars)
+  in
+  let box = bounds st in
+  let solve_chunk n extra =
+    let f =
+      Formula.and_ (base :: box :: not_old st (existing @ !samples) :: extra)
+    in
+    Solver.solve_many ~is_int:(is_int st) ~count:n ~distinct_on:st.target_vars f
+  in
+  while List.length !samples < count && not !exhausted do
+    let want = Stdlib.min chunk_size (count - List.length !samples) in
+    let got, _ = solve_chunk want (hints st) in
+    let got =
+      if got <> [] then got
+      else begin
+        let plain, ex = solve_chunk want [] in
+        if ex then exhausted := true;
+        plain
+      end
+    in
+    samples := !samples @ List.map extract got
+  done;
+  (!samples, !exhausted)
+
+let project_away_others st p_formula =
+  let others =
+    List.filter (fun v -> not (List.mem v st.target_vars)) (Formula.vars p_formula)
+  in
+  if others = [] then Some p_formula
+  else Qe.project ~method_:st.cfg.Config.qe_method ~eliminate:others p_formula

@@ -1,0 +1,42 @@
+(** Training-sample generation (the paper's [GenerateSamples], section 5.3)
+    plus the NotOld bookkeeping shared with counter-example generation.
+
+    TRUE samples are feasible restrictions: models of [p] projected onto
+    the target columns. FALSE samples are unsatisfaction tuples: models of
+    [NotOld /\ forall other-columns. not p], obtained by quantifier
+    elimination (section 4.2's decidability argument). *)
+
+open Sia_numeric
+open Sia_smt
+
+type gen_state = {
+  env : Encode.env;
+  target_vars : int list;  (** value variables of the target columns *)
+  rand : Random.State.t;
+  cfg : Config.t;
+}
+
+val make_state : Config.t -> Encode.env -> target_cols:string list -> gen_state
+
+val not_old : gen_state -> Rat.t array list -> Formula.t
+(** Conjunction of "differs from this sample" constraints over the target
+    variables. *)
+
+val bounds : gen_state -> Formula.t
+(** Domain box for every variable of the predicate, sized from the
+    predicate's own constant range (capped at cfg.domain_bound): keeps
+    integer branch-and-bound finite and samples near the decision
+    boundary. *)
+
+val gen_models :
+  gen_state -> base:Formula.t -> count:int -> existing:Rat.t array list ->
+  Rat.t array list * bool
+(** Up to [count] fresh models of [base /\ NotOld /\ bounds], projected on
+    the target variables, with randomized diversity hints. The flag is
+    true when the sample space was exhausted (solver returned unsat before
+    [count] samples were found). *)
+
+val project_away_others :
+  gen_state -> Formula.t -> Formula.t option
+(** [exists other-columns. p] via the configured QE method; [None] when
+    elimination blows up. The FALSE-sample base is its negation. *)

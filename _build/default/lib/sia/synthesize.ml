@@ -1,0 +1,256 @@
+open Sia_numeric
+open Sia_smt
+module Ast = Sia_sql.Ast
+module Schema = Sia_relalg.Schema
+
+type outcome =
+  | Optimal of Ast.pred
+  | Valid of Ast.pred
+  | Trivial
+  | Failed of string
+
+type stats = {
+  outcome : outcome;
+  iterations : int;
+  n_true : int;
+  n_false : int;
+  gen_time : float;
+  learn_time : float;
+  verify_time : float;
+}
+
+let predicate st = match st.outcome with Optimal p | Valid p -> Some p | Trivial | Failed _ -> None
+let is_valid_outcome st = match st.outcome with Optimal _ | Valid _ -> true | Trivial | Failed _ -> false
+let is_optimal_outcome st = match st.outcome with Optimal _ -> true | Valid _ | Trivial | Failed _ -> false
+
+(* Equality predicate "columns = this sample", for the finite-space
+   shortcuts of section 5.3. *)
+let sample_eq env cols (sample : Rat.t array) =
+  Ast.conj
+    (List.mapi
+       (fun i name ->
+         Ast.Cmp
+           ( Ast.Eq,
+             Ast.Col { Ast.table = None; name },
+             Ast.Const (Encode.value_to_const env name sample.(i)) ))
+       cols)
+
+let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
+  let start_time = Unix.gettimeofday () in
+  let over_budget () =
+    match cfg.Config.time_budget with
+    | None -> false
+    | Some budget -> Unix.gettimeofday () -. start_time > budget
+  in
+  let gen_time = ref 0.0 and learn_time = ref 0.0 and verify_time = ref 0.0 in
+  let timed acc f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    acc := !acc +. (Unix.gettimeofday () -. t0);
+    r
+  in
+  let fail ?(iterations = 0) ?(n_true = 0) ?(n_false = 0) outcome =
+    {
+      outcome;
+      iterations;
+      n_true;
+      n_false;
+      gen_time = !gen_time;
+      learn_time = !learn_time;
+      verify_time = !verify_time;
+    }
+  in
+  match Encode.build_env catalog from pred with
+  | exception Encode.Unsupported msg -> fail (Failed ("unsupported predicate: " ^ msg))
+  | exception Not_found -> fail (Failed "unresolvable column")
+  | env ->
+    let missing =
+      List.filter (fun c -> not (List.mem c (Encode.columns env))) target_cols
+    in
+    if missing <> [] then
+      fail (Failed ("target columns not in predicate: " ^ String.concat "," missing))
+    else begin
+      let p_formula = Encode.encode_bool env pred in
+      let st = Samples.make_state cfg env ~target_cols in
+      (* psi = exists other-columns. p : satisfaction region over Cols'. *)
+      match timed gen_time (fun () -> Samples.project_away_others st p_formula) with
+      | None -> fail (Failed "quantifier elimination blow-up")
+      | Some psi -> begin
+        let not_psi = Formula.not_ psi in
+        (* Initial TRUE samples. *)
+        let ts, ts_exhausted =
+          timed gen_time (fun () ->
+              Samples.gen_models st ~base:p_formula ~count:cfg.Config.initial_true
+                ~existing:[])
+        in
+        if ts = [] then fail (Failed "predicate unsatisfiable over the sample domain")
+        else if ts_exhausted then begin
+          (* Finitely many feasible restrictions: the strongest valid
+             predicate is the disjunction of their equalities. *)
+          let p1 = Ast.disj (List.map (sample_eq env target_cols) ts) in
+          fail ~n_true:(List.length ts) (Optimal p1)
+        end
+        else begin
+          let fs, fs_exhausted =
+            timed gen_time (fun () ->
+                Samples.gen_models st ~base:not_psi ~count:cfg.Config.initial_false
+                  ~existing:[])
+          in
+          if fs = [] then fail ~n_true:(List.length ts) Trivial
+          else if fs_exhausted then begin
+            (* Finitely many unsatisfaction tuples: optimal predicate is
+               the conjunction of their negated equalities. *)
+            let p1 =
+              Ast.conj (List.map (fun f -> Ast.Not (sample_eq env target_cols f)) fs)
+            in
+            fail ~n_true:(List.length ts) ~n_false:(List.length fs) (Optimal p1)
+          end
+          else begin
+            (* Main CEGIS loop (Algorithm 1). p1 is the running valid
+               predicate, initially TRUE. *)
+            let is_int = Encode.is_int_var env in
+            let cache = Tighten.make_cache () in
+            (* Drop conjuncts the remaining ones already imply, so repeated
+               learner output does not pile up in the final predicate. *)
+            let prune_redundant pred0 =
+              let conjuncts = Ast.conjuncts pred0 in
+              let implied_by others c =
+                let f_others = Formula.and_ (List.map (Encode.encode_bool env) others) in
+                let f_c = Encode.encode_bool env c in
+                match
+                  Solver.solve ~is_int (Formula.and_ [ f_others; Formula.not_ f_c ])
+                with
+                | Solver.Unsat -> true
+                | Solver.Sat _ | Solver.Unknown -> false
+              in
+              let rec go kept = function
+                | [] -> List.rev kept
+                | c :: rest ->
+                  if implied_by (List.rev_append kept rest) c then go kept rest
+                  else go (c :: kept) rest
+              in
+              match go [] conjuncts with [] -> Ast.Ptrue | cs -> Ast.conj cs
+            in
+            let rec loop i p1 p1_formula ts fs =
+              let finish ?(iters = i) outcome =
+                let polish p = Render.beautify env (prune_redundant p) in
+                let outcome =
+                  match outcome with
+                  | Optimal p -> Optimal (polish p)
+                  | Valid p -> Valid (polish p)
+                  | Trivial | Failed _ -> outcome
+                in
+                {
+                  outcome;
+                  iterations = iters;
+                  n_true = List.length ts;
+                  n_false = List.length fs;
+                  gen_time = !gen_time;
+                  learn_time = !learn_time;
+                  verify_time = !verify_time;
+                }
+              in
+              (* The budget never cancels the first iteration: initial
+                 sample generation (v2's 220+220) may alone exceed it. *)
+              if i >= cfg.Config.max_iterations || (i > 0 && over_budget ()) then begin
+                match p1 with
+                | Ast.Ptrue -> finish (Failed "iteration budget exhausted")
+                | p -> finish (Valid p)
+              end
+              else begin
+                let learned =
+                  timed learn_time (fun () -> Learn.learn ~cache ~p1_formula cfg env ~p_formula ~cols:target_cols ~ts ~fs)
+                in
+                let verdict, countermodel =
+                  timed verify_time (fun () ->
+                      Verify.implies_ce env ~p:pred ~p1:learned.Learn.pred)
+                in
+                match verdict with
+                | Verify.Valid -> begin
+                  let already_conjunct =
+                    let key = Sia_sql.Printer.string_of_pred learned.Learn.pred in
+                    List.exists
+                      (fun c -> Sia_sql.Printer.string_of_pred c = key)
+                      (Ast.conjuncts p1)
+                  in
+                  let p3, p3_formula =
+                    match (p1, learned.Learn.pred) with
+                    | p, _ when already_conjunct -> (p, p1_formula)
+                    | Ast.Ptrue, q -> (q, learned.Learn.formula)
+                    | p, Ast.Ptrue -> (p, p1_formula)
+                    | p, q -> (Ast.And (p, q), Formula.and_ [ p1_formula; learned.Learn.formula ])
+                  in
+                  (* FALSE counter-examples: unsatisfaction tuples that p3
+                     still accepts. *)
+                  let fs1, _ =
+                    timed gen_time (fun () ->
+                        Samples.gen_models st
+                          ~base:(Formula.and_ [ p3_formula; not_psi ])
+                          ~count:cfg.Config.per_iteration ~existing:fs)
+                  in
+                  if fs1 = [] then begin
+                    (* Exhausted within the bounded domain; confirm over the
+                       unbounded one before declaring optimality. *)
+                    let unbounded =
+                      timed verify_time (fun () ->
+                          Solver.solve ~is_int
+                            (Formula.and_
+                               [ p3_formula; not_psi; Samples.not_old st fs ]))
+                    in
+                    match unbounded with
+                    | Solver.Unsat -> finish ~iters:(i + 1) (Optimal p3)
+                    | Solver.Unknown -> finish ~iters:(i + 1) (Valid p3)
+                    | Solver.Sat m ->
+                      let sample =
+                        Array.of_list
+                          (List.map (fun v -> Solver.model_value m v) st.Samples.target_vars)
+                      in
+                      loop (i + 1) p3 p3_formula ts (fs @ [ sample ])
+                  end
+                  else loop (i + 1) p3 p3_formula ts (fs @ fs1)
+                end
+                | Verify.Invalid | Verify.Unknown -> begin
+                  (* TRUE counter-examples: tuples satisfying p that the
+                     learned predicate rejects. *)
+                  let ts1, _ =
+                    timed gen_time (fun () ->
+                        Samples.gen_models st
+                          ~base:
+                            (Formula.and_
+                               [ p_formula; Formula.not_ learned.Learn.formula ])
+                          ~count:cfg.Config.per_iteration ~existing:ts)
+                  in
+                  (* The sampling box can miss the countermodel Verify
+                     found; fall back to that model directly (the paper's
+                     CounterT has no box). *)
+                  let ts1 =
+                    match (ts1, countermodel) with
+                    | [], Some m ->
+                      let sample =
+                        Array.of_list
+                          (List.map
+                             (fun v -> Solver.model_value m v)
+                             st.Samples.target_vars)
+                      in
+                      let dup =
+                        List.exists (fun t -> Array.for_all2 Rat.equal t sample) ts
+                      in
+                      if dup then [] else [ sample ]
+                    | ts1, _ -> ts1
+                  in
+                  if ts1 = [] then begin
+                    (* No fresh counter-example at all: the learner cannot
+                       be repaired with more data here. *)
+                    match p1 with
+                    | Ast.Ptrue -> finish ~iters:(i + 1) (Failed "no fresh TRUE counter-examples")
+                    | p -> finish ~iters:(i + 1) (Valid p)
+                  end
+                  else loop (i + 1) p1 p1_formula (ts @ ts1) fs
+                end
+              end
+            in
+            loop 0 Ast.Ptrue Formula.tru ts fs
+          end
+        end
+      end
+    end

@@ -1,0 +1,110 @@
+open Sia_numeric
+open Sia_smt
+
+type cache = (string, int option) Hashtbl.t
+
+let make_cache () : cache = Hashtbl.create 32
+
+(* Thresholds depend only on (p, cols, w); the CEGIS loop revisits the
+   same directions many times, so memoization removes most solver calls. *)
+let cache_key cols w =
+  String.concat "," (List.mapi (fun i c -> c ^ ":" ^ Rat.to_string w.(i)) cols)
+
+let dot_lin env cols w =
+  List.fold_left
+    (fun acc (i, name) ->
+      Linexpr.add acc (Linexpr.var ~coeff:w.(i) (Encode.var_of_column env name)))
+    Linexpr.zero
+    (List.mapi (fun i n -> (i, n)) cols)
+
+(* Largest integer t with p => w.x >= t, i.e. p /\ (w.x < t) unsat. The
+   predicate for t is monotone: larger t is easier to violate. *)
+let compute_threshold env ~p_formula ~cols ~w =
+  let is_int = Encode.is_int_var env in
+  let wx = dot_lin env cols w in
+  let holds t =
+    (* "p implies w.x >= t" *)
+    match
+      Solver.solve ~is_int
+        (Formula.and_
+           [ p_formula; Formula.atom (Atom.mk_lt wx (Linexpr.const (Rat.of_int t))) ])
+    with
+    | Solver.Unsat -> Some true
+    | Solver.Sat _ -> Some false
+    | Solver.Unknown -> None
+  in
+  (* Find an initial bracket by exponential probing from 0. Thresholds
+     that matter live at the scale of the predicate's own constants; a
+     direction not bounded within a few multiples of that scale is
+     treated as unbounded (probing to 2^40 would drag integer
+     branch-and-bound through astronomically wide boxes). *)
+  let lo_c, hi_c = Encode.const_range env in
+  let wsum =
+    Array.fold_left
+      (fun acc c -> acc + Stdlib.abs (Bigint.to_int_exn (Rat.floor c)))
+      1 w
+  in
+  let limit = (Stdlib.abs lo_c + Stdlib.abs hi_c + 1000) * wsum in
+  let rec probe_down t =
+    if t < -limit then None
+    else
+      match holds t with
+      | Some true -> Some t
+      | Some false -> probe_down (t * 2)
+      | None -> None
+  in
+  let rec probe_up lo step =
+    (* lo holds; search upward for the first failure. *)
+    if step > limit then Some lo
+    else
+      match holds (lo + step) with
+      | Some true -> probe_up (lo + step) (step * 2)
+      | Some false -> begin
+        let rec bisect good bad =
+          if bad - good <= 1 then Some good
+          else begin
+            let mid = good + ((bad - good) / 2) in
+            match holds mid with
+            | Some true -> bisect mid bad
+            | Some false -> bisect good mid
+            | None -> None
+          end
+        in
+        bisect lo (lo + step)
+      end
+      | None -> Some lo
+  in
+  match holds 0 with
+  | Some true -> probe_up 0 1
+  | Some false -> begin
+    match probe_down (-1) with
+    | None -> None
+    | Some lo -> probe_up lo 1
+  end
+  | None -> None
+
+let strongest_threshold ?cache env ~p_formula ~cols ~w =
+  let lookup =
+    match cache with
+    | Some c -> Hashtbl.find_opt c (cache_key cols w)
+    | None -> None
+  in
+  match lookup with
+  | Some hit -> hit
+  | None ->
+    let result = compute_threshold env ~p_formula ~cols ~w in
+    (match cache with
+     | Some c -> Hashtbl.replace c (cache_key cols w) result
+     | None -> ());
+    result
+
+let tightened ?cache env ~p_formula ~cols ~w =
+  if Array.for_all Rat.is_zero w then None
+  else
+    match strongest_threshold ?cache env ~p_formula ~cols ~w with
+    | None -> None
+    | Some t ->
+      let b = Rat.of_int (-t) in
+      let wx = dot_lin env cols w in
+      let formula = Formula.atom (Atom.mk_ge wx (Linexpr.const (Rat.of_int t))) in
+      Some (Encode.hyperplane_to_pred env ~cols w b, formula)

@@ -1,0 +1,37 @@
+(** Direction tightening: given a candidate direction [w] over the target
+    columns, compute the strongest threshold [t] such that the original
+    predicate implies [w . x >= t] — by binary search over solver queries.
+
+    The resulting predicate is valid {e by construction}, and optimal among
+    halfspaces with that direction. This stabilizes the CEGIS loop against
+    learner noise: the SVM only has to find a good direction, not a good
+    bias. *)
+
+open Sia_numeric
+open Sia_smt
+
+type cache
+(** Memoizes thresholds per (cols, w); share one across a synthesis run. *)
+
+val make_cache : unit -> cache
+
+val strongest_threshold :
+  ?cache:cache ->
+  Encode.env ->
+  p_formula:Formula.t ->
+  cols:string list ->
+  w:Rat.t array ->
+  int option
+(** [strongest_threshold env ~p_formula ~cols ~w] is the largest integer
+    [t] with [p => w.x >= t], or [None] when [w.x] is unbounded below on
+    [p] (no such halfspace is valid) or the search hits a resource limit.
+    [w] must have integer entries. *)
+
+val tightened :
+  ?cache:cache ->
+  Encode.env ->
+  p_formula:Formula.t ->
+  cols:string list ->
+  w:Rat.t array ->
+  (Sia_sql.Ast.pred * Formula.t) option
+(** The tightened halfspace as a SQL predicate and a formula. *)

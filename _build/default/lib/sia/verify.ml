@@ -1,0 +1,19 @@
+open Sia_smt
+
+type result =
+  | Valid
+  | Invalid
+  | Unknown
+
+let implies_ce env ~p ~p1 =
+  let t_p = Encode.encode_is_true env p in
+  let t_p1 = Encode.encode_is_true env p1 in
+  let query =
+    Formula.and_ [ Encode.null_domain env; t_p; Formula.not_ t_p1 ]
+  in
+  match Solver.solve ~is_int:(Encode.is_int_var env) query with
+  | Solver.Unsat -> (Valid, None)
+  | Solver.Sat m -> (Invalid, Some m)
+  | Solver.Unknown -> (Unknown, None)
+
+let implies env ~p ~p1 = fst (implies_ce env ~p ~p1)

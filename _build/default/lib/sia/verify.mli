@@ -1,0 +1,21 @@
+(** The [Verify] procedure (section 5.5): decide whether the original
+    predicate implies the learned one, under SQL's three-valued logic. *)
+
+type result =
+  | Valid
+  | Invalid  (** a tuple satisfies [p] but not [p1] *)
+  | Unknown  (** solver resource limit; treated as not-valid by callers *)
+
+val implies : Encode.env -> p:Sia_sql.Ast.pred -> p1:Sia_sql.Ast.pred -> result
+(** Checks unsatisfiability of [is_true(p) /\ not (is_true(p1))] over the
+    unbounded domain, with the trivalent NULL encoding for nullable
+    columns. *)
+
+val implies_ce :
+  Encode.env ->
+  p:Sia_sql.Ast.pred ->
+  p1:Sia_sql.Ast.pred ->
+  result * Sia_smt.Solver.model option
+(** Like {!implies}, also returning the countermodel on [Invalid] — a
+    tuple satisfying [p] but not [p1], directly usable as a TRUE
+    counter-example even when it falls outside the sampling box. *)

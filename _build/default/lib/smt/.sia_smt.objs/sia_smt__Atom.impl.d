@@ -1,0 +1,1 @@
+lib/smt/atom.ml: Bigint Format Hashtbl Linexpr List Rat Sia_numeric Stdlib

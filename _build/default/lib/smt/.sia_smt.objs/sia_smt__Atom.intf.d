@@ -1,0 +1,1 @@
+lib/smt/atom.mli: Bigint Format Linexpr Rat Sia_numeric

@@ -1,0 +1,1 @@
+lib/smt/cooper.ml: Atom Bigint Formula Linexpr List Rat Sia_numeric

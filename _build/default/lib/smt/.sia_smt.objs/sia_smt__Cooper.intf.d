@@ -1,0 +1,1 @@
+lib/smt/cooper.mli: Atom Formula

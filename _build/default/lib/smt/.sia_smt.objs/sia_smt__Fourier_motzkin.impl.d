@@ -1,0 +1,1 @@
+lib/smt/fourier_motzkin.ml: Atom Linexpr List Rat Sia_numeric

@@ -1,0 +1,1 @@
+lib/smt/fourier_motzkin.mli: Atom

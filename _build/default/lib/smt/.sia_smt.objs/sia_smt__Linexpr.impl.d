@@ -1,0 +1,1 @@
+lib/smt/linexpr.ml: Bigint Format Hashtbl Int List Map Printf Rat Sia_numeric

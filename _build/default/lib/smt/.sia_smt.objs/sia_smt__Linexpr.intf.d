@@ -1,0 +1,1 @@
+lib/smt/linexpr.mli: Format Rat Sia_numeric

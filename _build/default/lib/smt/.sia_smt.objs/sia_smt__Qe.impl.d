@@ -1,0 +1,1 @@
+lib/smt/qe.ml: Atom Cooper Formula Fourier_motzkin Fun List

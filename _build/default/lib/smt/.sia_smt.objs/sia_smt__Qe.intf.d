@@ -1,0 +1,1 @@
+lib/smt/qe.mli: Formula

@@ -1,0 +1,1 @@
+lib/smt/simplex.ml: Array Atom Delta Hashtbl Int Linexpr List Map Rat Sia_numeric Stdlib

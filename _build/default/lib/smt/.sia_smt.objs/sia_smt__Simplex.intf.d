@@ -1,0 +1,1 @@
+lib/smt/simplex.mli: Atom Delta Rat Sia_numeric Stdlib

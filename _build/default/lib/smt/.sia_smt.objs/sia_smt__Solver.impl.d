@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Atom Formula Hashtbl Linexpr List Rat Sat Sia_numeric Theory

@@ -1,0 +1,1 @@
+lib/smt/theory.ml: Array Atom Bigint Delta Linexpr List Rat Sia_numeric Simplex Stdlib

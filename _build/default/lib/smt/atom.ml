@@ -1,0 +1,111 @@
+open Sia_numeric
+
+type rel = Le | Lt | Eq
+
+type t =
+  | Lin of rel * Linexpr.t
+  | Dvd of Bigint.t * Linexpr.t
+
+(* Canonical form: integer coefficients with gcd 1; equalities additionally
+   flip so the leading coefficient is positive. *)
+let canon rel e =
+  let e = Linexpr.scale_to_int e in
+  match rel with
+  | Eq ->
+    let flip =
+      match Linexpr.terms e with
+      | (_, c) :: _ -> Rat.sign c < 0
+      | [] -> Rat.sign (Linexpr.constant e) < 0
+    in
+    Lin (Eq, if flip then Linexpr.neg e else e)
+  | Le | Lt -> Lin (rel, e)
+
+let mk_le a b = canon Le (Linexpr.sub a b)
+let mk_lt a b = canon Lt (Linexpr.sub a b)
+let mk_ge a b = canon Le (Linexpr.sub b a)
+let mk_gt a b = canon Lt (Linexpr.sub b a)
+let mk_eq a b = canon Eq (Linexpr.sub a b)
+
+let mk_dvd d e =
+  (* Divisibility is not scale-invariant: clear denominators by scaling
+     both sides, then cancel the gcd common to the divisor and every
+     coefficient ([g*d' | g*e'] iff [d' | e']). *)
+  let d = Bigint.abs d in
+  let denoms =
+    List.fold_left
+      (fun acc (_, (c : Rat.t)) -> Bigint.lcm acc c.Rat.den)
+      (Linexpr.constant e).Rat.den (Linexpr.terms e)
+  in
+  let e = Linexpr.scale (Rat.of_bigint denoms) e in
+  let d = Bigint.mul d denoms in
+  let g =
+    List.fold_left
+      (fun acc (_, (c : Rat.t)) -> Bigint.gcd acc c.Rat.num)
+      (Bigint.gcd d (Linexpr.constant e).Rat.num)
+      (Linexpr.terms e)
+  in
+  if Bigint.is_zero g || Bigint.equal g Bigint.one then Dvd (d, e)
+  else Dvd (Bigint.div d g, Linexpr.scale (Rat.make Bigint.one g) e)
+
+let negate = function
+  | Lin (Le, e) -> [ canon Lt (Linexpr.neg e) ]
+  | Lin (Lt, e) -> [ canon Le (Linexpr.neg e) ]
+  | Lin (Eq, e) -> [ canon Lt e; canon Lt (Linexpr.neg e) ]
+  | Dvd _ -> invalid_arg "Atom.negate: divisibility handled at literal level"
+
+let eval a lookup =
+  match a with
+  | Lin (rel, e) ->
+    let v = Linexpr.eval e lookup in
+    (match rel with
+     | Le -> Rat.sign v <= 0
+     | Lt -> Rat.sign v < 0
+     | Eq -> Rat.is_zero v)
+  | Dvd (d, e) ->
+    let v = Linexpr.eval e lookup in
+    Rat.is_integer v && Bigint.is_zero (Bigint.rem v.Rat.num d)
+
+let vars = function Lin (_, e) | Dvd (_, e) -> Linexpr.vars e
+
+let subst a x r =
+  match a with
+  | Lin (rel, e) -> canon rel (Linexpr.subst e x r)
+  | Dvd (d, e) -> mk_dvd d (Linexpr.subst e x r)
+
+let compare a b =
+  match (a, b) with
+  | Lin (r1, e1), Lin (r2, e2) ->
+    let c = Stdlib.compare r1 r2 in
+    if c <> 0 then c else Linexpr.compare e1 e2
+  | Dvd (d1, e1), Dvd (d2, e2) ->
+    let c = Bigint.compare d1 d2 in
+    if c <> 0 then c else Linexpr.compare e1 e2
+  | Lin _, Dvd _ -> -1
+  | Dvd _, Lin _ -> 1
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Lin (r, e) -> Hashtbl.hash (r, Linexpr.hash e)
+  | Dvd (d, e) -> Hashtbl.hash (Bigint.hash d, Linexpr.hash e)
+
+let is_trivial a =
+  match a with
+  | Lin (rel, e) when Linexpr.is_const e ->
+    let k = Linexpr.constant e in
+    Some
+      (match rel with
+       | Le -> Rat.sign k <= 0
+       | Lt -> Rat.sign k < 0
+       | Eq -> Rat.is_zero k)
+  | Dvd (d, e) when Linexpr.is_const e ->
+    let k = Linexpr.constant e in
+    Some (Rat.is_integer k && Bigint.is_zero (Bigint.rem k.Rat.num d))
+  | Dvd (d, _) when Bigint.equal d Bigint.one -> Some true
+  | Lin _ | Dvd _ -> None
+
+let pp ?name fmt = function
+  | Lin (rel, e) ->
+    let s = match rel with Le -> "<=" | Lt -> "<" | Eq -> "=" in
+    Format.fprintf fmt "%a %s 0" (Linexpr.pp ?name) e s
+  | Dvd (d, e) -> Format.fprintf fmt "%a | %a" Bigint.pp d (Linexpr.pp ?name) e

@@ -1,0 +1,38 @@
+(** Theory atoms: linear constraints compared against zero, plus integer
+    divisibility (needed by Cooper's quantifier elimination).
+
+    Atoms are kept in a canonical integer-scaled form so that syntactically
+    equal constraints share a single SAT variable. *)
+
+open Sia_numeric
+
+type rel = Le  (** [e <= 0] *) | Lt  (** [e < 0] *) | Eq  (** [e = 0] *)
+
+type t =
+  | Lin of rel * Linexpr.t
+  | Dvd of Bigint.t * Linexpr.t  (** [d] divides [e]; [d >= 2], integral [e] *)
+
+val mk_le : Linexpr.t -> Linexpr.t -> t
+(** [mk_le a b] is the canonical atom for [a <= b]. *)
+
+val mk_lt : Linexpr.t -> Linexpr.t -> t
+val mk_ge : Linexpr.t -> Linexpr.t -> t
+val mk_gt : Linexpr.t -> Linexpr.t -> t
+val mk_eq : Linexpr.t -> Linexpr.t -> t
+val mk_dvd : Bigint.t -> Linexpr.t -> t
+
+val negate : t -> t list
+(** Negation as a disjunction of atoms: [not (e <= 0)] is [[-e < 0]];
+    [not (e = 0)] is [[e < 0; -e < 0]]. Divisibility has no atom-level
+    negation here; callers keep the literal polarity (see {!Solver}). *)
+
+val eval : t -> (int -> Rat.t) -> bool
+val vars : t -> int list
+val subst : t -> int -> Linexpr.t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val is_trivial : t -> bool option
+(** [Some b] when the atom contains no variables and evaluates to [b]. *)
+
+val pp : ?name:(int -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+open Sia_numeric
+
+(* Internal view of a literal relative to the eliminated variable x, after
+   scaling the coefficient of x to +-lambda and substituting y = lambda*x:
+   the coefficient of y is +-1. *)
+type view =
+  | Upper of Linexpr.t (* y <= e *)
+  | Lower of Linexpr.t (* y >= e *)
+  | Divides of Bigint.t * Linexpr.t * bool (* d | y + e, polarity *)
+  | Free of Atom.t * bool (* does not mention x *)
+
+let eliminate_cube ?(max_disjuncts = 10_000) x cube =
+  (* Step 0: strictness removal over Z: e < 0 becomes e + 1 <= 0, and
+     equalities split; canonical atoms have integer coefficients. *)
+  let le_atoms =
+    List.concat_map
+      (fun (a, polarity) ->
+        match (a, polarity) with
+        | Atom.Lin (Atom.Le, e), true -> [ (Atom.Lin (Atom.Le, e), true) ]
+        | Atom.Lin (Atom.Lt, e), true ->
+          [ (Atom.Lin (Atom.Le, Linexpr.add e (Linexpr.of_int 1)), true) ]
+        | Atom.Lin (Atom.Eq, e), true ->
+          [ (Atom.Lin (Atom.Le, e), true); (Atom.Lin (Atom.Le, Linexpr.neg e), true) ]
+        | Atom.Lin _, false -> invalid_arg "Cooper: negated Lin literal"
+        | Atom.Dvd _, _ -> [ (a, polarity) ])
+      cube
+  in
+  (* Step 1: lambda = lcm of |coeff of x|. *)
+  let coeff_of a = match a with Atom.Lin (_, e) | Atom.Dvd (_, e) -> Linexpr.coeff e x in
+  let lambda =
+    List.fold_left
+      (fun acc (a, _) ->
+        let c = coeff_of a in
+        if Rat.is_zero c then acc else Bigint.lcm acc (Bigint.abs c.Rat.num))
+      Bigint.one le_atoms
+  in
+  (* Step 2: scale each atom so x's coefficient is +-lambda, then read it
+     as a constraint on y = lambda * x. *)
+  let views =
+    List.map
+      (fun (a, polarity) ->
+        let c = coeff_of a in
+        if Rat.is_zero c then Free (a, polarity)
+        else begin
+          let scale = Rat.of_bigint (Bigint.div lambda (Bigint.abs c.Rat.num)) in
+          match a with
+          | Atom.Lin (Atom.Le, e) ->
+            (* scale positively, keeping direction *)
+            let e = Linexpr.scale scale e in
+            let cx = Linexpr.coeff e x in
+            let rest = Linexpr.remove e x in
+            if Rat.sign cx > 0 then Upper (Linexpr.neg rest) (* y <= -rest *)
+            else Lower rest (* -y + rest <= 0: y >= rest *)
+          | Atom.Lin ((Atom.Lt | Atom.Eq), _) -> assert false
+          | Atom.Dvd (d, e) ->
+            let e = Linexpr.scale scale e in
+            let cx = Linexpr.coeff e x in
+            let rest = Linexpr.remove e x in
+            let d' = Bigint.mul d (Bigint.div lambda (Bigint.abs c.Rat.num)) in
+            (* d' | cx*x + rest with cx = +-lambda; substitute y = lambda x:
+               d' | +-y + rest  ==  d' | y +- rest (divisibility is sign
+               insensitive after negating the whole expression). *)
+            if Rat.sign cx > 0 then Divides (d', rest, polarity)
+            else Divides (d', Linexpr.neg rest, polarity)
+        end)
+      le_atoms
+  in
+  let uppers = List.filter_map (function Upper e -> Some e | _ -> None) views in
+  let lowers = List.filter_map (function Lower e -> Some e | _ -> None) views in
+  let divs = List.filter_map (function Divides (d, e, p) -> Some (d, e, p) | _ -> None) views in
+  let frees = List.filter_map (function Free (a, p) -> Some (a, p) | _ -> None) views in
+  (* delta = lcm of divisors and lambda (for the y = lambda*x congruence). *)
+  let delta = List.fold_left (fun acc (d, _, _) -> Bigint.lcm acc d) lambda divs in
+  match Bigint.to_int delta with
+  | None -> None
+  | Some delta_int ->
+    let n_inst = delta_int * (1 + List.length lowers) in
+    if n_inst > max_disjuncts then None
+    else begin
+      let free_formula =
+        Formula.and_
+          (List.map
+             (fun (a, p) -> if p then Formula.atom a else Formula.not_ (Formula.atom a))
+             frees)
+      in
+      (* Substitute y := t into the y-constraints. *)
+      let instance t =
+        let upper_f = List.map (fun u -> Formula.atom (Atom.mk_le t u)) uppers in
+        let lower_f = List.map (fun l -> Formula.atom (Atom.mk_ge t l)) lowers in
+        let div_f =
+          List.map
+            (fun (d, e, p) ->
+              let a = Atom.mk_dvd d (Linexpr.add t e) in
+              if p then Formula.atom a else Formula.not_ (Formula.atom a))
+            divs
+        in
+        let lambda_f = Formula.atom (Atom.mk_dvd lambda t) in
+        Formula.and_ (lambda_f :: (upper_f @ lower_f @ div_f))
+      in
+      let branches = ref [] in
+      if lowers = [] then begin
+        (* Left-infinite projection: uppers are satisfiable arbitrarily
+           low, so only the congruences constrain the residue of y. *)
+        for j = 0 to delta_int - 1 do
+          let t = Linexpr.of_int j in
+          let div_f =
+            List.map
+              (fun (d, e, p) ->
+                let a = Atom.mk_dvd d (Linexpr.add t e) in
+                if p then Formula.atom a else Formula.not_ (Formula.atom a))
+              divs
+          in
+          let lambda_f = Formula.atom (Atom.mk_dvd lambda t) in
+          branches := Formula.and_ (lambda_f :: div_f) :: !branches
+        done
+      end
+      else
+        (* A satisfiable conjunction with lower bounds has its least
+           solution within delta of some lower bound: y = b + j with
+           j in [0, delta). Each instance also entails the original cube
+           (the witness is explicit), so the disjunction is exact. *)
+        List.iter
+          (fun b ->
+            for j = 0 to delta_int - 1 do
+              branches := instance (Linexpr.add b (Linexpr.of_int j)) :: !branches
+            done)
+          lowers;
+      Some (Formula.and_ [ free_formula; Formula.or_ !branches ])
+    end

@@ -1,0 +1,12 @@
+(** Cooper's algorithm: exact quantifier elimination for linear integer
+    arithmetic with divisibility.
+
+    [eliminate_cube x cube] computes a formula equivalent over the
+    integers to [exists x (an integer). /\ cube]; the result may contain
+    divisibility atoms over the remaining variables. All variables involved
+    must be integer-valued. *)
+
+val eliminate_cube :
+  ?max_disjuncts:int -> int -> (Atom.t * bool) list -> Formula.t option
+(** [None] when the lcm of coefficients/divisors would create more than
+    [max_disjuncts] (default 10_000) substitution instances. *)

@@ -1,0 +1,158 @@
+type t =
+  | True
+  | False
+  | Atom of Atom.t
+  | Not of t
+  | And of t list
+  | Or of t list
+
+let tru = True
+let fls = False
+
+let atom a =
+  match Atom.is_trivial a with
+  | Some true -> True
+  | Some false -> False
+  | None -> Atom a
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let and_ fs =
+  let rec gather acc = function
+    | [] -> Some (List.rev acc)
+    | True :: rest -> gather acc rest
+    | False :: _ -> None
+    | And gs :: rest -> gather acc (gs @ rest)
+    | f :: rest -> gather (f :: acc) rest
+  in
+  match gather [] fs with
+  | None -> False
+  | Some [] -> True
+  | Some [ f ] -> f
+  | Some fs -> And fs
+
+let or_ fs =
+  let rec gather acc = function
+    | [] -> Some (List.rev acc)
+    | False :: rest -> gather acc rest
+    | True :: _ -> None
+    | Or gs :: rest -> gather acc (gs @ rest)
+    | f :: rest -> gather (f :: acc) rest
+  in
+  match gather [] fs with
+  | None -> True
+  | Some [] -> False
+  | Some [ f ] -> f
+  | Some fs -> Or fs
+
+let implies a b = or_ [ not_ a; b ]
+
+let rec nnf f = nnf_pos f
+
+and nnf_pos = function
+  | True -> True
+  | False -> False
+  | Atom _ as a -> a
+  | Not g -> nnf_neg g
+  | And fs -> and_ (List.map nnf_pos fs)
+  | Or fs -> or_ (List.map nnf_pos fs)
+
+and nnf_neg = function
+  | True -> False
+  | False -> True
+  | Atom (Atom.Lin _ as a) -> or_ (List.map atom (Atom.negate a))
+  | Atom (Atom.Dvd _ as a) -> Not (Atom a)
+  | Not g -> nnf_pos g
+  | And fs -> or_ (List.map nnf_neg fs)
+  | Or fs -> and_ (List.map nnf_neg fs)
+
+let atoms f =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec go = function
+    | True | False -> ()
+    | Atom a ->
+      if not (Hashtbl.mem seen a) then begin
+        Hashtbl.add seen a ();
+        acc := a :: !acc
+      end
+    | Not g -> go g
+    | And fs | Or fs -> List.iter go fs
+  in
+  go f;
+  List.rev !acc
+
+let vars f =
+  List.sort_uniq Stdlib.compare (List.concat_map Atom.vars (atoms f))
+
+let rec eval f lookup =
+  match f with
+  | True -> true
+  | False -> false
+  | Atom a -> Atom.eval a lookup
+  | Not g -> not (eval g lookup)
+  | And fs -> List.for_all (fun g -> eval g lookup) fs
+  | Or fs -> List.exists (fun g -> eval g lookup) fs
+
+let rec size = function
+  | True | False | Atom _ -> 1
+  | Not g -> 1 + size g
+  | And fs | Or fs -> List.fold_left (fun acc g -> acc + size g) 1 fs
+
+let rec map_atoms fn = function
+  | True -> True
+  | False -> False
+  | Atom a -> fn a
+  | Not g -> not_ (map_atoms fn g)
+  | And fs -> and_ (List.map (map_atoms fn) fs)
+  | Or fs -> or_ (List.map (map_atoms fn) fs)
+
+let subst f x r = map_atoms (fun a -> atom (Atom.subst a x r)) f
+
+let dnf ?(limit = 4096) f =
+  let exception Too_big in
+  (* cubes are lists of (atom, polarity) *)
+  let rec go f : (Atom.t * bool) list list =
+    match f with
+    | True -> [ [] ]
+    | False -> []
+    | Atom a -> [ [ (a, true) ] ]
+    | Not (Atom a) -> [ [ (a, false) ] ]
+    | Not _ -> invalid_arg "Formula.dnf: input must be in NNF"
+    | Or fs -> List.concat_map go fs
+    | And fs ->
+      List.fold_left
+        (fun acc g ->
+          let cubes = go g in
+          let prod =
+            List.concat_map (fun c1 -> List.map (fun c2 -> c1 @ c2) cubes) acc
+          in
+          if List.length prod > limit then raise Too_big;
+          prod)
+        [ [] ] fs
+  in
+  match go (nnf f) with
+  | cubes -> Some cubes
+  | exception Too_big -> None
+
+let rec pp ?name fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Atom a -> Atom.pp ?name fmt a
+  | Not g -> Format.fprintf fmt "!(%a)" (pp ?name) g
+  | And fs ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " && ")
+         (pp ?name))
+      fs
+  | Or fs ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " || ")
+         (pp ?name))
+      fs

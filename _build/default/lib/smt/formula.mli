@@ -1,0 +1,41 @@
+(** Quantifier-free formulas over theory atoms. *)
+
+type t =
+  | True
+  | False
+  | Atom of Atom.t
+  | Not of t
+  | And of t list
+  | Or of t list
+
+val tru : t
+val fls : t
+val atom : Atom.t -> t
+val not_ : t -> t
+val and_ : t list -> t
+(** Flattens, drops [True], short-circuits on [False]. *)
+
+val or_ : t list -> t
+val implies : t -> t -> t
+
+val nnf : t -> t
+(** Negation normal form. Negated linear atoms are rewritten away using
+    {!Atom.negate}; negated divisibility atoms remain as [Not (Atom (Dvd _))]
+    literals (the only [Not] surviving in the output). *)
+
+val atoms : t -> Atom.t list
+(** Distinct atoms, in first-occurrence order. *)
+
+val vars : t -> int list
+val eval : t -> (int -> Sia_numeric.Rat.t) -> bool
+val size : t -> int
+
+val map_atoms : (Atom.t -> t) -> t -> t
+val subst : t -> int -> Linexpr.t -> t
+
+val dnf : ?limit:int -> t -> (Atom.t * bool) list list option
+(** Disjunctive normal form of the NNF as a list of cubes; each literal is
+    an atom with a polarity (false only for divisibility atoms). [None] when
+    the cube count would exceed [limit] (default 4096). *)
+
+val pp : ?name:(int -> string) -> Format.formatter -> t -> unit

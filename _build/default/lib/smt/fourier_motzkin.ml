@@ -1,0 +1,84 @@
+open Sia_numeric
+
+(* One elimination step. Atoms are [Lin (rel, e)] with [e rel 0], plus
+   [Dvd] atoms that must not mention [x]. *)
+let eliminate_one x atoms =
+  let has_x a = List.mem x (Atom.vars a) in
+  let with_x, without_x = List.partition has_x atoms in
+  if with_x = [] then Some atoms
+  else begin
+    let dvd_blocked =
+      List.exists (function Atom.Dvd _ -> true | Atom.Lin _ -> false) with_x
+    in
+    if dvd_blocked then None
+    else begin
+      (* Prefer an equality: substitute x = -rest/c. *)
+      let eq =
+        List.find_opt
+          (function Atom.Lin (Atom.Eq, _) -> true | Atom.Lin _ | Atom.Dvd _ -> false)
+          with_x
+      in
+      match eq with
+      | Some (Atom.Lin (Atom.Eq, e)) ->
+        let c = Linexpr.coeff e x in
+        let rest = Linexpr.remove e x in
+        let def = Linexpr.scale (Rat.neg (Rat.inv c)) rest in
+        let others = List.filter (fun a -> not (Atom.equal a (Atom.Lin (Atom.Eq, e)))) with_x in
+        Some (without_x @ List.map (fun a -> Atom.subst a x def) others)
+      | Some (Atom.Lin ((Atom.Le | Atom.Lt), _) | Atom.Dvd _) | None ->
+        (* Bounds: c*x + r rel 0. c > 0: x <=/< -r/c (upper);
+           c < 0: x >=/> -r/c (lower). *)
+        let lowers = ref [] and uppers = ref [] in
+        List.iter
+          (function
+            | Atom.Lin (rel, e) ->
+              let c = Linexpr.coeff e x in
+              let bound = Linexpr.scale (Rat.neg (Rat.inv c)) (Linexpr.remove e x) in
+              let strict = rel = Atom.Lt in
+              if Rat.sign c > 0 then uppers := (bound, strict) :: !uppers
+              else lowers := (bound, strict) :: !lowers
+            | Atom.Dvd _ -> assert false)
+          with_x;
+        let combined =
+          List.concat_map
+            (fun (l, sl) ->
+              List.map
+                (fun (u, su) -> if sl || su then Atom.mk_lt l u else Atom.mk_le l u)
+                !uppers)
+            !lowers
+        in
+        Some (without_x @ combined)
+    end
+  end
+
+let eliminate ?(max_atoms = 2000) vars atoms =
+  let rec go vars atoms =
+    match vars with
+    | [] -> Some atoms
+    | x :: rest -> begin
+      match eliminate_one x atoms with
+      | None -> None
+      | Some atoms' ->
+        let atoms' = List.sort_uniq Atom.compare atoms' in
+        if List.length atoms' > max_atoms then None
+        else begin
+          (* Drop trivially true atoms; bail out on trivially false. *)
+          let falsified = ref false in
+          let atoms' =
+            List.filter
+              (fun a ->
+                match Atom.is_trivial a with
+                | Some true -> false
+                | Some false ->
+                  falsified := true;
+                  true
+                | None -> true)
+              atoms'
+          in
+          if !falsified then
+            Some [ Atom.mk_lt (Linexpr.zero) (Linexpr.zero) ]
+          else go rest atoms'
+        end
+    end
+  in
+  go vars atoms

@@ -1,0 +1,12 @@
+(** Fourier-Motzkin elimination over the rationals.
+
+    [eliminate vars cube] computes a conjunction equivalent (over the
+    reals) to [exists vars. /\ cube]. Equalities are eliminated by
+    substitution; inequalities by pairing lower and upper bounds. Over the
+    integers the result is an over-approximation of the projection, which
+    keeps Sia's FALSE-sample generation sound (see DESIGN.md); {!Cooper}
+    provides the exact integer projection. *)
+
+val eliminate : ?max_atoms:int -> int list -> Atom.t list -> Atom.t list option
+(** [None] when the intermediate constraint count exceeds [max_atoms]
+    (default 2000) or a divisibility atom mentions an eliminated variable. *)

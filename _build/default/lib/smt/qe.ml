@@ -1,0 +1,52 @@
+let cube_to_formula cube =
+  Formula.and_
+    (List.map
+       (fun (a, p) -> if p then Formula.atom a else Formula.not_ (Formula.atom a))
+       cube)
+
+let project_one method_ x f =
+  match Formula.dnf f with
+  | None -> None
+  | Some cubes ->
+    let results =
+      List.map
+        (fun cube ->
+          match method_ with
+          | `Real -> begin
+            let pos, dvd_neg =
+              List.partition (fun (_, p) -> p) cube
+            in
+            (* Negative literals are divisibility-only; Fourier-Motzkin
+               requires them not to mention the eliminated variable. *)
+            let blocked =
+              List.exists (fun (a, _) -> List.mem x (Atom.vars a)) dvd_neg
+            in
+            if blocked then None
+            else begin
+              match Fourier_motzkin.eliminate [ x ] (List.map fst pos) with
+              | None -> None
+              | Some atoms ->
+                Some
+                  (Formula.and_
+                     (cube_to_formula dvd_neg :: List.map Formula.atom atoms))
+            end
+          end
+          | `Int -> Cooper.eliminate_cube x cube)
+        cubes
+    in
+    if List.exists (fun r -> r = None) results then None
+    else Some (Formula.or_ (List.filter_map Fun.id results))
+
+let project ~method_ ~eliminate f =
+  let rec go vars f =
+    match vars with
+    | [] -> Some f
+    | x :: rest -> begin
+      if not (List.mem x (Formula.vars f)) then go rest f
+      else
+        match project_one method_ x f with
+        | None -> None
+        | Some f' -> go rest f'
+    end
+  in
+  go eliminate (Formula.nnf f)

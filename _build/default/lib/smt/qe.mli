@@ -1,0 +1,11 @@
+(** Quantifier elimination facade: compute a quantifier-free formula
+    equivalent to [exists vars. f].
+
+    [`Real] uses Fourier-Motzkin (exact over the rationals; an
+    over-approximation of the integer projection, which keeps Sia's
+    FALSE-sample generation sound). [`Int] uses Cooper's algorithm (exact
+    over the integers; may introduce divisibility atoms). *)
+
+val project :
+  method_:[ `Real | `Int ] -> eliminate:int list -> Formula.t -> Formula.t option
+(** [None] on resource blow-up (DNF or elimination limits). *)

@@ -1,0 +1,35 @@
+(** A CDCL SAT solver (two-watched literals, first-UIP learning, VSIDS-style
+    activities, Luby restarts, phase saving).
+
+    Used as the boolean core of the lazy DPLL(T) loop in {!Solver}: clauses
+    may be added between [solve] calls (theory blocking clauses), and the
+    solver keeps its learned state. *)
+
+type t
+
+type lit = int
+(** Literal encoding: [2*v] is the positive literal of variable [v],
+    [2*v + 1] its negation. *)
+
+val create : unit -> t
+val new_var : t -> int
+val n_vars : t -> int
+
+val pos : int -> lit
+val neg_lit : int -> lit
+val lit_of : int -> bool -> lit
+val var_of : lit -> int
+val lit_sign : lit -> bool
+
+val add_clause : t -> lit list -> unit
+(** May be called before or between [solve] calls; an empty (or trivially
+    contradictory at level 0) clause makes the instance permanently unsat. *)
+
+val solve : t -> bool
+(** [true] when satisfiable; the model is then readable via {!value}. *)
+
+val value : t -> int -> bool
+(** Model polarity of a variable after a successful {!solve}; variables the
+    search never assigned default to [false]. *)
+
+val n_conflicts : t -> int

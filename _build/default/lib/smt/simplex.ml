@@ -1,0 +1,299 @@
+open Sia_numeric
+module IntMap = Map.Make (Int)
+
+type result =
+  | Sat of (int * Rat.t) list
+  | Unsat of int list
+
+(* Internal solver state. Variables are renumbered densely: original
+   variables first, then one slack variable per distinct linear form. *)
+type state = {
+  nvars : int;
+  rows : Linexpr.t array; (* for basic vars: var = expr over nonbasic; empty for nonbasic *)
+  basic : bool array;
+  beta : Delta.t array;
+  lower : (Delta.t * int) option array; (* bound, reason = input atom index *)
+  upper : (Delta.t * int) option array;
+}
+
+exception Conflict of int list
+
+let build atoms =
+  (* Map original variable ids to dense indices. *)
+  let var_ids = Hashtbl.create 16 in
+  let rev_ids = ref [] in
+  let next = ref 0 in
+  let intern v =
+    match Hashtbl.find_opt var_ids v with
+    | Some i -> i
+    | None ->
+      let i = !next in
+      incr next;
+      Hashtbl.add var_ids v i;
+      rev_ids := (i, v) :: !rev_ids;
+      i
+  in
+  List.iter (fun a -> List.iter (fun v -> ignore (intern v)) (Atom.vars a)) atoms;
+  let n_orig = !next in
+  (* One slack variable per distinct linear form (constant stripped). *)
+  let module FormTbl = Hashtbl.Make (struct
+    type t = Linexpr.t
+
+    let equal = Linexpr.equal
+    let hash = Linexpr.hash
+  end) in
+  let forms = FormTbl.create 64 in
+  let slack_rows = ref [] in
+  let slack_of form =
+    match FormTbl.find_opt forms form with
+    | Some idx -> idx
+    | None ->
+      let idx = !next in
+      incr next;
+      FormTbl.add forms form idx;
+      slack_rows := (idx, form) :: !slack_rows;
+      idx
+  in
+  (* Translate each atom to a bound on a slack variable. *)
+  let bounds = ref [] in
+  List.iteri
+    (fun i a ->
+      match a with
+      | Atom.Dvd _ -> invalid_arg "Simplex.solve: Dvd atom"
+      | Atom.Lin (rel, e) ->
+        let dense =
+          List.fold_left
+            (fun acc (v, c) -> Linexpr.add acc (Linexpr.var ~coeff:c (intern v)))
+            Linexpr.zero (Linexpr.terms e)
+        in
+        let k = Linexpr.constant e in
+        if Linexpr.is_const dense then begin
+          (* Constant atom: should have been simplified; treat directly. *)
+          let ok =
+            match rel with
+            | Atom.Le -> Rat.sign k <= 0
+            | Atom.Lt -> Rat.sign k < 0
+            | Atom.Eq -> Rat.is_zero k
+          in
+          if not ok then raise (Conflict [ i ])
+        end
+        else begin
+          let s = slack_of dense in
+          let rhs = Rat.neg k in
+          match rel with
+          | Atom.Le -> bounds := (s, `Upper, Delta.of_rat rhs, i) :: !bounds
+          | Atom.Lt -> bounds := (s, `Upper, Delta.make rhs Rat.minus_one, i) :: !bounds
+          | Atom.Eq ->
+            bounds := (s, `Upper, Delta.of_rat rhs, i) :: (s, `Lower, Delta.of_rat rhs, i) :: !bounds
+        end)
+    atoms;
+  let nvars = !next in
+  let rows = Array.make nvars Linexpr.zero in
+  let basic = Array.make nvars false in
+  List.iter
+    (fun (idx, form) ->
+      rows.(idx) <- form;
+      basic.(idx) <- true)
+    !slack_rows;
+  let st =
+    {
+      nvars;
+      rows;
+      basic;
+      beta = Array.make nvars Delta.zero;
+      lower = Array.make nvars None;
+      upper = Array.make nvars None;
+    }
+  in
+  (* Record bounds, tightening and detecting immediate crossings. *)
+  List.iter
+    (fun (s, kind, v, reason) ->
+      match kind with
+      | `Upper -> begin
+        (match st.upper.(s) with
+         | Some (u, _) when Delta.compare u v <= 0 -> ()
+         | Some _ | None ->
+           (match st.lower.(s) with
+            | Some (l, rl) when Delta.compare v l < 0 -> raise (Conflict [ reason; rl ])
+            | Some _ | None -> st.upper.(s) <- Some (v, reason)))
+      end
+      | `Lower -> begin
+        (match st.lower.(s) with
+         | Some (l, _) when Delta.compare l v >= 0 -> ()
+         | Some _ | None ->
+           (match st.upper.(s) with
+            | Some (u, ru) when Delta.compare v u > 0 -> raise (Conflict [ reason; ru ])
+            | Some _ | None -> st.lower.(s) <- Some (v, reason)))
+      end)
+    (List.rev !bounds);
+  (st, List.rev !rev_ids, n_orig)
+
+let row_value st row =
+  List.fold_left
+    (fun acc (x, c) -> Delta.add acc (Delta.scale c st.beta.(x)))
+    Delta.zero (Linexpr.terms row)
+
+let recompute_basics st =
+  for x = 0 to st.nvars - 1 do
+    if st.basic.(x) then st.beta.(x) <- row_value st st.rows.(x)
+  done
+
+let violates_lower st x =
+  match st.lower.(x) with Some (l, _) -> Delta.compare st.beta.(x) l < 0 | None -> false
+
+let violates_upper st x =
+  match st.upper.(x) with Some (u, _) -> Delta.compare st.beta.(x) u > 0 | None -> false
+
+let below_upper st x =
+  match st.upper.(x) with Some (u, _) -> Delta.compare st.beta.(x) u < 0 | None -> true
+
+let above_lower st x =
+  match st.lower.(x) with Some (l, _) -> Delta.compare st.beta.(x) l > 0 | None -> true
+
+(* Pivot basic xi with nonbasic xj and set beta(xi) = v. *)
+let pivot_and_update st xi xj v =
+  let row = st.rows.(xi) in
+  let aij = Linexpr.coeff row xj in
+  let theta = Delta.scale (Rat.inv aij) (Delta.sub v st.beta.(xi)) in
+  st.beta.(xi) <- v;
+  st.beta.(xj) <- Delta.add st.beta.(xj) theta;
+  for xk = 0 to st.nvars - 1 do
+    if st.basic.(xk) && xk <> xi then begin
+      let akj = Linexpr.coeff st.rows.(xk) xj in
+      if not (Rat.is_zero akj) then st.beta.(xk) <- Delta.add st.beta.(xk) (Delta.scale akj theta)
+    end
+  done;
+  (* Solve row of xi for xj: xi = sum a_k x_k  ==>
+     xj = (1/aij) xi - sum_{k<>j} (a_k/aij) x_k *)
+  let rest = Linexpr.remove row xj in
+  let xj_def =
+    Linexpr.add
+      (Linexpr.var ~coeff:(Rat.inv aij) xi)
+      (Linexpr.scale (Rat.neg (Rat.inv aij)) rest)
+  in
+  st.basic.(xi) <- false;
+  st.rows.(xi) <- Linexpr.zero;
+  st.basic.(xj) <- true;
+  st.rows.(xj) <- xj_def;
+  (* Substitute xj in every other row. *)
+  for xk = 0 to st.nvars - 1 do
+    if st.basic.(xk) && xk <> xj then begin
+      let r = st.rows.(xk) in
+      if Linexpr.mem r xj then st.rows.(xk) <- Linexpr.subst r xj xj_def
+    end
+  done
+
+let check st =
+  let rec loop () =
+    (* Bland's rule: smallest violating basic variable. *)
+    let xi = ref (-1) in
+    (let x = ref 0 in
+     while !xi < 0 && !x < st.nvars do
+       if st.basic.(!x) && (violates_lower st !x || violates_upper st !x) then xi := !x;
+       incr x
+     done);
+    if !xi < 0 then Ok ()
+    else begin
+      let xi = !xi in
+      let row = st.rows.(xi) in
+      if violates_lower st xi then begin
+        (* Need to increase beta(xi). *)
+        let xj = ref (-1) in
+        List.iter
+          (fun (x, c) ->
+            if !xj < 0 then begin
+              if Rat.sign c > 0 && below_upper st x then xj := x
+              else if Rat.sign c < 0 && above_lower st x then xj := x
+            end)
+          (Linexpr.terms row);
+        if !xj < 0 then begin
+          (* Infeasible: build core from the row's saturated bounds. *)
+          let core = ref [] in
+          (match st.lower.(xi) with Some (_, r) -> core := r :: !core | None -> ());
+          List.iter
+            (fun (x, c) ->
+              if Rat.sign c > 0 then
+                match st.upper.(x) with Some (_, r) -> core := r :: !core | None -> ()
+              else
+                match st.lower.(x) with Some (_, r) -> core := r :: !core | None -> ())
+            (Linexpr.terms row);
+          Error (List.sort_uniq Stdlib.compare !core)
+        end
+        else begin
+          let l = match st.lower.(xi) with Some (l, _) -> l | None -> assert false in
+          pivot_and_update st xi !xj l;
+          loop ()
+        end
+      end
+      else begin
+        (* beta(xi) > upper: need to decrease. *)
+        let xj = ref (-1) in
+        List.iter
+          (fun (x, c) ->
+            if !xj < 0 then begin
+              if Rat.sign c < 0 && below_upper st x then xj := x
+              else if Rat.sign c > 0 && above_lower st x then xj := x
+            end)
+          (Linexpr.terms row);
+        if !xj < 0 then begin
+          let core = ref [] in
+          (match st.upper.(xi) with Some (_, r) -> core := r :: !core | None -> ());
+          List.iter
+            (fun (x, c) ->
+              if Rat.sign c < 0 then
+                match st.upper.(x) with Some (_, r) -> core := r :: !core | None -> ()
+              else
+                match st.lower.(x) with Some (_, r) -> core := r :: !core | None -> ())
+            (Linexpr.terms row);
+          Error (List.sort_uniq Stdlib.compare !core)
+        end
+        else begin
+          let u = match st.upper.(xi) with Some (u, _) -> u | None -> assert false in
+          pivot_and_update st xi !xj u;
+          loop ()
+        end
+      end
+    end
+  in
+  loop ()
+
+let solve_full atoms =
+  match build atoms with
+  | exception Conflict core -> Error core
+  | st, rev_ids, n_orig -> begin
+    (* Move nonbasic variables inside their bounds before checking
+       (slack variables start basic, so only original vars matter; they
+       have no bounds, but slacks can become nonbasic only during check,
+       which maintains their bounds). *)
+    recompute_basics st;
+    match check st with
+    | Error core -> Error core
+    | Ok () ->
+      let model =
+        List.filter_map
+          (fun (dense, orig) -> if dense < n_orig then Some (orig, st.beta.(dense)) else None)
+          rev_ids
+      in
+      (* Comparison-preservation set for delta concretization: every
+         assignment (slacks included, since atom truth is linear in the
+         variable values) and every bound in play. *)
+      let all = ref [] in
+      for x = 0 to st.nvars - 1 do
+        all := st.beta.(x) :: !all;
+        (match st.lower.(x) with Some (l, _) -> all := l :: !all | None -> ());
+        (match st.upper.(x) with Some (u, _) -> all := u :: !all | None -> ())
+      done;
+      Ok (model, !all)
+  end
+
+let solve_delta atoms =
+  match solve_full atoms with
+  | Error core -> Error core
+  | Ok (model, _) -> Ok model
+
+let solve atoms =
+  match solve_full atoms with
+  | Error core -> Unsat core
+  | Ok (dmodel, all) ->
+    let delta0 = Delta.choose_delta all in
+    Sat (List.map (fun (v, d) -> (v, Delta.apply delta0 d)) dmodel)

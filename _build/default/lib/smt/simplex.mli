@@ -1,0 +1,20 @@
+(** Dutertre-de Moura general simplex over delta-rationals.
+
+    Decides satisfiability of a {e conjunction} of linear atoms
+    ({!Atom.Lin} only) over the rationals, producing either a model or an
+    unsatisfiable core (indices into the input list). Strict inequalities
+    are handled with infinitesimals; integrality is layered on top by
+    {!Theory}. *)
+
+open Sia_numeric
+
+type result =
+  | Sat of (int * Rat.t) list  (** variable / value pairs for every variable that occurs *)
+  | Unsat of int list  (** indices of input atoms forming an infeasible subset *)
+
+val solve : Atom.t list -> result
+(** @raise Invalid_argument if the list contains a [Dvd] atom. *)
+
+val solve_delta : Atom.t list -> ((int * Delta.t) list, int list) Stdlib.result
+(** Like {!solve} but exposing the delta-rational assignment, for callers
+    (branch and bound) that need exact strictness information. *)

@@ -1,0 +1,167 @@
+open Sia_numeric
+
+type model = (int * Rat.t) list
+
+type result =
+  | Sat of model
+  | Unsat
+  | Unknown
+
+let model_value m v = match List.assoc_opt v m with Some r -> r | None -> Rat.zero
+
+(* Tseitin encoding, implication direction only (sufficient for
+   satisfiability): the formula is in NNF, so it is monotone in its
+   literals, except for Dvd atoms which may occur under both polarities and
+   whose assignments are therefore always passed to the theory. *)
+let encode sat atom_var f =
+  let rec enc f =
+    match f with
+    | Formula.True ->
+      let p = Sat.new_var sat in
+      Sat.pos p
+    | Formula.False ->
+      let p = Sat.new_var sat in
+      Sat.add_clause sat [ Sat.neg_lit p ];
+      Sat.pos p
+    | Formula.Atom a -> Sat.pos (atom_var a)
+    | Formula.Not (Formula.Atom (Atom.Dvd _ as a)) -> Sat.neg_lit (atom_var a)
+    | Formula.Not _ -> invalid_arg "Solver.encode: formula not in NNF"
+    | Formula.And fs ->
+      let p = Sat.new_var sat in
+      List.iter (fun g -> Sat.add_clause sat [ Sat.neg_lit p; enc g ]) fs;
+      Sat.pos p
+    | Formula.Or fs ->
+      let p = Sat.new_var sat in
+      let lits = List.map enc fs in
+      Sat.add_clause sat (Sat.neg_lit p :: lits);
+      Sat.pos p
+  in
+  enc f
+
+type instance = {
+  sat : Sat.t;
+  atom_tbl : (Atom.t, int) Hashtbl.t;
+  mutable atoms : (Atom.t * int) list;
+  fvars : int list;
+  formula : Formula.t; (* NNF *)
+}
+
+let make_instance f =
+  let sat = Sat.create () in
+  let atom_tbl = Hashtbl.create 64 in
+  let inst = { sat; atom_tbl; atoms = []; fvars = Formula.vars f; formula = f } in
+  let atom_var a =
+    match Hashtbl.find_opt atom_tbl a with
+    | Some v -> v
+    | None ->
+      let v = Sat.new_var sat in
+      Hashtbl.add atom_tbl a v;
+      inst.atoms <- (a, v) :: inst.atoms;
+      v
+  in
+  let root = encode sat atom_var f in
+  Sat.add_clause sat [ root ];
+  inst
+
+let atom_var inst a =
+  match Hashtbl.find_opt inst.atom_tbl a with
+  | Some v -> v
+  | None ->
+    let v = Sat.new_var inst.sat in
+    Hashtbl.add inst.atom_tbl a v;
+    inst.atoms <- (a, v) :: inst.atoms;
+    v
+
+(* One DPLL(T) run on the current clause set. *)
+let run_instance ?(max_rounds = 50_000) ~is_int inst =
+  let rec loop round =
+    if round > max_rounds then Unknown
+    else if not (Sat.solve inst.sat) then Unsat
+    else begin
+      (* Theory literals from the boolean model: positive Lin atoms, and
+         Dvd atoms under either polarity. *)
+      let lits =
+        List.filter_map
+          (fun (a, v) ->
+            let value = Sat.value inst.sat v in
+            match a with
+            | Atom.Lin _ -> if value then Some (a, true) else None
+            | Atom.Dvd _ -> Some (a, value))
+          inst.atoms
+      in
+      match Theory.check ~is_int lits with
+      | Theory.Unknown -> Unknown
+      | Theory.Sat m ->
+        let m =
+          List.fold_left
+            (fun acc v -> if List.mem_assoc v acc then acc else (v, Rat.zero) :: acc)
+            m inst.fvars
+        in
+        let lookup = model_value m in
+        if not (Formula.eval inst.formula lookup) then
+          failwith "Solver.solve: internal error, model does not satisfy formula";
+        Sat m
+      | Theory.Unsat core ->
+        let blocking =
+          List.map
+            (fun (a, polarity) ->
+              let v = Hashtbl.find inst.atom_tbl a in
+              if polarity then Sat.neg_lit v else Sat.pos v)
+            core
+        in
+        Sat.add_clause inst.sat blocking;
+        loop (round + 1)
+    end
+  in
+  loop 0
+
+let solve ?max_rounds ~is_int f =
+  let f = Formula.nnf f in
+  match f with
+  | Formula.True -> Sat (List.map (fun v -> (v, Rat.zero)) (Formula.vars f))
+  | Formula.False -> Unsat
+  | _ -> run_instance ?max_rounds ~is_int (make_instance f)
+
+let solve_many ?max_rounds ~is_int ~count ~distinct_on f =
+  if count <= 0 then ([], false)
+  else begin
+    let f = Formula.nnf f in
+    match f with
+    | Formula.False -> ([], true)
+    | _ -> begin
+      let inst = make_instance f in
+      let models = ref [] in
+      let exhausted = ref false in
+      while List.length !models < count && not !exhausted do
+        match run_instance ?max_rounds ~is_int inst with
+        | Unsat -> exhausted := true
+        | Unknown -> exhausted := true
+        | Sat m ->
+          models := !models @ [ m ];
+          (* Block this model on the distinguished variables: the next
+             model must differ on at least one of them. The fresh
+             disequality atoms join the abstraction and are theory-checked
+             like any other literal. *)
+          if distinct_on = [] then exhausted := true
+          else begin
+            let lits =
+              List.concat_map
+                (fun v ->
+                  let value = Linexpr.const (model_value m v) in
+                  let lt = Atom.mk_lt (Linexpr.var v) value in
+                  let gt = Atom.mk_gt (Linexpr.var v) value in
+                  [ Sat.pos (atom_var inst lt); Sat.pos (atom_var inst gt) ])
+                distinct_on
+            in
+            Sat.add_clause inst.sat lits
+          end
+      done;
+      (!models, !exhausted)
+    end
+  end
+
+let entails ~is_int p q =
+  match solve ~is_int (Formula.and_ [ p; Formula.not_ q ]) with
+  | Sat _ -> Some false
+  | Unsat -> Some true
+  | Unknown -> None

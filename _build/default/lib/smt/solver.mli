@@ -1,0 +1,41 @@
+(** Lazy DPLL(T): CDCL boolean search over the Tseitin abstraction with
+    theory checking (simplex + integer branch-and-bound) of each candidate
+    assignment, blocking-clause refinement on theory conflicts.
+
+    This is the [Z3]-replacement facade used by Sia: satisfiability plus
+    model generation for quantifier-free linear integer/rational arithmetic
+    with divisibility atoms. *)
+
+open Sia_numeric
+
+type model = (int * Rat.t) list
+
+type result =
+  | Sat of model
+  | Unsat
+  | Unknown  (** resource limit (unbounded integer branch and bound) *)
+
+val solve : ?max_rounds:int -> is_int:(int -> bool) -> Formula.t -> result
+(** Find a model of the formula, assigning every variable that occurs in
+    it (unconstrained variables default to zero). Integer variables take
+    integral values. *)
+
+val solve_many :
+  ?max_rounds:int ->
+  is_int:(int -> bool) ->
+  count:int ->
+  distinct_on:int list ->
+  Formula.t ->
+  model list * bool
+(** Enumerate up to [count] models that pairwise differ on at least one of
+    the [distinct_on] variables, reusing one learned-clause state across
+    the enumeration (each model adds a blocking clause of fresh
+    disequality atoms). The flag is true when the model space was
+    exhausted before [count] models were found. *)
+
+val entails : is_int:(int -> bool) -> Formula.t -> Formula.t -> bool option
+(** [entails p q] decides whether [p] implies [q] ([Some true]),
+    exhibits a countermodel ([Some false]), or gives up ([None]). *)
+
+val model_value : model -> int -> Rat.t
+(** Lookup with zero default. *)

@@ -1,0 +1,195 @@
+open Sia_numeric
+
+type lit = Atom.t * bool
+
+type verdict =
+  | Sat of (int * Rat.t) list
+  | Unsat of lit list
+  | Unknown
+
+(* Rewrite a literal into plain linear atoms, introducing fresh integer
+   variables for divisibility. [fresh] allocates variable ids that cannot
+   clash with the caller's. Returns the expanded atoms, each tagged with the
+   originating input index (for core mapping); side constraints introduced
+   by the rewrite share their origin's index. *)
+let expand_lit fresh idx (a, polarity) =
+  match (a, polarity) with
+  | Atom.Lin _, false -> invalid_arg "Theory.check: negated Lin literal"
+  | Atom.Lin _, true -> [ (idx, a) ]
+  | Atom.Dvd (d, e), true ->
+    (* d | e  <=>  exists q. e - d*q = 0 *)
+    let q = fresh () in
+    [ (idx, Atom.mk_eq e (Linexpr.var ~coeff:(Rat.of_bigint d) q)) ]
+  | Atom.Dvd (d, e), false ->
+    (* not (d | e)  <=>  exists q r. e = d*q + r  /\  1 <= r <= d-1 *)
+    let q = fresh () and r = fresh () in
+    let dq = Linexpr.var ~coeff:(Rat.of_bigint d) q in
+    let rv = Linexpr.var r in
+    [
+      (idx, Atom.mk_eq e (Linexpr.add dq rv));
+      (idx, Atom.mk_ge rv (Linexpr.of_int 1));
+      (idx, Atom.mk_le rv (Linexpr.sub (Linexpr.const (Rat.of_bigint d)) (Linexpr.of_int 1)));
+    ]
+
+(* Integer tightening: for an atom whose variables are all integer (with
+   integer coefficients, which canonical atoms guarantee), the constraint
+   sum c_i x_i + k (rel) 0 can be strengthened without losing integer
+   points: with g = gcd(c_i) and t = (sum c_i x_i)/g,
+     t + k/g <  0  becomes  t <= ceil(-k/g) - 1
+     t + k/g <= 0  becomes  t <= floor(-k/g).
+   This is what lets simplex alone refute fractional strips such as
+   19 < x - y < 20 that branch-and-bound cannot (the region is unbounded). *)
+let tighten_int is_int atom =
+  match atom with
+  | Atom.Lin ((Atom.Le | Atom.Lt) as rel, e) ->
+    let terms = Linexpr.terms e in
+    let k = Linexpr.constant e in
+    if terms = [] || not (List.for_all (fun (v, c) -> is_int v && Rat.is_integer c) terms)
+       || not (Rat.is_integer k)
+    then atom
+    else begin
+      let g = List.fold_left (fun acc (_, c) -> Bigint.gcd acc c.Rat.num) Bigint.zero terms in
+      if Bigint.is_zero g then atom
+      else begin
+        let t = Linexpr.scale (Rat.make Bigint.one g) (Linexpr.set_constant e Rat.zero) in
+        let bound = Rat.div (Rat.neg k) (Rat.of_bigint g) in
+        let rhs =
+          match rel with
+          | Atom.Le -> Rat.floor bound
+          | Atom.Lt -> Bigint.sub (Rat.ceil bound) Bigint.one
+          | Atom.Eq -> assert false
+        in
+        Atom.mk_le t (Linexpr.const (Rat.of_bigint rhs))
+      end
+    end
+  | Atom.Lin (Atom.Eq, _) | Atom.Dvd _ -> atom
+
+(* gcd test: an equality sum c_i x_i + k = 0 with all x_i integer is
+   infeasible when gcd(c_i) does not divide k (after integer scaling,
+   which canonical atoms already have). *)
+let gcd_infeasible is_int atom =
+  match atom with
+  | Atom.Lin (Atom.Eq, e) ->
+    let terms = Linexpr.terms e in
+    if terms <> [] && List.for_all (fun (v, _) -> is_int v) terms then begin
+      let g =
+        List.fold_left (fun acc (_, c) -> Bigint.gcd acc c.Rat.num) Bigint.zero terms
+      in
+      let k = Linexpr.constant e in
+      (not (Bigint.is_zero g))
+      && Rat.is_integer k
+      && not (Bigint.is_zero (Bigint.rem k.Rat.num g))
+    end
+    else false
+  | Atom.Lin _ | Atom.Dvd _ -> false
+
+(* Floor of a delta-rational for an integer variable: the largest integer
+   strictly representable below (or at) the value. *)
+let delta_floor (d : Delta.t) =
+  let r = d.Delta.real in
+  if Rat.is_integer r then begin
+    if Rat.sign d.Delta.inf < 0 then Bigint.sub (Rat.floor r) Bigint.one else Rat.floor r
+  end
+  else Rat.floor r
+
+let check ~is_int ?(node_limit = 4000) lits =
+  let max_var =
+    List.fold_left
+      (fun acc (a, _) -> List.fold_left max acc (Atom.vars a))
+      0 lits
+  in
+  let next = ref (max_var + 1) in
+  let fresh_vars = ref [] in
+  let fresh () =
+    let v = !next in
+    incr next;
+    fresh_vars := v :: !fresh_vars;
+    v
+  in
+  let tagged = List.concat (List.mapi (fun i l -> expand_lit fresh i l) lits) in
+  let lits_arr = Array.of_list lits in
+  let is_int v = is_int v || List.mem v !fresh_vars in
+  let tagged = List.map (fun (i, a) -> (i, tighten_int is_int a)) tagged in
+  (* Fast gcd screen. *)
+  let gcd_hit =
+    List.find_opt (fun (_, a) -> gcd_infeasible is_int a) tagged
+  in
+  match gcd_hit with
+  | Some (i, _) -> Unsat [ lits_arr.(i) ]
+  | None -> begin
+    let base_atoms = List.map snd tagged in
+    let base_origin = Array.of_list (List.map fst tagged) in
+    let orig_vars =
+      List.sort_uniq Stdlib.compare (List.concat_map (fun (a, _) -> Atom.vars a) lits)
+    in
+    let nodes = ref 0 in
+    (* Branch and bound: [extra] are internal branching atoms with no
+       origin. Returns a model or a core in input-literal space, or raises
+       on exhausted budget. *)
+    let exception Out_of_budget in
+    let rec bb extra =
+      incr nodes;
+      if !nodes > node_limit then raise Out_of_budget;
+      let atoms = base_atoms @ extra in
+      match Simplex.solve_delta atoms with
+      | Error core ->
+        let n_base = Array.length base_origin in
+        let input_core =
+          List.filter_map
+            (fun i -> if i < n_base then Some base_origin.(i) else None)
+            core
+        in
+        Error (List.sort_uniq Stdlib.compare input_core)
+      | Ok dmodel -> begin
+        (* Find an integer variable with a non-integral value. *)
+        let frac =
+          List.find_opt
+            (fun (v, d) ->
+              is_int v
+              && not (Rat.is_integer d.Delta.real && Rat.is_zero d.Delta.inf))
+            dmodel
+        in
+        match frac with
+        | None -> Ok dmodel
+        | Some (v, d) ->
+          let fl = delta_floor d in
+          let le = Atom.mk_le (Linexpr.var v) (Linexpr.const (Rat.of_bigint fl)) in
+          let ge =
+            Atom.mk_ge (Linexpr.var v)
+              (Linexpr.const (Rat.of_bigint (Bigint.add fl Bigint.one)))
+          in
+          (match bb (le :: extra) with
+           | Ok m -> Ok m
+           | Error c1 -> begin
+             match bb (ge :: extra) with
+             | Ok m -> Ok m
+             | Error c2 -> Error (List.sort_uniq Stdlib.compare (c1 @ c2))
+           end)
+      end
+    in
+    match bb [] with
+    | exception Out_of_budget -> Unknown
+    | Error core_idx ->
+      (* A branch-derived core can be empty only if infeasibility came
+         entirely from internal atoms, which cannot happen since branches
+         partition integer space; fall back to the full literal set. *)
+      if core_idx = [] then Unsat (Array.to_list lits_arr)
+      else Unsat (List.map (fun i -> lits_arr.(i)) core_idx)
+    | Ok dmodel ->
+      let all = List.map snd dmodel in
+      let delta0 = Delta.choose_delta all in
+      let model =
+        List.filter_map
+          (fun (v, d) ->
+            if List.mem v orig_vars then Some (v, Delta.apply delta0 d) else None)
+          dmodel
+      in
+      (* Variables mentioned in the input but absent from the simplex
+         (eliminated constants etc.) default to zero. *)
+      let model =
+        List.fold_left
+          (fun acc v -> if List.mem_assoc v acc then acc else (v, Rat.zero) :: acc)
+          model orig_vars
+      in
+      Sat model
+  end

@@ -1,0 +1,19 @@
+(** Theory checking for conjunctions of literals: rational simplex plus a
+    branch-and-bound integer layer, a gcd infeasibility test, and rewriting
+    of divisibility literals into fresh-variable equalities. *)
+
+open Sia_numeric
+
+type lit = Atom.t * bool
+(** Atom with polarity. [Lin] atoms must be positive; [Dvd] atoms may take
+    either polarity. *)
+
+type verdict =
+  | Sat of (int * Rat.t) list  (** model over the input's variables *)
+  | Unsat of lit list  (** an infeasible subset of the input literals *)
+  | Unknown  (** branch-and-bound budget exhausted (unbounded integer vars) *)
+
+val check : is_int:(int -> bool) -> ?node_limit:int -> lit list -> verdict
+(** Integer variables are rounded by branch and bound; divisibility
+    constraints become fresh integer variables. Models assign every
+    variable occurring in the input (integral values for integer vars). *)

@@ -1,0 +1,1 @@
+lib/sql/date.ml: Format Int Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/sql/date.mli: Format

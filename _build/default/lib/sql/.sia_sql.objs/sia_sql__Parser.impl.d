@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Array Ast Date Lexer List Printf

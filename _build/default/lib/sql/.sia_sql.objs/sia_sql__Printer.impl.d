@@ -1,0 +1,1 @@
+lib/sql/printer.ml: Ast Date Format List Printf String

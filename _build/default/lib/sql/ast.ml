@@ -1,0 +1,106 @@
+type binop = Add | Sub | Mul | Div
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type const =
+  | Cint of int
+  | Cfloat of float
+  | Cdate of Date.t
+  | Cinterval of int
+
+type column = { table : string option; name : string }
+
+type expr =
+  | Col of column
+  | Const of const
+  | Binop of binop * expr * expr
+
+type pred =
+  | Cmp of cmp * expr * expr
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | Ptrue
+  | Pfalse
+
+type select_item = Star | Column of column
+
+type query = {
+  select : select_item list;
+  from : string list;
+  where : pred option;
+}
+
+let col ?table name = Col { table; name }
+let int_ n = Const (Cint n)
+let date s = Const (Cdate (Date.of_string s))
+let interval n = Const (Cinterval n)
+let ( +! ) a b = Binop (Add, a, b)
+let ( -! ) a b = Binop (Sub, a, b)
+let ( *! ) a b = Binop (Mul, a, b)
+let ( /! ) a b = Binop (Div, a, b)
+let ( <! ) a b = Cmp (Lt, a, b)
+let ( <=! ) a b = Cmp (Le, a, b)
+let ( >! ) a b = Cmp (Gt, a, b)
+let ( >=! ) a b = Cmp (Ge, a, b)
+let ( =! ) a b = Cmp (Eq, a, b)
+let ( <>! ) a b = Cmp (Ne, a, b)
+
+let conj = function
+  | [] -> Ptrue
+  | p :: ps -> List.fold_left (fun acc x -> And (acc, x)) p ps
+
+let disj = function
+  | [] -> Pfalse
+  | p :: ps -> List.fold_left (fun acc x -> Or (acc, x)) p ps
+
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | Ptrue -> []
+  | p -> [ p ]
+
+let column_equal (a : column) (b : column) = a.table = b.table && a.name = b.name
+
+let rec expr_columns = function
+  | Col c -> [ c ]
+  | Const _ -> []
+  | Binop (_, a, b) -> expr_columns a @ expr_columns b
+
+let pred_columns p =
+  let rec go = function
+    | Cmp (_, a, b) -> expr_columns a @ expr_columns b
+    | And (a, b) | Or (a, b) -> go a @ go b
+    | Not a -> go a
+    | Ptrue | Pfalse -> []
+  in
+  let rec uniq seen = function
+    | [] -> List.rev seen
+    | c :: rest ->
+      if List.exists (column_equal c) seen then uniq seen rest else uniq (c :: seen) rest
+  in
+  uniq [] (go p)
+
+let rec expr_size = function
+  | Col _ | Const _ -> 1
+  | Binop (_, a, b) -> 1 + expr_size a + expr_size b
+
+let rec pred_size = function
+  | Cmp (_, a, b) -> 1 + expr_size a + expr_size b
+  | And (a, b) | Or (a, b) -> 1 + pred_size a + pred_size b
+  | Not a -> 1 + pred_size a
+  | Ptrue | Pfalse -> 1
+
+let cmp_negate = function
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+  | Eq -> Ne
+  | Ne -> Eq
+
+let cmp_flip = function
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+  | Eq -> Eq
+  | Ne -> Ne

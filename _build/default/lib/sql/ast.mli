@@ -1,0 +1,66 @@
+(** Abstract syntax for the SQL fragment Sia operates on (the predicate
+    grammar of section 4.1 plus simple SELECT-FROM-WHERE queries). *)
+
+type binop = Add | Sub | Mul | Div
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type const =
+  | Cint of int
+  | Cfloat of float
+  | Cdate of Date.t
+  | Cinterval of int  (** a span in days *)
+
+type column = { table : string option; name : string }
+
+type expr =
+  | Col of column
+  | Const of const
+  | Binop of binop * expr * expr
+
+type pred =
+  | Cmp of cmp * expr * expr
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | Ptrue
+  | Pfalse
+
+type select_item = Star | Column of column
+
+type query = {
+  select : select_item list;
+  from : string list;
+  where : pred option;
+}
+
+val col : ?table:string -> string -> expr
+val int_ : int -> expr
+val date : string -> expr
+val interval : int -> expr
+val ( +! ) : expr -> expr -> expr
+val ( -! ) : expr -> expr -> expr
+val ( *! ) : expr -> expr -> expr
+val ( /! ) : expr -> expr -> expr
+val ( <! ) : expr -> expr -> pred
+val ( <=! ) : expr -> expr -> pred
+val ( >! ) : expr -> expr -> pred
+val ( >=! ) : expr -> expr -> pred
+val ( =! ) : expr -> expr -> pred
+val ( <>! ) : expr -> expr -> pred
+val conj : pred list -> pred
+val disj : pred list -> pred
+
+val conjuncts : pred -> pred list
+(** Flatten nested [And] into a list. *)
+
+val pred_columns : pred -> column list
+(** Distinct columns, first-occurrence order. *)
+
+val expr_columns : expr -> column list
+val column_equal : column -> column -> bool
+val pred_size : pred -> int
+(** Node count, a complexity measure used in reports. *)
+
+val cmp_negate : cmp -> cmp
+val cmp_flip : cmp -> cmp
+(** Mirror a comparison: [a < b] iff [b > a]. *)

@@ -1,0 +1,58 @@
+type t = int (* days since 1970-01-01 *)
+
+let is_leap_year y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap_year y then 29 else 28
+  | _ -> invalid_arg "Date: month out of range"
+
+(* Howard Hinnant's days_from_civil. *)
+let of_ymd y m d =
+  if m < 1 || m > 12 then invalid_arg "Date.of_ymd: month";
+  if d < 1 || d > days_in_month y m then invalid_arg "Date.of_ymd: day";
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let of_days d = d
+let to_days d = d
+
+(* Hinnant's civil_from_days. *)
+let ymd z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  let y = if m <= 2 then y + 1 else y in
+  (y, m, d)
+
+let of_string s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] -> begin
+    match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d) with
+    | Some y, Some m, Some d -> of_ymd y m d
+    | _, _, _ -> invalid_arg ("Date.of_string: " ^ s)
+  end
+  | _ -> invalid_arg ("Date.of_string: " ^ s)
+
+let to_string t =
+  let y, m, d = ymd t in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+let add_days t n = t + n
+let diff a b = a - b
+let compare = Stdlib.compare
+let equal = Int.equal
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,29 @@
+(** Proleptic Gregorian calendar dates.
+
+    Sia's predicate encoding maps DATE columns to integers (days since an
+    origin); this module provides the exact day arithmetic, following the
+    standard civil-from-days / days-from-civil algorithms. *)
+
+type t
+(** A calendar date; internally the count of days since 1970-01-01
+    (negative before). *)
+
+val of_ymd : int -> int -> int -> t
+(** @raise Invalid_argument on out-of-range month/day. *)
+
+val of_days : int -> t
+val to_days : t -> int
+val ymd : t -> int * int * int
+
+val of_string : string -> t
+(** Parses ["YYYY-MM-DD"]. @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+val add_days : t -> int -> t
+val diff : t -> t -> int
+(** [diff a b] is the number of days from [b] to [a]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_leap_year : int -> bool
+val pp : Format.formatter -> t -> unit

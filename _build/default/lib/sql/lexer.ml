@@ -1,0 +1,128 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | EOF
+
+exception Error of string * int
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "DATE"; "INTERVAL"; "DAY"; "AS"; "TRUE"; "FALSE" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit s.[!i] do
+        incr i
+      done;
+      if !i < n && s.[!i] = '.' && !i + 1 < n && is_digit s.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit s.[!i] do
+          incr i
+        done;
+        push (FLOAT (float_of_string (String.sub s start (!i - start))))
+      end
+      else push (INT (int_of_string (String.sub s start (!i - start))))
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && (is_alpha s.[!i] || is_digit s.[!i]) do
+        incr i
+      done;
+      let word = String.sub s start (!i - start) in
+      let up = String.uppercase_ascii word in
+      if List.mem up keywords then push (KW up) else push (IDENT (String.lowercase_ascii word))
+    end
+    else if c = '\'' then begin
+      incr i;
+      let start = !i in
+      while !i < n && s.[!i] <> '\'' do
+        incr i
+      done;
+      if !i >= n then raise (Error ("unterminated string literal", start));
+      push (STRING (String.sub s start (!i - start)));
+      incr i
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "<=" ->
+        push LE;
+        i := !i + 2
+      | ">=" ->
+        push GE;
+        i := !i + 2
+      | "<>" | "!=" ->
+        push NE;
+        i := !i + 2
+      | _ -> begin
+        (match c with
+         | '+' -> push PLUS
+         | '-' -> push MINUS
+         | '*' -> push STAR
+         | '/' -> push SLASH
+         | '(' -> push LPAREN
+         | ')' -> push RPAREN
+         | ',' -> push COMMA
+         | '.' -> push DOT
+         | ';' -> push SEMI
+         | '<' -> push LT
+         | '>' -> push GT
+         | '=' -> push EQ
+         | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, !i)));
+        incr i
+      end
+    end
+  done;
+  push EOF;
+  List.rev !toks
+
+let pp_token = function
+  | IDENT s -> Printf.sprintf "ident %s" s
+  | INT n -> Printf.sprintf "int %d" n
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | STRING s -> Printf.sprintf "string '%s'" s
+  | KW s -> s
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | SEMI -> ";"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQ -> "="
+  | NE -> "<>"
+  | EOF -> "<eof>"

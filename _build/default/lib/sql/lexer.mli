@@ -1,0 +1,29 @@
+(** Hand-written SQL tokenizer for the fragment Sia supports. *)
+
+type token =
+  | IDENT of string  (** lowercased identifier *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (** contents of a ['...'] literal *)
+  | KW of string  (** recognized keyword, uppercased: SELECT, FROM, ... *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | EOF
+
+exception Error of string * int  (** message, position *)
+
+val tokenize : string -> token list
+val pp_token : token -> string

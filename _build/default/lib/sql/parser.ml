@@ -1,0 +1,266 @@
+exception Error of string
+
+type state = { toks : Lexer.token array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let expect st t =
+  if peek st = t then advance st
+  else raise (Error (Printf.sprintf "expected %s, found %s" (Lexer.pp_token t) (Lexer.pp_token (peek st))))
+
+let fail st msg =
+  raise (Error (Printf.sprintf "%s (at token %s)" msg (Lexer.pp_token (peek st))))
+
+(* A quoted string is a date literal when it looks like Y-M-D. *)
+let string_const s =
+  match Date.of_string s with
+  | d -> Ast.Cdate d
+  | exception Invalid_argument _ -> raise (Error (Printf.sprintf "unsupported string literal '%s'" s))
+
+let rec parse_expr_prec st =
+  let lhs = parse_term st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, lhs, parse_term st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, lhs, parse_term st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      loop (Ast.Binop (Ast.Mul, lhs, parse_factor st))
+    | Lexer.SLASH ->
+      advance st;
+      loop (Ast.Binop (Ast.Div, lhs, parse_factor st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_factor st =
+  match peek st with
+  | Lexer.INT n ->
+    advance st;
+    Ast.Const (Ast.Cint n)
+  | Lexer.FLOAT f ->
+    advance st;
+    Ast.Const (Ast.Cfloat f)
+  | Lexer.MINUS ->
+    advance st;
+    let e = parse_factor st in
+    (match e with
+     | Ast.Const (Ast.Cint n) -> Ast.Const (Ast.Cint (-n))
+     | Ast.Const (Ast.Cfloat f) -> Ast.Const (Ast.Cfloat (-.f))
+     | e -> Ast.Binop (Ast.Sub, Ast.Const (Ast.Cint 0), e))
+  | Lexer.STRING s ->
+    advance st;
+    Ast.Const (string_const s)
+  | Lexer.KW "DATE" -> begin
+    advance st;
+    match peek st with
+    | Lexer.STRING s ->
+      advance st;
+      Ast.Const (Ast.Cdate (Date.of_string s))
+    | _ -> fail st "expected date literal after DATE"
+  end
+  | Lexer.KW "INTERVAL" -> begin
+    advance st;
+    let n =
+      match peek st with
+      | Lexer.STRING s -> begin
+        match int_of_string_opt s with
+        | Some n -> n
+        | None -> fail st "expected integer interval"
+      end
+      | Lexer.INT n -> n
+      | _ -> fail st "expected interval literal"
+    in
+    advance st;
+    (match peek st with
+     | Lexer.KW "DAY" -> advance st
+     | _ -> ());
+    Ast.Const (Ast.Cinterval n)
+  end
+  | Lexer.IDENT name -> begin
+    advance st;
+    match peek st with
+    | Lexer.DOT -> begin
+      advance st;
+      match peek st with
+      | Lexer.IDENT field ->
+        advance st;
+        Ast.Col { table = Some name; name = field }
+      | _ -> fail st "expected column name after '.'"
+    end
+    | _ -> Ast.Col { table = None; name }
+  end
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr_prec st in
+    expect st Lexer.RPAREN;
+    e
+  | _ -> fail st "expected expression"
+
+let parse_cmp_op st =
+  match peek st with
+  | Lexer.LT ->
+    advance st;
+    Some Ast.Lt
+  | Lexer.LE ->
+    advance st;
+    Some Ast.Le
+  | Lexer.GT ->
+    advance st;
+    Some Ast.Gt
+  | Lexer.GE ->
+    advance st;
+    Some Ast.Ge
+  | Lexer.EQ ->
+    advance st;
+    Some Ast.Eq
+  | Lexer.NE ->
+    advance st;
+    Some Ast.Ne
+  | _ -> None
+
+let rec parse_pred st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | Lexer.KW "OR" ->
+    advance st;
+    Ast.Or (lhs, parse_or st)
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_unary st in
+  match peek st with
+  | Lexer.KW "AND" ->
+    advance st;
+    Ast.And (lhs, parse_and st)
+  | _ -> lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.KW "NOT" ->
+    advance st;
+    Ast.Not (parse_unary st)
+  | Lexer.KW "TRUE" ->
+    advance st;
+    Ast.Ptrue
+  | Lexer.KW "FALSE" ->
+    advance st;
+    Ast.Pfalse
+  | Lexer.LPAREN -> begin
+    (* Could open a nested predicate or a parenthesized arithmetic
+       expression; try the comparison reading first and fall back. *)
+    let save = st.pos in
+    match parse_comparison st with
+    | p -> p
+    | exception Error _ ->
+      st.pos <- save;
+      advance st;
+      let p = parse_pred st in
+      expect st Lexer.RPAREN;
+      p
+  end
+  | _ -> parse_comparison st
+
+and parse_comparison st =
+  let lhs = parse_expr_prec st in
+  match parse_cmp_op st with
+  | Some op -> Ast.Cmp (op, lhs, parse_expr_prec st)
+  | None -> fail st "expected comparison operator"
+
+let parse_select_items st =
+  match peek st with
+  | Lexer.STAR ->
+    advance st;
+    [ Ast.Star ]
+  | _ ->
+    let rec items acc =
+      match peek st with
+      | Lexer.IDENT name -> begin
+        advance st;
+        let item =
+          match peek st with
+          | Lexer.DOT -> begin
+            advance st;
+            match peek st with
+            | Lexer.IDENT field ->
+              advance st;
+              Ast.Column { table = Some name; name = field }
+            | _ -> fail st "expected column after '.'"
+          end
+          | _ -> Ast.Column { table = None; name }
+        in
+        match peek st with
+        | Lexer.COMMA ->
+          advance st;
+          items (item :: acc)
+        | _ -> List.rev (item :: acc)
+      end
+      | _ -> fail st "expected select item"
+    in
+    items []
+
+let parse_tables st =
+  let rec tables acc =
+    match peek st with
+    | Lexer.IDENT name -> begin
+      advance st;
+      match peek st with
+      | Lexer.COMMA ->
+        advance st;
+        tables (name :: acc)
+      | _ -> List.rev (name :: acc)
+    end
+    | _ -> fail st "expected table name"
+  in
+  tables []
+
+let mk_state s = { toks = Array.of_list (Lexer.tokenize s); pos = 0 }
+
+let finish st =
+  (match peek st with Lexer.SEMI -> advance st | _ -> ());
+  match peek st with
+  | Lexer.EOF -> ()
+  | t -> raise (Error (Printf.sprintf "trailing input: %s" (Lexer.pp_token t)))
+
+let parse_query s =
+  let st = try mk_state s with Lexer.Error (m, p) -> raise (Error (Printf.sprintf "%s at %d" m p)) in
+  expect st (Lexer.KW "SELECT");
+  let select = parse_select_items st in
+  expect st (Lexer.KW "FROM");
+  let from = parse_tables st in
+  let where =
+    match peek st with
+    | Lexer.KW "WHERE" ->
+      advance st;
+      Some (parse_pred st)
+    | _ -> None
+  in
+  finish st;
+  { Ast.select; from; where }
+
+let parse_predicate s =
+  let st = try mk_state s with Lexer.Error (m, p) -> raise (Error (Printf.sprintf "%s at %d" m p)) in
+  let p = parse_pred st in
+  finish st;
+  p
+
+let parse_expr s =
+  let st = try mk_state s with Lexer.Error (m, p) -> raise (Error (Printf.sprintf "%s at %d" m p)) in
+  let e = parse_expr_prec st in
+  finish st;
+  e

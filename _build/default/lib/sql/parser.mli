@@ -1,0 +1,18 @@
+(** Recursive-descent parser for Sia's SQL fragment.
+
+    Grammar (section 4.1 of the paper, plus SELECT):
+    {v
+    query  := SELECT items FROM tables [WHERE pred] [;]
+    pred   := or ; or := and (OR and)* ; and := unary (AND unary)*
+    unary  := NOT unary | TRUE | FALSE | '(' pred ')' | expr cmp expr
+    expr   := term (add-op term)* ; term := factor (mul-op factor)*
+    factor := const | column | '(' expr ')' | '-' factor
+    const  := INT | FLOAT | DATE 'Y-M-D' | 'Y-M-D' | INTERVAL 'n' DAY
+    column := ident | ident '.' ident
+    v} *)
+
+exception Error of string
+
+val parse_query : string -> Ast.query
+val parse_predicate : string -> Ast.pred
+val parse_expr : string -> Ast.expr

@@ -1,0 +1,70 @@
+open Ast
+
+let string_of_column (c : column) =
+  match c.table with Some t -> t ^ "." ^ c.name | None -> c.name
+
+let string_of_binop = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let string_of_cmp = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "="
+  | Ne -> "<>"
+
+let string_of_const = function
+  | Cint n -> string_of_int n
+  | Cfloat f -> Printf.sprintf "%g" f
+  | Cdate d -> Printf.sprintf "DATE '%s'" (Date.to_string d)
+  | Cinterval n -> Printf.sprintf "INTERVAL '%d' DAY" n
+
+(* Precedence-aware printing: parenthesize a subexpression only when its
+   operator binds looser than the context. *)
+let binop_prec = function Add | Sub -> 1 | Mul | Div -> 2
+
+let rec expr_doc prec e =
+  match e with
+  | Col c -> string_of_column c
+  | Const c -> string_of_const c
+  | Binop (op, a, b) ->
+    let p = binop_prec op in
+    let s =
+      Printf.sprintf "%s %s %s" (expr_doc p a) (string_of_binop op)
+        (expr_doc (p + 1) b)
+    in
+    if p < prec then "(" ^ s ^ ")" else s
+
+let string_of_expr e = expr_doc 0 e
+
+let rec pred_doc prec p =
+  match p with
+  | Cmp (op, a, b) ->
+    Printf.sprintf "%s %s %s" (string_of_expr a) (string_of_cmp op) (string_of_expr b)
+  | And (a, b) ->
+    let s = Printf.sprintf "%s AND %s" (pred_doc 2 a) (pred_doc 2 b) in
+    if prec > 2 then "(" ^ s ^ ")" else s
+  | Or (a, b) ->
+    let s = Printf.sprintf "%s OR %s" (pred_doc 1 a) (pred_doc 1 b) in
+    if prec > 1 then "(" ^ s ^ ")" else s
+  | Not a -> Printf.sprintf "NOT %s" (pred_doc 3 a)
+  | Ptrue -> "TRUE"
+  | Pfalse -> "FALSE"
+
+let string_of_pred p = pred_doc 0 p
+
+let string_of_query (q : query) =
+  let items =
+    match q.select with
+    | [ Star ] -> "*"
+    | items ->
+      String.concat ", "
+        (List.map (function Star -> "*" | Column c -> string_of_column c) items)
+  in
+  let base = Printf.sprintf "SELECT %s FROM %s" items (String.concat ", " q.from) in
+  match q.where with
+  | None -> base ^ ";"
+  | Some p -> Printf.sprintf "%s WHERE %s;" base (string_of_pred p)
+
+let pp_pred fmt p = Format.pp_print_string fmt (string_of_pred p)
+let pp_query fmt q = Format.pp_print_string fmt (string_of_query q)

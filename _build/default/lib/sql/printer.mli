@@ -1,0 +1,9 @@
+(** Render AST back to SQL text (parse/print round-trips up to
+    parenthesization). *)
+
+val string_of_expr : Ast.expr -> string
+val string_of_pred : Ast.pred -> string
+val string_of_query : Ast.query -> string
+val string_of_column : Ast.column -> string
+val pp_pred : Format.formatter -> Ast.pred -> unit
+val pp_query : Format.formatter -> Ast.query -> unit

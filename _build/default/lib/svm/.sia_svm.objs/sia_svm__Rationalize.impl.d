@@ -1,0 +1,1 @@
+lib/svm/rationalize.ml: Array Bigint Float Rat Sia_numeric Svm

@@ -1,0 +1,1 @@
+lib/svm/rationalize.mli: Rat Sia_numeric Svm

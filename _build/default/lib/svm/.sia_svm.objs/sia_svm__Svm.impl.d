@@ -1,0 +1,1 @@
+lib/svm/svm.ml: Array Float List Random

@@ -1,0 +1,34 @@
+open Sia_numeric
+
+let weights ?(max_coeff = 100) w =
+  let maxabs = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 w in
+  if maxabs = 0.0 then Array.map (fun _ -> Rat.zero) w
+  else begin
+    let s = float_of_int max_coeff /. maxabs in
+    let ints =
+      Array.map
+        (fun x ->
+          let v = Float.round (x *. s) in
+          Bigint.of_int (int_of_float v))
+        w
+    in
+    let g = Array.fold_left (fun acc x -> Bigint.gcd acc x) Bigint.zero ints in
+    if Bigint.is_zero g then Array.map (fun _ -> Rat.zero) w
+    else Array.map (fun x -> Rat.of_bigint (Bigint.div x g)) ints
+  end
+
+let hyperplane ?(max_coeff = 100) (m : Svm.model) =
+  let maxabs = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 m.Svm.w in
+  if maxabs = 0.0 then (Array.map (fun _ -> Rat.zero) m.Svm.w, Rat.zero)
+  else begin
+    let s = float_of_int max_coeff /. maxabs in
+    let ints =
+      Array.map (fun x -> Bigint.of_int (int_of_float (Float.round (x *. s)))) m.Svm.w
+    in
+    let bias = Bigint.of_int (int_of_float (Float.round (m.Svm.b *. s))) in
+    let g = Array.fold_left (fun acc x -> Bigint.gcd acc x) (Bigint.abs bias) ints in
+    if Bigint.is_zero g then (Array.map (fun _ -> Rat.zero) m.Svm.w, Rat.zero)
+    else
+      ( Array.map (fun x -> Rat.of_bigint (Bigint.div x g)) ints,
+        Rat.of_bigint (Bigint.div bias g) )
+  end

@@ -1,0 +1,16 @@
+(** Convert a trained float hyperplane into a predicate-friendly integer
+    hyperplane: small integer coefficients whose induced halfspace tracks
+    the float one as closely as possible. *)
+
+open Sia_numeric
+
+val weights :
+  ?max_coeff:int -> float array -> Rat.t array
+(** Scale so the largest magnitude becomes about [max_coeff] (default 100),
+    round to integers via continued fractions, divide by the gcd. The
+    result is integral ([Rat.is_integer] on every entry) unless all weights
+    are zero. *)
+
+val hyperplane :
+  ?max_coeff:int -> Svm.model -> Rat.t array * Rat.t
+(** Integerized weights plus the bias scaled consistently and rounded. *)

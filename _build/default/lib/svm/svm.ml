@@ -1,0 +1,96 @@
+type model = {
+  w : float array;
+  b : float;
+}
+
+let decision m x =
+  let acc = ref m.b in
+  Array.iteri (fun i wi -> acc := !acc +. (wi *. x.(i))) m.w;
+  !acc
+
+let classify m x = decision m x >= 0.0
+
+let train ?(lambda = 1e-3) ?(epochs = 200) ?(seed = 1) ~pos ~neg () =
+  if pos = [] || neg = [] then invalid_arg "Svm.train: empty class";
+  let dim = Array.length (List.hd pos) in
+  let samples =
+    Array.of_list
+      (List.map (fun x -> (x, 1.0)) pos @ List.map (fun x -> (x, -1.0)) neg)
+  in
+  Array.iter
+    (fun (x, _) -> if Array.length x <> dim then invalid_arg "Svm.train: ragged samples")
+    samples;
+  let n = Array.length samples in
+  (* Center each feature on its mean and scale to [-1, 1]: date columns
+     sit around day ~9000 with a spread of a few hundred, and without
+     centering the regularizer crushes the informative direction. *)
+  let mean = Array.make dim 0.0 in
+  Array.iter (fun (x, _) -> Array.iteri (fun i v -> mean.(i) <- mean.(i) +. v) x) samples;
+  Array.iteri (fun i s -> mean.(i) <- s /. float_of_int n) mean;
+  let scale = Array.make dim 1.0 in
+  Array.iter
+    (fun (x, _) ->
+      Array.iteri
+        (fun i v ->
+          let m = Float.abs (v -. mean.(i)) in
+          if m > scale.(i) then scale.(i) <- m)
+        x)
+    samples;
+  (* The bias is learned as one extra always-1 feature so it is shrunk by
+     the same regularizer as the weights (a separately-updated bias under
+     Pegasos keeps the huge steps of the early, large-eta iterations). *)
+  let feature (x : float array) i =
+    if i = dim then 1.0 else (x.(i) -. mean.(i)) /. scale.(i)
+  in
+  (* Class weighting keeps a large majority class from swamping the rare
+     one (counter-example batches are small). *)
+  let n_pos = List.length pos and n_neg = List.length neg in
+  let w_pos = float_of_int n /. (2.0 *. float_of_int n_pos) in
+  let w_neg = float_of_int n /. (2.0 *. float_of_int n_neg) in
+  let rand = Random.State.make [| seed |] in
+  let w = Array.make (dim + 1) 0.0 in
+  let t = ref 1 in
+  for _epoch = 1 to epochs do
+    for _step = 1 to n do
+      let x, y = samples.(Random.State.int rand n) in
+      let eta = 1.0 /. (lambda *. float_of_int !t) in
+      let margin =
+        let acc = ref 0.0 in
+        for i = 0 to dim do
+          acc := !acc +. (w.(i) *. feature x i)
+        done;
+        y *. !acc
+      in
+      let cw = if y > 0.0 then w_pos else w_neg in
+      (* w <- (1 - eta*lambda) w  [+ eta*cw*y*x when the margin is soft] *)
+      let shrink = 1.0 -. (eta *. lambda) in
+      for i = 0 to dim do
+        w.(i) <- w.(i) *. shrink
+      done;
+      if margin < 1.0 then begin
+        for i = 0 to dim do
+          w.(i) <- w.(i) +. (eta *. cw *. y *. feature x i)
+        done
+      end;
+      incr t
+    done
+  done;
+  (* Fold centering and scaling back into the weights:
+     sum_i w_i (x_i - m_i)/s_i + w_dim
+       = sum_i (w_i/s_i) x_i + (w_dim - sum_i w_i m_i / s_i). *)
+  let w' = Array.init dim (fun i -> w.(i) /. scale.(i)) in
+  let b' =
+    Array.to_list w'
+    |> List.mapi (fun i wi -> wi *. mean.(i))
+    |> List.fold_left ( -. ) w.(dim)
+  in
+  { w = w'; b = b' }
+
+let accuracy m ~pos ~neg =
+  let correct =
+    List.length (List.filter (classify m) pos)
+    + List.length (List.filter (fun x -> not (classify m x)) neg)
+  in
+  float_of_int correct /. float_of_int (List.length pos + List.length neg)
+
+let misclassified_pos m pos = List.filter (fun x -> not (classify m x)) pos

@@ -1,0 +1,35 @@
+(** Linear soft-margin SVM trained with Pegasos-style stochastic
+    subgradient descent (Shalev-Shwartz et al.), the learner behind Sia's
+    [Learn] procedure.
+
+    The paper uses LibSVM's linear mode; any linear separator works here
+    because the CEGIS loop verifies every candidate and repairs it with
+    counter-examples. Deterministic given the seed. *)
+
+type model = {
+  w : float array;  (** weights, one per feature *)
+  b : float;  (** bias: the decision value is [w . x + b] *)
+}
+
+val train :
+  ?lambda:float ->
+  ?epochs:int ->
+  ?seed:int ->
+  pos:float array list ->
+  neg:float array list ->
+  unit ->
+  model
+(** [lambda] is the regularization strength (default 1e-3), [epochs] the
+    number of passes (default 200). Features are internally scaled to
+    [-1, 1]; the returned weights are already unscaled.
+    @raise Invalid_argument when either class is empty or dimensions
+    disagree. *)
+
+val decision : model -> float array -> float
+val classify : model -> float array -> bool
+(** [decision >= 0]. *)
+
+val accuracy : model -> pos:float array list -> neg:float array list -> float
+
+val misclassified_pos : model -> float array list -> float array list
+(** Positive samples the model rejects (drives Alg 2's disjunction loop). *)

@@ -1,0 +1,1 @@
+lib/workload/case_study.ml: Float Formula List Qgen Random Sia_core Sia_relalg Sia_smt Sia_sql Stdlib

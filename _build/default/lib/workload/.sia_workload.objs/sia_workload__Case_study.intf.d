@@ -1,0 +1,1 @@
+lib/workload/case_study.mli:

@@ -1,0 +1,1 @@
+lib/workload/qgen.ml: List Random Sia_core Sia_relalg Sia_smt Sia_sql Solver

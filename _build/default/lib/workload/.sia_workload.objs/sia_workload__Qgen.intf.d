@@ -1,0 +1,1 @@
+lib/workload/qgen.mli: Sia_sql

@@ -1,0 +1,118 @@
+module Ast = Sia_sql.Ast
+module Schema = Sia_relalg.Schema
+module Planner = Sia_relalg.Planner
+module Rules = Sia_relalg.Rules
+module Cost = Sia_relalg.Cost
+open Sia_smt
+module Encode = Sia_core.Encode
+module Samples = Sia_core.Samples
+module Config = Sia_core.Config
+
+type record = {
+  id : int;
+  prospective : bool;
+  relevant : bool;
+  exec_time_s : float;
+  cpu_s : float;
+  memory_gb : float;
+}
+
+type buckets = {
+  le_1s : int;
+  le_10s : int;
+  le_100s : int;
+  gt_100s : int;
+}
+
+let col name = Ast.Col { Ast.table = None; name }
+
+(* Some queries in the log are already pushdown-friendly (a single-table
+   filter exists); mix them in so the prospective classification has
+   something to reject. *)
+let friendly_filter rand =
+  let d = 8000 + Random.State.int rand 1500 in
+  Ast.Cmp (Ast.Lt, col "l_shipdate", Ast.Const (Ast.Cdate (Sia_sql.Date.of_days d)))
+
+let simulate ?(seed = 11) ~n_queries () =
+  let rand = Random.State.make [| seed |] in
+  let base = Qgen.generate ~seed:(seed + 1) ~count:n_queries () in
+  List.map
+    (fun (g : Qgen.gen_query) ->
+      (* A third of the log gets an extra single-table filter: those
+         queries are not prospective (pushdown already applies). *)
+      let query =
+        if Random.State.int rand 3 = 0 then begin
+          let extra = friendly_filter rand in
+          match g.Qgen.query.Ast.where with
+          | Some w -> { g.Qgen.query with Ast.where = Some (Ast.And (w, extra)) }
+          | None -> { g.Qgen.query with Ast.where = Some extra }
+        end
+        else g.Qgen.query
+      in
+      let plan = Planner.plan Schema.tpch query in
+      let blocked = Rules.pushdown_blocked_tables Schema.tpch plan in
+      let prospective = blocked <> [] in
+      let relevant =
+        prospective
+        && begin
+          (* Symbolically relevant: Sia can generate an unsatisfaction
+             tuple for the blocked table's predicate columns. *)
+          let target = List.hd blocked in
+          let pred =
+            match query.Ast.where with Some w -> w | None -> Ast.Ptrue
+          in
+          let target_cols =
+            List.filter_map
+              (fun (c : Ast.column) ->
+                match Schema.table_of_column Schema.tpch query.Ast.from c with
+                | t when t = target -> Some c.Ast.name
+                | _ -> None
+                | exception Not_found -> None)
+              (Ast.pred_columns pred)
+            |> List.sort_uniq Stdlib.compare
+            |> List.filter (fun c -> c <> "l_orderkey" && c <> "o_orderkey")
+          in
+          target_cols <> []
+          && begin
+            match Encode.build_env Schema.tpch query.Ast.from pred with
+            | exception Encode.Unsupported _ -> false
+            | exception Not_found -> false
+            | env ->
+              let p_formula = Encode.encode_bool env pred in
+              let st =
+                Samples.make_state Config.default env ~target_cols
+              in
+              (match Samples.project_away_others st p_formula with
+               | None -> false
+               | Some psi ->
+                 let fs, _ =
+                   Samples.gen_models st ~base:(Formula.not_ psi) ~count:1 ~existing:[]
+                 in
+                 fs <> [])
+          end
+        end
+      in
+      (* Simulated runtime metrics: abstract cost units to seconds with a
+         log-normal-ish spread, mimicking the heavy tail of Fig 6. *)
+      let est = Cost.estimate Schema.tpch plan in
+      let spread = Float.exp (Random.State.float rand 2.5 -. 1.25) in
+      let exec_time_s = est.Cost.cost /. 2.0e6 *. spread in
+      let cpu_s = exec_time_s *. (1.0 +. Random.State.float rand 8.0) in
+      let memory_gb = est.Cost.memory *. 120.0 /. 1.0e9 *. spread in
+      { id = g.Qgen.id; prospective; relevant; exec_time_s; cpu_s; memory_gb })
+    base
+
+let bucketize thresholds values =
+  let t1, t2, t3 = thresholds in
+  List.fold_left
+    (fun acc v ->
+      if v <= t1 then { acc with le_1s = acc.le_1s + 1 }
+      else if v <= t2 then { acc with le_10s = acc.le_10s + 1 }
+      else if v <= t3 then { acc with le_100s = acc.le_100s + 1 }
+      else { acc with gt_100s = acc.gt_100s + 1 })
+    { le_1s = 0; le_10s = 0; le_100s = 0; gt_100s = 0 }
+    values
+
+let time_buckets rs = bucketize (1.0, 10.0, 100.0) (List.map (fun r -> r.exec_time_s) rs)
+let cpu_buckets rs = bucketize (10.0, 100.0, 1000.0) (List.map (fun r -> r.cpu_s) rs)
+let memory_buckets rs = bucketize (0.1, 1.0, 10.0) (List.map (fun r -> r.memory_gb) rs)

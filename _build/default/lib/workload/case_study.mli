@@ -1,0 +1,32 @@
+(** Synthetic stand-in for the MaxCompute case study (section 6.2, Fig 6).
+
+    The production query log is proprietary; this module generates a
+    mixed workload of join queries, classifies each one exactly as the
+    paper does — {e syntax-based prospective} (a cross-table predicate
+    references a table that has no single-table filter) and, among those,
+    {e symbolically relevant} (Sia can produce at least one unsatisfaction
+    tuple for that table's columns) — and simulates execution time, CPU,
+    and memory with the {!Sia_relalg.Cost} model. *)
+
+type record = {
+  id : int;
+  prospective : bool;
+  relevant : bool;
+  exec_time_s : float;
+  cpu_s : float;
+  memory_gb : float;
+}
+
+val simulate : ?seed:int -> n_queries:int -> unit -> record list
+
+type buckets = {
+  le_1s : int;
+  le_10s : int;
+  le_100s : int;
+  gt_100s : int;
+}
+
+val time_buckets : record list -> buckets
+val cpu_buckets : record list -> buckets
+val memory_buckets : record list -> buckets
+(** Memory uses 0.1 / 1 / 10 GB thresholds. *)

@@ -1,0 +1,98 @@
+module Ast = Sia_sql.Ast
+module Date = Sia_sql.Date
+open Sia_smt
+module Encode = Sia_core.Encode
+module Schema = Sia_relalg.Schema
+
+type gen_query = {
+  id : int;
+  query : Ast.query;
+  pred : Ast.pred;
+  n_terms : int;
+}
+
+let lineitem_cols = [ "l_shipdate"; "l_commitdate"; "l_receiptdate" ]
+
+let column_subsets k =
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let s = subsets rest in
+      s @ List.map (fun t -> x :: t) s
+  in
+  List.filter (fun s -> List.length s = k) (subsets lineitem_cols)
+
+let date_lo = Date.to_days (Date.of_ymd 1992 6 1)
+let date_hi = Date.to_days (Date.of_ymd 1998 1 1)
+
+let col name = Ast.Col { Ast.table = None; name }
+
+(* One random term; every term references o_orderdate (the paper's
+   construction, which defeats syntactic pushdown to lineitem). *)
+let gen_term rand =
+  let pick l = List.nth l (Random.State.int rand (List.length l)) in
+  let lcol () = col (pick lineitem_cols) in
+  let ocol = col "o_orderdate" in
+  let cmp = pick [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ] in
+  let interval () = Ast.Const (Ast.Cinterval (Random.State.int rand 181 - 60)) in
+  let date () =
+    Ast.Const (Ast.Cdate (Date.of_days (date_lo + Random.State.int rand (date_hi - date_lo))))
+  in
+  match Random.State.int rand 5 with
+  | 0 ->
+    (* l_x - o_orderdate CMP interval *)
+    Ast.Cmp (cmp, Ast.Binop (Ast.Sub, lcol (), ocol), interval ())
+  | 1 ->
+    (* o_orderdate CMP date *)
+    Ast.Cmp (cmp, ocol, date ())
+  | 2 ->
+    (* l_x - l_y CMP l_z - o_orderdate + interval *)
+    Ast.Cmp
+      ( cmp,
+        Ast.Binop (Ast.Sub, lcol (), lcol ()),
+        Ast.Binop (Ast.Add, Ast.Binop (Ast.Sub, lcol (), ocol), interval ()) )
+  | 3 ->
+    (* o_orderdate + interval CMP l_x *)
+    Ast.Cmp (cmp, Ast.Binop (Ast.Add, ocol, interval ()), lcol ())
+  | _ ->
+    (* l_x + l_y CMP o_orderdate + date (pure integer view) *)
+    Ast.Cmp
+      ( cmp,
+        Ast.Binop (Ast.Add, lcol (), lcol ()),
+        Ast.Binop (Ast.Add, ocol, interval ()) )
+
+let join_pred =
+  Ast.Cmp (Ast.Eq, col "o_orderkey", col "l_orderkey")
+
+let satisfiable pred =
+  match Encode.build_env Schema.tpch [ "lineitem"; "orders" ] pred with
+  | exception Encode.Unsupported _ -> false
+  | exception Not_found -> false
+  | env ->
+    let f = Encode.encode_bool env pred in
+    (match Solver.solve ~is_int:(Encode.is_int_var env) f with
+     | Solver.Sat _ -> true
+     | Solver.Unsat | Solver.Unknown -> false)
+
+let generate ?(seed = 42) ~count () =
+  let rand = Random.State.make [| seed |] in
+  let rec gen_one id attempts =
+    if attempts > 200 then failwith "Qgen.generate: too many unsatisfiable draws";
+    let n_terms = 3 + Random.State.int rand 6 in
+    let terms = List.init n_terms (fun _ -> gen_term rand) in
+    let pred = Ast.conj terms in
+    if satisfiable pred then
+      {
+        id;
+        query =
+          {
+            Ast.select = [ Ast.Star ];
+            from = [ "lineitem"; "orders" ];
+            where = Some (Ast.And (join_pred, pred));
+          };
+        pred;
+        n_terms;
+      }
+    else gen_one id (attempts + 1)
+  in
+  List.init count (fun id -> gen_one id 0)

@@ -1,0 +1,22 @@
+(** The benchmark generator of section 6.3: random conjunctive predicates
+    over lineitem's three date columns and orders' o_orderdate, each term
+    referencing o_orderdate (so nothing can be pushed down syntactically),
+    3-8 terms, satisfiability-checked, on the lineitem-orders join
+    template. *)
+
+type gen_query = {
+  id : int;
+  query : Sia_sql.Ast.query;
+  pred : Sia_sql.Ast.pred;  (** the non-join predicate *)
+  n_terms : int;
+}
+
+val generate : ?seed:int -> count:int -> unit -> gen_query list
+(** Deterministic per seed; unsatisfiable draws are regenerated, as in the
+    paper. *)
+
+val lineitem_cols : string list
+(** [l_shipdate; l_commitdate; l_receiptdate] — the target column pool. *)
+
+val column_subsets : int -> string list list
+(** Non-empty subsets of {!lineitem_cols} of the given size. *)

@@ -1,0 +1,1 @@
+test/qcheck_support.ml: List Sia_workload

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Sia_engine Sia_relalg Sia_sql

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Bigint Delta List QCheck QCheck_alcotest Rat Sia_numeric Stdlib String

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Atom Bigint Cooper Formula Fourier_motzkin Linexpr List QCheck QCheck_alcotest Rat Sia_numeric Sia_smt Solver Stdlib

@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest List Printf Sia_relalg Sia_sql

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Atom Bigint Cooper Formula Fourier_motzkin Linexpr List QCheck QCheck_alcotest Random Rat Sat Sia_numeric Sia_smt Simplex Solver Theory

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest List Option QCheck QCheck_alcotest Sia_sql

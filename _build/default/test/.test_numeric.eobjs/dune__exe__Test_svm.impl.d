@@ -1,0 +1,1 @@
+test/test_svm.ml: Alcotest Array Bigint Float List QCheck QCheck_alcotest Random Rat Sia_numeric Sia_svm

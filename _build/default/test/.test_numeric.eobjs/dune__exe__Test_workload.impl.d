@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Sia_core Sia_relalg Sia_smt Sia_sql Sia_workload Solver

@@ -1,0 +1,6 @@
+(* Shared helpers for property tests across suites. *)
+
+let gen_queries ~seed ~count =
+  List.map
+    (fun g -> g.Sia_workload.Qgen.pred)
+    (Sia_workload.Qgen.generate ~seed ~count ())

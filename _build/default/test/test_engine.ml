@@ -1,0 +1,171 @@
+(* Tests for the execution engine: tables, TPC-H generator invariants,
+   predicate compilation, hash join, plan execution. *)
+
+module Ast = Sia_sql.Ast
+module Parser = Sia_sql.Parser
+module Date = Sia_sql.Date
+module Table = Sia_engine.Table
+module Tpch = Sia_engine.Tpch
+module Eval = Sia_engine.Eval
+module Exec = Sia_engine.Exec
+module Schema = Sia_relalg.Schema
+module Planner = Sia_relalg.Planner
+
+let small () = Tpch.generate ~sf:0.001 ~seed:5 ()
+
+(* --- Table --- *)
+
+let test_table_create () =
+  let t =
+    Table.create ~name:"t" ~col_names:[ "a"; "b" ]
+      ~rows:[ [| 1; 10 |]; [| 2; 20 |]; [| 3; 30 |] ]
+  in
+  Alcotest.(check int) "rows" 3 t.Table.nrows;
+  Alcotest.(check (array int)) "column a" [| 1; 2; 3 |] (Table.column t "a");
+  Alcotest.(check (array int)) "column b" [| 10; 20; 30 |] (Table.column t "b");
+  Alcotest.check_raises "unknown column" Not_found (fun () ->
+      ignore (Table.column t "c"))
+
+let test_table_select_rows () =
+  let t =
+    Table.create ~name:"t" ~col_names:[ "a" ] ~rows:[ [| 1 |]; [| 2 |]; [| 3 |]; [| 4 |] ]
+  in
+  let t' = Table.select_rows t [| true; false; true; false |] in
+  Alcotest.(check (array int)) "mask keeps 1,3" [| 1; 3 |] (Table.column t' "a")
+
+(* --- TPC-H generator --- *)
+
+let test_tpch_invariants () =
+  let li, ord = small () in
+  Alcotest.(check bool) "lineitem nonempty" true (li.Table.nrows > 0);
+  Alcotest.(check bool) "1-7 lineitems per order" true
+    (li.Table.nrows >= ord.Table.nrows && li.Table.nrows <= 7 * ord.Table.nrows);
+  let odate_of =
+    let keys = Table.column ord "o_orderkey" in
+    let dates = Table.column ord "o_orderdate" in
+    let tbl = Hashtbl.create 64 in
+    Array.iteri (fun i k -> Hashtbl.replace tbl k dates.(i)) keys;
+    fun k -> Hashtbl.find tbl k
+  in
+  let lkeys = Table.column li "l_orderkey" in
+  let ship = Table.column li "l_shipdate" in
+  let commit = Table.column li "l_commitdate" in
+  let receipt = Table.column li "l_receiptdate" in
+  for i = 0 to li.Table.nrows - 1 do
+    let o = odate_of lkeys.(i) in
+    assert (ship.(i) >= o + 1 && ship.(i) <= o + 121);
+    assert (commit.(i) >= o + 30 && commit.(i) <= o + 90);
+    assert (receipt.(i) >= ship.(i) + 1 && receipt.(i) <= ship.(i) + 30)
+  done;
+  let lo = Date.to_days (Date.of_ymd 1992 1 1) in
+  let hi = Date.to_days (Date.of_ymd 1998 8 2) in
+  Array.iter (fun d -> assert (d >= lo && d <= hi)) (Table.column ord "o_orderdate")
+
+let test_tpch_deterministic () =
+  let li1, _ = Tpch.generate ~sf:0.001 ~seed:9 () in
+  let li2, _ = Tpch.generate ~sf:0.001 ~seed:9 () in
+  Alcotest.(check int) "same size" li1.Table.nrows li2.Table.nrows;
+  Alcotest.(check (array int)) "same shipdates" (Table.column li1 "l_shipdate")
+    (Table.column li2 "l_shipdate")
+
+(* --- Eval --- *)
+
+let test_eval_filter () =
+  let li, _ = small () in
+  let p = Parser.parse_predicate "l_shipdate < DATE '1995-01-01'" in
+  let filtered = Eval.filter li p in
+  let cutoff = Date.to_days (Date.of_string "1995-01-01") in
+  Alcotest.(check bool) "all below cutoff" true
+    (Array.for_all (fun d -> d < cutoff) (Table.column filtered "l_shipdate"));
+  let sel = Eval.selectivity li p in
+  Alcotest.(check (float 1e-9)) "selectivity consistent"
+    (float_of_int filtered.Table.nrows /. float_of_int li.Table.nrows)
+    sel
+
+let test_eval_arith () =
+  let li, _ = small () in
+  let p = Parser.parse_predicate "l_receiptdate - l_shipdate <= 30" in
+  Alcotest.(check (float 0.0)) "generator guarantees receipt within 30 days" 1.0
+    (Eval.selectivity li p);
+  let p2 = Parser.parse_predicate "l_receiptdate - l_shipdate > 30" in
+  Alcotest.(check (float 0.0)) "complement" 0.0 (Eval.selectivity li p2)
+
+let test_eval_logic () =
+  let t = Table.create ~name:"t" ~col_names:[ "a" ] ~rows:[ [| 1 |]; [| 5 |]; [| 9 |] ] in
+  let p = Parser.parse_predicate "a < 3 OR NOT a < 7" in
+  let filtered = Eval.filter t p in
+  Alcotest.(check (array int)) "1 and 9 pass" [| 1; 9 |] (Table.column filtered "a")
+
+(* --- Join and plan execution --- *)
+
+let test_hash_join_fk () =
+  let li, ord = small () in
+  let joined =
+    Exec.hash_join ~left:li ~right:ord ~left_key:"l_orderkey" ~right_key:"o_orderkey"
+  in
+  (* Every lineitem matches exactly its one order. *)
+  Alcotest.(check int) "FK join preserves lineitem count" li.Table.nrows joined.Table.nrows;
+  let lk = Table.column joined "l_orderkey" in
+  let ok = Table.column joined "o_orderkey" in
+  Array.iteri (fun i k -> assert (ok.(i) = k)) lk
+
+let test_plan_execution_equivalence () =
+  (* Join-then-filter equals filter-then-join (pushdown preserves
+     semantics in the engine, not only in the solver). *)
+  let li, ord = small () in
+  let tables = [ ("lineitem", li); ("orders", ord) ] in
+  let q =
+    Parser.parse_query
+      "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey AND \
+       l_shipdate - o_orderdate < 40 AND o_orderdate < DATE '1996-01-01'"
+  in
+  let naive = Planner.naive_plan Schema.tpch q in
+  let pushed = Planner.plan Schema.tpch q in
+  let out1 = Exec.run ~tables naive in
+  let out2 = Exec.run ~tables pushed in
+  Alcotest.(check int) "same cardinality" out1.Table.nrows out2.Table.nrows;
+  Alcotest.(check bool) "pushed plan differs from naive" true (not (Sia_relalg.Plan.equal naive pushed))
+
+let prop_filter_join_commute =
+  QCheck.Test.make ~name:"filter commutes with join on one-sided predicates" ~count:20
+    (QCheck.int_range 10 100)
+    (fun days ->
+      let li, ord = small () in
+      let tables = [ ("lineitem", li); ("orders", ord) ] in
+      let q =
+        Parser.parse_query
+          (Printf.sprintf
+             "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey AND \
+              l_receiptdate - l_commitdate < %d" days)
+      in
+      let naive = Planner.naive_plan Schema.tpch q in
+      let pushed = Planner.plan Schema.tpch q in
+      (Exec.run ~tables naive).Table.nrows = (Exec.run ~tables pushed).Table.nrows)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "create" `Quick test_table_create;
+          Alcotest.test_case "select rows" `Quick test_table_select_rows;
+        ] );
+      ( "tpch",
+        [
+          Alcotest.test_case "invariants" `Quick test_tpch_invariants;
+          Alcotest.test_case "deterministic" `Quick test_tpch_deterministic;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "filter" `Quick test_eval_filter;
+          Alcotest.test_case "date arithmetic" `Quick test_eval_arith;
+          Alcotest.test_case "boolean logic" `Quick test_eval_logic;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "hash join FK" `Quick test_hash_join_fk;
+          Alcotest.test_case "plan equivalence" `Quick test_plan_execution_equivalence;
+        ] );
+      ("exec-props", qsuite [ prop_filter_join_commute ]);
+    ]

@@ -1,0 +1,151 @@
+(* Tests for the relational-algebra substrate: schema resolution, planner,
+   pushdown rules, cost model. *)
+
+module Ast = Sia_sql.Ast
+module Parser = Sia_sql.Parser
+module Schema = Sia_relalg.Schema
+module Plan = Sia_relalg.Plan
+module Planner = Sia_relalg.Planner
+module Rules = Sia_relalg.Rules
+module Cost = Sia_relalg.Cost
+
+let cat = Schema.tpch
+
+let two_table_query extra =
+  Parser.parse_query
+    (Printf.sprintf
+       "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey AND %s" extra)
+
+(* --- Schema --- *)
+
+let test_schema_resolution () =
+  let t, c = Schema.column cat { Ast.table = None; name = "l_shipdate" } in
+  Alcotest.(check string) "table" "lineitem" t.Schema.tname;
+  Alcotest.(check string) "column" "l_shipdate" c.Schema.cname;
+  Alcotest.(check string) "qualified" "orders"
+    (Schema.table_of_column cat [ "lineitem"; "orders" ]
+       { Ast.table = Some "orders"; name = "o_orderdate" });
+  Alcotest.check_raises "unknown column" Not_found (fun () ->
+      ignore (Schema.column cat { Ast.table = None; name = "nope" }))
+
+(* --- Planner --- *)
+
+let test_naive_plan_shape () =
+  let q = two_table_query "l_shipdate - o_orderdate < 20" in
+  match Planner.naive_plan cat q with
+  | Plan.Project (_, Plan.Filter (_, Plan.Join (info, Plan.Scan "lineitem", Plan.Scan "orders")))
+    ->
+    Alcotest.(check string) "join keys" "o_orderkey" info.Plan.right_key.Ast.name
+  | p -> Alcotest.fail ("unexpected naive plan:\n" ^ Plan.to_string p)
+
+let test_single_table_plan () =
+  let q = Parser.parse_query "SELECT * FROM orders WHERE o_orderdate < DATE '1995-01-01'" in
+  match Planner.plan cat q with
+  | Plan.Project (_, Plan.Filter (_, Plan.Scan "orders")) -> ()
+  | p -> Alcotest.fail ("unexpected plan:\n" ^ Plan.to_string p)
+
+let test_no_join_raises () =
+  let q = Parser.parse_query "SELECT * FROM lineitem, orders WHERE l_quantity > 5" in
+  match Planner.naive_plan cat q with
+  | exception Planner.Unsupported _ -> ()
+  | p -> Alcotest.fail ("expected Unsupported, got:\n" ^ Plan.to_string p)
+
+(* --- Pushdown --- *)
+
+let test_pushdown_single_table_pred () =
+  (* o_orderdate < date filters only orders: it must sink below the join. *)
+  let q = two_table_query "o_orderdate < DATE '1993-06-01' AND l_shipdate - o_orderdate < 20" in
+  match Planner.plan cat q with
+  | Plan.Project
+      (_, Plan.Filter (cross, Plan.Join (_, Plan.Scan "lineitem", Plan.Filter (f, Plan.Scan "orders"))))
+    ->
+    Alcotest.(check int) "orders filter is single conjunct" 1
+      (List.length (Ast.conjuncts f));
+    Alcotest.(check int) "cross filter stays above" 1 (List.length (Ast.conjuncts cross))
+  | p -> Alcotest.fail ("unexpected optimized plan:\n" ^ Plan.to_string p)
+
+let test_pushdown_after_rewrite () =
+  (* Adding a lineitem-only conjunct makes it sink to the lineitem side. *)
+  let q = two_table_query "l_shipdate - o_orderdate < 20" in
+  let plan = Planner.plan cat q in
+  let extra = Parser.parse_predicate "l_shipdate < DATE '1993-06-20'" in
+  match Rules.add_conjunct cat plan extra with
+  | Plan.Project
+      (_, Plan.Filter (_, Plan.Join (_, Plan.Filter (_, Plan.Scan "lineitem"), Plan.Scan "orders")))
+    -> ()
+  | p -> Alcotest.fail ("synthesized predicate did not sink:\n" ^ Plan.to_string p)
+
+let test_blocked_tables () =
+  (* The cross-table predicate references both tables and neither has a
+     single-table filter: both are blocked (the paper's section 6.2
+     definition counts every such table). *)
+  let q = two_table_query "l_shipdate - o_orderdate < 20" in
+  let plan = Planner.plan cat q in
+  Alcotest.(check (list string)) "both blocked" [ "lineitem"; "orders" ]
+    (Rules.pushdown_blocked_tables cat plan);
+  (* A lineitem-only filter unblocks lineitem; orders stays blocked. *)
+  let q2 = two_table_query "l_shipdate - o_orderdate < 20 AND l_shipdate < DATE '1993-06-20'" in
+  let plan2 = Planner.plan cat q2 in
+  Alcotest.(check (list string)) "orders still blocked" [ "orders" ]
+    (Rules.pushdown_blocked_tables cat plan2);
+  (* Filters on both sides: nothing blocked. *)
+  let q3 =
+    two_table_query
+      "l_shipdate - o_orderdate < 20 AND l_shipdate < DATE '1993-06-20' AND \
+       o_orderdate < DATE '1993-06-01'"
+  in
+  let plan3 = Planner.plan cat q3 in
+  Alcotest.(check (list string)) "nothing blocked" []
+    (Rules.pushdown_blocked_tables cat plan3)
+
+(* --- Cost --- *)
+
+let test_cost_pushdown_helps () =
+  let q = two_table_query "l_shipdate - o_orderdate < 20" in
+  let naive = Planner.naive_plan cat q in
+  let q2 =
+    two_table_query
+      "l_shipdate - o_orderdate < 20 AND l_shipdate < DATE '1993-06-20' AND \
+       l_commitdate < DATE '1993-07-18'"
+  in
+  let pushed = Planner.plan cat q2 in
+  let e1 = Cost.estimate cat naive in
+  let e2 = Cost.estimate cat pushed in
+  Alcotest.(check bool) "filtered join is cheaper" true (e2.Cost.cost < e1.Cost.cost)
+
+let test_cost_monotone_selectivity () =
+  let q = two_table_query "l_shipdate - o_orderdate < 20" in
+  let plan = Planner.plan cat q in
+  let loose = Cost.estimate ~selectivity:(fun _ -> 0.9) cat plan in
+  let tight = Cost.estimate ~selectivity:(fun _ -> 0.1) cat plan in
+  Alcotest.(check bool) "tighter filters, fewer rows" true (tight.Cost.rows < loose.Cost.rows)
+
+let test_plan_tables_filters () =
+  let q = two_table_query "l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'" in
+  let plan = Planner.plan cat q in
+  Alcotest.(check (list string)) "tables" [ "lineitem"; "orders" ] (Plan.tables plan);
+  Alcotest.(check int) "two filters" 2 (List.length (Plan.filters plan))
+
+let () =
+  Alcotest.run "relalg"
+    [
+      ("schema", [ Alcotest.test_case "resolution" `Quick test_schema_resolution ]);
+      ( "planner",
+        [
+          Alcotest.test_case "naive shape" `Quick test_naive_plan_shape;
+          Alcotest.test_case "single table" `Quick test_single_table_plan;
+          Alcotest.test_case "no join" `Quick test_no_join_raises;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "pushdown single-table" `Quick test_pushdown_single_table_pred;
+          Alcotest.test_case "pushdown after rewrite" `Quick test_pushdown_after_rewrite;
+          Alcotest.test_case "blocked tables" `Quick test_blocked_tables;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "pushdown helps" `Quick test_cost_pushdown_helps;
+          Alcotest.test_case "selectivity monotone" `Quick test_cost_monotone_selectivity;
+          Alcotest.test_case "tables and filters" `Quick test_plan_tables_filters;
+        ] );
+    ]

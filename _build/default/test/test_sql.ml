@@ -1,0 +1,184 @@
+(* Tests for the SQL frontend: dates, lexer, parser, printer. *)
+
+module Date = Sia_sql.Date
+module Ast = Sia_sql.Ast
+module Lexer = Sia_sql.Lexer
+module Parser = Sia_sql.Parser
+module Printer = Sia_sql.Printer
+
+(* --- Date --- *)
+
+let test_date_epoch () =
+  Alcotest.(check int) "epoch is day 0" 0 (Date.to_days (Date.of_ymd 1970 1 1));
+  Alcotest.(check int) "next day" 1 (Date.to_days (Date.of_ymd 1970 1 2));
+  Alcotest.(check int) "before epoch" (-1) (Date.to_days (Date.of_ymd 1969 12 31))
+
+let test_date_roundtrip () =
+  List.iter
+    (fun (y, m, d) ->
+      let t = Date.of_ymd y m d in
+      Alcotest.(check (triple int int int)) "ymd roundtrip" (y, m, d) (Date.ymd t);
+      let s = Date.to_string t in
+      Alcotest.(check int) "string roundtrip" (Date.to_days t)
+        (Date.to_days (Date.of_string s)))
+    [
+      (1992, 1, 1); (1993, 6, 1); (1998, 8, 2); (2000, 2, 29); (1900, 3, 1);
+      (1970, 1, 1); (2024, 12, 31); (1960, 7, 15);
+    ]
+
+let test_date_arith () =
+  let d1 = Date.of_string "1993-06-01" in
+  let d2 = Date.add_days d1 19 in
+  Alcotest.(check string) "add 19 days" "1993-06-20" (Date.to_string d2);
+  Alcotest.(check int) "diff" 19 (Date.diff d2 d1);
+  Alcotest.(check bool) "leap 2000" true (Date.is_leap_year 2000);
+  Alcotest.(check bool) "not leap 1900" false (Date.is_leap_year 1900);
+  Alcotest.(check bool) "leap 1992" true (Date.is_leap_year 1992)
+
+let test_date_invalid () =
+  Alcotest.check_raises "month 13" (Invalid_argument "Date.of_ymd: month") (fun () ->
+      ignore (Date.of_ymd 1993 13 1));
+  Alcotest.check_raises "feb 30" (Invalid_argument "Date.of_ymd: day") (fun () ->
+      ignore (Date.of_ymd 1993 2 30))
+
+let prop_date_roundtrip =
+  QCheck.Test.make ~name:"date days<->ymd roundtrip" ~count:500
+    (QCheck.int_range (-40000) 40000)
+    (fun days ->
+      let d = Date.of_days days in
+      let y, m, dd = Date.ymd d in
+      Date.to_days (Date.of_ymd y m dd) = days)
+
+(* --- Lexer --- *)
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize "SELECT * FROM t WHERE a <= 5 AND b <> 'x-y-z'" in
+  Alcotest.(check int) "token count" 13 (List.length toks)
+
+let test_lexer_ops () =
+  (match Lexer.tokenize "<= >= <> != < > =" with
+   | [ Lexer.LE; Lexer.GE; Lexer.NE; Lexer.NE; Lexer.LT; Lexer.GT; Lexer.EQ; Lexer.EOF ] -> ()
+   | _ -> Alcotest.fail "operator tokens");
+  match Lexer.tokenize "2.5 17" with
+  | [ Lexer.FLOAT f; Lexer.INT 17; Lexer.EOF ] ->
+    Alcotest.(check (float 1e-9)) "float" 2.5 f
+  | _ -> Alcotest.fail "numeric tokens"
+
+let test_lexer_error () =
+  match Lexer.tokenize "a # b" with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected lexer error"
+
+(* --- Parser --- *)
+
+let test_parse_query () =
+  let q =
+    Parser.parse_query
+      "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey AND \
+       l_shipdate - o_orderdate < 20;"
+  in
+  Alcotest.(check (list string)) "tables" [ "lineitem"; "orders" ] q.Ast.from;
+  Alcotest.(check int) "conjuncts" 2
+    (List.length (Ast.conjuncts (Option.get q.Ast.where)))
+
+let test_parse_dates_intervals () =
+  let p = Parser.parse_predicate "o_orderdate < DATE '1993-06-01'" in
+  (match p with
+   | Ast.Cmp (Ast.Lt, Ast.Col _, Ast.Const (Ast.Cdate d)) ->
+     Alcotest.(check string) "date" "1993-06-01" (Date.to_string d)
+   | _ -> Alcotest.fail "date literal shape");
+  let p2 = Parser.parse_predicate "l_shipdate - o_orderdate < INTERVAL '20' DAY" in
+  match p2 with
+  | Ast.Cmp (Ast.Lt, Ast.Binop (Ast.Sub, _, _), Ast.Const (Ast.Cinterval 20)) -> ()
+  | _ -> Alcotest.fail "interval shape"
+
+let test_parse_precedence () =
+  (* a + b * c < d is a + (b*c) < d *)
+  (match Parser.parse_expr "a + b * c" with
+   | Ast.Binop (Ast.Add, Ast.Col _, Ast.Binop (Ast.Mul, _, _)) -> ()
+   | _ -> Alcotest.fail "arithmetic precedence");
+  (* AND binds tighter than OR *)
+  match Parser.parse_predicate "a < 1 OR b < 2 AND c < 3" with
+  | Ast.Or (Ast.Cmp _, Ast.And (Ast.Cmp _, Ast.Cmp _)) -> ()
+  | _ -> Alcotest.fail "boolean precedence"
+
+let test_parse_not_parens () =
+  match Parser.parse_predicate "NOT (a < 1 AND b > 2)" with
+  | Ast.Not (Ast.And (Ast.Cmp _, Ast.Cmp _)) -> ()
+  | _ -> Alcotest.fail "NOT with parens"
+
+let test_parse_qualified () =
+  match Parser.parse_predicate "lineitem.l_shipdate < orders.o_orderdate" with
+  | Ast.Cmp
+      ( Ast.Lt,
+        Ast.Col { Ast.table = Some "lineitem"; name = "l_shipdate" },
+        Ast.Col { Ast.table = Some "orders"; name = "o_orderdate" } ) -> ()
+  | _ -> Alcotest.fail "qualified columns"
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Parser.parse_query s with
+      | exception Parser.Error _ -> ()
+      | _ -> Alcotest.fail ("expected parse error: " ^ s))
+    [ "SELECT FROM t"; "SELECT * FROM"; "SELECT * FROM t WHERE"; "SELECT * FROM t WHERE a <" ]
+
+let test_roundtrip () =
+  (* parse -> print -> parse is a fixpoint *)
+  List.iter
+    (fun s ->
+      let q = Parser.parse_query s in
+      let s' = Printer.string_of_query q in
+      let q' = Parser.parse_query s' in
+      Alcotest.(check string) "print fixpoint" s' (Printer.string_of_query q'))
+    [
+      "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey AND \
+       l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'";
+      "SELECT l_orderkey FROM lineitem WHERE l_quantity * 2 > 10 OR NOT l_quantity < 3";
+      "SELECT * FROM orders WHERE o_totalprice / 4 >= 100 AND (o_custkey < 5 OR o_custkey > 10)";
+    ]
+
+(* --- AST helpers --- *)
+
+let test_conjuncts () =
+  let p = Parser.parse_predicate "a < 1 AND b < 2 AND (c < 3 OR d < 4)" in
+  Alcotest.(check int) "3 conjuncts" 3 (List.length (Ast.conjuncts p))
+
+let test_pred_columns () =
+  let p = Parser.parse_predicate "a - b < c + a" in
+  Alcotest.(check int) "distinct columns" 3 (List.length (Ast.pred_columns p))
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "sql"
+    [
+      ( "date",
+        [
+          Alcotest.test_case "epoch" `Quick test_date_epoch;
+          Alcotest.test_case "roundtrip" `Quick test_date_roundtrip;
+          Alcotest.test_case "arithmetic" `Quick test_date_arith;
+          Alcotest.test_case "invalid" `Quick test_date_invalid;
+        ] );
+      ("date-props", qsuite [ prop_date_roundtrip ]);
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "operators" `Quick test_lexer_ops;
+          Alcotest.test_case "errors" `Quick test_lexer_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "query" `Quick test_parse_query;
+          Alcotest.test_case "dates and intervals" `Quick test_parse_dates_intervals;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "not parens" `Quick test_parse_not_parens;
+          Alcotest.test_case "qualified" `Quick test_parse_qualified;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        ] );
+      ( "ast",
+        [
+          Alcotest.test_case "conjuncts" `Quick test_conjuncts;
+          Alcotest.test_case "pred columns" `Quick test_pred_columns;
+        ] );
+    ]

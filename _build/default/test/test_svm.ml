@@ -1,0 +1,113 @@
+(* Tests for the linear SVM and hyperplane rationalization. *)
+
+open Sia_numeric
+module Svm = Sia_svm.Svm
+module Rationalize = Sia_svm.Rationalize
+
+let gauss rand mu =
+  (* Box-Muller-free: sum of uniforms is good enough for a blob. *)
+  mu +. Random.State.float rand 2.0 -. 1.0
+
+let blobs seed n (cx, cy) (dx, dy) =
+  let rand = Random.State.make [| seed |] in
+  List.init n (fun _ -> [| gauss rand cx; gauss rand cy |])
+  |> List.map (fun v -> [| v.(0) +. dx; v.(1) +. dy |])
+
+let test_separable_blobs () =
+  let pos = blobs 1 60 (5.0, 5.0) (0.0, 0.0) in
+  let neg = blobs 2 60 (-5.0, -5.0) (0.0, 0.0) in
+  let m = Svm.train ~pos ~neg () in
+  Alcotest.(check bool) "accuracy 1.0" true (Svm.accuracy m ~pos ~neg >= 0.99)
+
+let test_axis_separation () =
+  (* Separable by x >= 2: weight on y should be comparatively small. *)
+  let rand = Random.State.make [| 3 |] in
+  let pos = List.init 80 (fun _ -> [| 3.0 +. Random.State.float rand 4.0; Random.State.float rand 100.0 |]) in
+  let neg = List.init 80 (fun _ -> [| Random.State.float rand 2.0 -. 3.0; Random.State.float rand 100.0 |]) in
+  let m = Svm.train ~pos ~neg () in
+  Alcotest.(check bool) "high accuracy" true (Svm.accuracy m ~pos ~neg >= 0.95);
+  Alcotest.(check bool) "x dominates" true (Float.abs m.Svm.w.(0) > Float.abs m.Svm.w.(1))
+
+let test_misclassified_pos () =
+  let pos = [ [| 1.0; 0.0 |]; [| -100.0; 0.0 |] ] in
+  let neg = [ [| -1.0; 0.0 |] ] in
+  let m = Svm.train ~pos ~neg () in
+  let mis = Svm.misclassified_pos m pos in
+  (* The outlier positive at -100 should be misclassified by any sane
+     separator of this data; at minimum the call must be consistent with
+     [classify]. *)
+  List.iter
+    (fun x -> Alcotest.(check bool) "mis means rejected" false (Svm.classify m x))
+    mis
+
+let test_empty_class_raises () =
+  Alcotest.check_raises "empty pos" (Invalid_argument "Svm.train: empty class") (fun () ->
+      ignore (Svm.train ~pos:[] ~neg:[ [| 1.0 |] ] ()))
+
+let test_deterministic () =
+  let pos = blobs 5 30 (2.0, 2.0) (0.0, 0.0) in
+  let neg = blobs 6 30 (-2.0, -2.0) (0.0, 0.0) in
+  let m1 = Svm.train ~seed:7 ~pos ~neg () in
+  let m2 = Svm.train ~seed:7 ~pos ~neg () in
+  Alcotest.(check bool) "same weights" true (m1.Svm.w = m2.Svm.w && m1.Svm.b = m2.Svm.b)
+
+(* --- Rationalize --- *)
+
+let test_rationalize_direction () =
+  let w = Rationalize.weights ~max_coeff:1 [| 0.52; -0.49 |] in
+  Alcotest.(check bool) "rounds to (1, -1)" true
+    (Rat.equal w.(0) Rat.one && Rat.equal w.(1) Rat.minus_one)
+
+let test_rationalize_gcd () =
+  let w = Rationalize.weights ~max_coeff:100 [| 2.0; 4.0 |] in
+  Alcotest.(check bool) "gcd reduced to (1, 2)" true
+    (Rat.equal w.(0) Rat.one && Rat.equal w.(1) (Rat.of_int 2))
+
+let test_rationalize_zero () =
+  let w = Rationalize.weights [| 0.0; 0.0 |] in
+  Alcotest.(check bool) "all zero stays zero" true (Array.for_all Rat.is_zero w)
+
+let test_rationalize_hyperplane () =
+  let m = { Svm.w = [| 1.0; -1.0 |]; b = 28.6 } in
+  let w, b = Rationalize.hyperplane ~max_coeff:10 m in
+  (* Sign structure survives integerization. *)
+  Alcotest.(check bool) "signs" true (Rat.sign w.(0) > 0 && Rat.sign w.(1) < 0);
+  Alcotest.(check bool) "bias positive" true (Rat.sign b > 0);
+  Alcotest.(check bool) "weights integral" true
+    (Array.for_all Rat.is_integer w && Rat.is_integer b)
+
+let prop_rationalize_integral =
+  QCheck.Test.make ~name:"rationalized weights are integral with gcd 1" ~count:200
+    (QCheck.pair (QCheck.float_range (-10.0) 10.0) (QCheck.float_range (-10.0) 10.0))
+    (fun (a, b) ->
+      QCheck.assume (Float.abs a > 1e-6 || Float.abs b > 1e-6);
+      let w = Rationalize.weights [| a; b |] in
+      Array.for_all Rat.is_integer w
+      && begin
+        let g =
+          Array.fold_left (fun acc (x : Rat.t) -> Bigint.gcd acc x.Rat.num) Bigint.zero w
+        in
+        Bigint.is_zero g || Bigint.equal g Bigint.one
+      end)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "svm"
+    [
+      ( "train",
+        [
+          Alcotest.test_case "separable blobs" `Quick test_separable_blobs;
+          Alcotest.test_case "axis separation" `Quick test_axis_separation;
+          Alcotest.test_case "misclassified" `Quick test_misclassified_pos;
+          Alcotest.test_case "empty class" `Quick test_empty_class_raises;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+      ( "rationalize",
+        [
+          Alcotest.test_case "direction" `Quick test_rationalize_direction;
+          Alcotest.test_case "gcd" `Quick test_rationalize_gcd;
+          Alcotest.test_case "zero" `Quick test_rationalize_zero;
+          Alcotest.test_case "hyperplane" `Quick test_rationalize_hyperplane;
+        ] );
+      ("rationalize-props", qsuite [ prop_rationalize_integral ]);
+    ]

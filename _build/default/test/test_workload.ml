@@ -1,0 +1,92 @@
+(* Tests for the workload generators: the section 6.3 query benchmark and
+   the section 6.2 case-study simulation. *)
+
+module Ast = Sia_sql.Ast
+module Schema = Sia_relalg.Schema
+open Sia_smt
+module Encode = Sia_core.Encode
+module Qgen = Sia_workload.Qgen
+module Case_study = Sia_workload.Case_study
+
+let test_qgen_shape () =
+  let qs = Qgen.generate ~seed:5 ~count:12 () in
+  Alcotest.(check int) "count" 12 (List.length qs);
+  List.iter
+    (fun (g : Qgen.gen_query) ->
+      Alcotest.(check bool) "3-8 terms" true (g.Qgen.n_terms >= 3 && g.Qgen.n_terms <= 8);
+      Alcotest.(check int) "term count matches predicate" g.Qgen.n_terms
+        (List.length (Ast.conjuncts g.Qgen.pred));
+      (* Every term references o_orderdate: the paper's anti-pushdown
+         construction. *)
+      List.iter
+        (fun t ->
+          let cols = List.map (fun (c : Ast.column) -> c.Ast.name) (Ast.pred_columns t) in
+          Alcotest.(check bool) "term references o_orderdate" true
+            (List.mem "o_orderdate" cols))
+        (Ast.conjuncts g.Qgen.pred);
+      Alcotest.(check (list string)) "join template" [ "lineitem"; "orders" ]
+        g.Qgen.query.Ast.from)
+    qs
+
+let test_qgen_satisfiable () =
+  let qs = Qgen.generate ~seed:8 ~count:8 () in
+  List.iter
+    (fun (g : Qgen.gen_query) ->
+      let env = Encode.build_env Schema.tpch [ "lineitem"; "orders" ] g.Qgen.pred in
+      let f = Encode.encode_bool env g.Qgen.pred in
+      match Solver.solve ~is_int:(Encode.is_int_var env) f with
+      | Solver.Sat _ -> ()
+      | Solver.Unsat | Solver.Unknown -> Alcotest.fail "generated predicate unsatisfiable")
+    qs
+
+let test_qgen_deterministic () =
+  let a = Qgen.generate ~seed:13 ~count:5 () in
+  let b = Qgen.generate ~seed:13 ~count:5 () in
+  List.iter2
+    (fun (x : Qgen.gen_query) (y : Qgen.gen_query) ->
+      Alcotest.(check string) "same predicate"
+        (Sia_sql.Printer.string_of_pred x.Qgen.pred)
+        (Sia_sql.Printer.string_of_pred y.Qgen.pred))
+    a b
+
+let test_column_subsets () =
+  Alcotest.(check int) "3 singletons" 3 (List.length (Qgen.column_subsets 1));
+  Alcotest.(check int) "3 pairs" 3 (List.length (Qgen.column_subsets 2));
+  Alcotest.(check int) "1 triple" 1 (List.length (Qgen.column_subsets 3))
+
+let test_case_study_classification () =
+  let records = Case_study.simulate ~seed:3 ~n_queries:25 () in
+  Alcotest.(check int) "record count" 25 (List.length records);
+  (* Relevant implies prospective (the paper's containment). *)
+  List.iter
+    (fun r ->
+      if r.Case_study.relevant then
+        Alcotest.(check bool) "relevant => prospective" true r.Case_study.prospective)
+    records;
+  let prospective = List.filter (fun r -> r.Case_study.prospective) records in
+  Alcotest.(check bool) "some prospective queries" true (List.length prospective > 0);
+  Alcotest.(check bool) "not all queries prospective" true
+    (List.length prospective < List.length records)
+
+let test_case_study_buckets () =
+  let records = Case_study.simulate ~seed:4 ~n_queries:30 () in
+  let b = Case_study.time_buckets records in
+  Alcotest.(check int) "buckets partition the records" 30
+    (b.Case_study.le_1s + b.Case_study.le_10s + b.Case_study.le_100s + b.Case_study.gt_100s)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "qgen",
+        [
+          Alcotest.test_case "shape" `Quick test_qgen_shape;
+          Alcotest.test_case "satisfiable" `Quick test_qgen_satisfiable;
+          Alcotest.test_case "deterministic" `Quick test_qgen_deterministic;
+          Alcotest.test_case "subsets" `Quick test_column_subsets;
+        ] );
+      ( "case-study",
+        [
+          Alcotest.test_case "classification" `Quick test_case_study_classification;
+          Alcotest.test_case "buckets" `Quick test_case_study_buckets;
+        ] );
+    ]
