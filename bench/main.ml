@@ -463,6 +463,56 @@ let run_ablation () =
   report "Cooper (Z)" (run `Int)
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable perf benchmark                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One JSON line with end-to-end synthesis wall-clock and solver
+   statistics over a fixed seeded workload, so the perf trajectory can be
+   tracked across PRs (append the line to BENCH_synthesis.json). *)
+let run_perf () =
+  header "perf: end-to-end synthesis workload (JSON)";
+  let n = env_int "SIA_PERF_QUERIES" 12 in
+  let queries = Qgen.generate ~seed:42 ~count:n () in
+  let subsets = Qgen.column_subsets 1 @ Qgen.column_subsets 2 in
+  let cfg = { Config.default with Config.time_budget = budget } in
+  let t0 = Unix.gettimeofday () in
+  let stats =
+    List.concat_map
+      (fun (gq : Qgen.gen_query) ->
+        List.map
+          (fun subset ->
+            Synthesize.synthesize ~cfg Schema.tpch ~from:gq.Qgen.query.Ast.from
+              ~pred:gq.Qgen.pred ~target_cols:subset)
+          subsets)
+      queries
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let count f = List.length (List.filter f stats) in
+  let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 stats in
+  let sv =
+    List.fold_left
+      (fun acc s -> Solver.stats_add acc s.Synthesize.solver)
+      Solver.stats_zero stats
+  in
+  let json =
+    Printf.sprintf
+      "{\"bench\":\"synthesis\",\"queries\":%d,\"attempts\":%d,\"valid\":%d,\"optimal\":%d,\"wall_s\":%.3f,\"gen_s\":%.3f,\"learn_s\":%.3f,\"verify_s\":%.3f,\"solver_queries\":%d,\"solver_cache_hits\":%d,\"solver_encodings\":%d,\"solver_instances\":%d,\"solver_theory_rounds\":%d,\"solver_conflicts\":%d,\"solver_propagations\":%d,\"solver_restarts\":%d,\"solver_encode_s\":%.3f,\"solver_search_s\":%.3f,\"solver_theory_s\":%.3f}"
+      n (List.length stats)
+      (count Synthesize.is_valid_outcome)
+      (count Synthesize.is_optimal_outcome)
+      wall
+      (sum (fun s -> s.Synthesize.gen_time))
+      (sum (fun s -> s.Synthesize.learn_time))
+      (sum (fun s -> s.Synthesize.verify_time))
+      sv.Solver.queries sv.Solver.cache_hits sv.Solver.encodings
+      sv.Solver.instances sv.Solver.theory_rounds sv.Solver.conflicts
+      sv.Solver.propagations sv.Solver.restarts sv.Solver.encode_time
+      sv.Solver.search_time sv.Solver.theory_time
+  in
+  Format.printf "solver: %a@." Solver.pp_stats sv;
+  print_endline json
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -600,6 +650,7 @@ let () =
    | "fig9" | "table4" -> run_fig9 ()
    | "limits" -> run_limits ()
    | "ablation" -> run_ablation ()
+   | "bench" | "perf" -> run_perf ()
    | "micro" -> run_micro ()
    | "all" ->
      run_motivating ();
@@ -614,7 +665,7 @@ let () =
      run_micro ()
    | other ->
      Printf.eprintf
-       "unknown experiment %s (expected motivating|fig6|table2|table3|fig7|fig8|fig9|limits|ablation|micro|all)\n"
+       "unknown experiment %s (expected motivating|fig6|table2|table3|fig7|fig8|fig9|limits|ablation|bench|micro|all)\n"
        other;
      exit 1);
   Printf.printf "\n[%s done in %.1f s]\n" cmd (Unix.gettimeofday () -. t0)

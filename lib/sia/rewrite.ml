@@ -73,6 +73,7 @@ let rewrite_for_table ?cfg cat q ~target_table =
           gen_time = 0.0;
           learn_time = 0.0;
           verify_time = 0.0;
+          solver = Sia_smt.Solver.stats_zero;
         };
     }
   else attach_result ?cfg cat q pred target_cols

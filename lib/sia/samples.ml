@@ -6,6 +6,7 @@ type gen_state = {
   target_vars : int list;
   rand : Random.State.t;
   cfg : Config.t;
+  session : Solver.Session.t Lazy.t;
 }
 
 let make_state cfg env ~target_cols =
@@ -14,19 +15,26 @@ let make_state cfg env ~target_cols =
     target_vars = List.map (Encode.var_of_column env) target_cols;
     rand = Random.State.make [| cfg.Config.seed |];
     cfg;
+    (* One solver session per synthesis attempt: base [true], every query
+       formula (predicate, domain box, sample exclusions, hints) enters as
+       an assumption, so the Tseitin encoding, theory blocking clauses and
+       SAT learnts accumulate across all CEGIS iterations. Lazy because
+       some callers (projection-only paths) never solve. *)
+    session = lazy (Solver.Session.create ~is_int:(Encode.is_int_var env) Formula.tru);
   }
 
-let not_old st existing =
-  Formula.and_
-    (List.map
-       (fun sample ->
-         Formula.not_
-           (Formula.and_
-              (List.mapi
-                 (fun i v ->
-                   Formula.atom (Atom.mk_eq (Linexpr.var v) (Linexpr.const sample.(i))))
-                 st.target_vars)))
-       existing)
+(* "Differs from this sample" on the target variables. In NNF the negated
+   equalities become strict inequalities, so the session re-uses these
+   encodings whenever the same sample is excluded again. *)
+let not_sample st sample =
+  Formula.not_
+    (Formula.and_
+       (List.mapi
+          (fun i v ->
+            Formula.atom (Atom.mk_eq (Linexpr.var v) (Linexpr.const sample.(i))))
+          st.target_vars))
+
+let not_old st existing = Formula.and_ (List.map (not_sample st) existing)
 
 let box_range st =
   (* Sample inside a box sized from the predicate's own constants: samples
@@ -68,30 +76,35 @@ let hints st =
       else None)
     st.target_vars
 
-let is_int st = Encode.is_int_var st.env
+(* Models are enumerated in chunks: each chunk shares the session's
+   incremental solver state and carries its own random half-space hints
+   for diversity. A chunk that comes back empty under hints is retried
+   without them — only that verdict decides exhaustion.
 
-(* Models are enumerated in chunks: each chunk shares one incremental
-   solver instance (blocking clauses keep samples distinct) and carries its
-   own random half-space hints for diversity. A chunk that comes back empty
-   under hints is retried without them — only that verdict decides
-   exhaustion. *)
+   Distinctness within a chunk comes from the enumeration's call-scoped
+   blocking clauses; across chunks (and across calls) every known sample
+   is excluded by an explicit [not_sample] assumption. The exclusion
+   formula of a given sample is encoded into the session once and reused
+   verbatim by every later query that mentions it. *)
 let chunk_size = 12
 
 let gen_models st ~base ~count ~existing =
+  let sess = Lazy.force st.session in
+  let box = bounds st in
+  let excludes = ref (List.map (not_sample st) existing) in
   let samples = ref [] in
+  let n = ref 0 in
   let exhausted = ref false in
   let extract model =
     Array.of_list (List.map (fun v -> Solver.model_value model v) st.target_vars)
   in
-  let box = bounds st in
-  let solve_chunk n extra =
-    let f =
-      Formula.and_ (base :: box :: not_old st (existing @ !samples) :: extra)
-    in
-    Solver.solve_many ~is_int:(is_int st) ~count:n ~distinct_on:st.target_vars f
+  let solve_chunk want extra =
+    Solver.Session.solve_many_under sess
+      ~assumptions:(base :: box :: (!excludes @ extra))
+      ~count:want ~distinct_on:st.target_vars
   in
-  while List.length !samples < count && not !exhausted do
-    let want = Stdlib.min chunk_size (count - List.length !samples) in
+  while !n < count && not !exhausted do
+    let want = Stdlib.min chunk_size (count - !n) in
     let got, _ = solve_chunk want (hints st) in
     let got =
       if got <> [] then got
@@ -101,9 +114,22 @@ let gen_models st ~base ~count ~existing =
         plain
       end
     in
-    samples := !samples @ List.map extract got
+    let arrays = List.rev_map extract got in
+    n := !n + List.length got;
+    excludes :=
+      List.fold_left (fun acc a -> not_sample st a :: acc) !excludes arrays;
+    samples := List.rev_append arrays !samples
   done;
-  (!samples, !exhausted)
+  (List.rev !samples, !exhausted)
+
+(* The optimality-confirmation query of the main loop: a model of
+   [base] away from all [existing] samples, with no domain box (the check
+   must be exact, not box-relative). Runs on the shared session so the
+   encodings and learnts from sample generation carry over. *)
+let solve_residual st ~base ~existing =
+  let sess = Lazy.force st.session in
+  Solver.Session.solve_under sess ~node_limit:800
+    ~assumptions:(base :: List.map (not_sample st) existing)
 
 let project_away_others st p_formula =
   let others =

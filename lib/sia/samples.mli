@@ -14,6 +14,10 @@ type gen_state = {
   target_vars : int list;  (** value variables of the target columns *)
   rand : Random.State.t;
   cfg : Config.t;
+  session : Solver.Session.t Lazy.t;
+      (** one incremental solver session shared by every query this state
+          issues (sample generation and the residual optimality check);
+          lazy so projection-only callers never build it *)
 }
 
 val make_state : Config.t -> Encode.env -> target_cols:string list -> gen_state
@@ -35,6 +39,12 @@ val gen_models :
     the target variables, with randomized diversity hints. The flag is
     true when the sample space was exhausted (solver returned unsat before
     [count] samples were found). *)
+
+val solve_residual :
+  gen_state -> base:Formula.t -> existing:Rat.t array list -> Solver.result
+(** One unboxed query on the shared session: a model of [base] that
+    differs from every [existing] sample on the target variables. Used for
+    the optimality-confirmation check of the main loop. *)
 
 val project_away_others :
   gen_state -> Formula.t -> Formula.t option

@@ -17,6 +17,7 @@ type stats = {
   gen_time : float;
   learn_time : float;
   verify_time : float;
+  solver : Solver.stats;
 }
 
 let predicate st = match st.outcome with Optimal p | Valid p -> Some p | Trivial | Failed _ -> None
@@ -37,6 +38,7 @@ let sample_eq env cols (sample : Rat.t array) =
 
 let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
   let start_time = Unix.gettimeofday () in
+  let solver0 = Solver.stats () in
   let over_budget () =
     match cfg.Config.time_budget with
     | None -> false
@@ -58,6 +60,7 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
       gen_time = !gen_time;
       learn_time = !learn_time;
       verify_time = !verify_time;
+      solver = Solver.stats_since solver0;
     }
   in
   match Encode.build_env catalog from pred with
@@ -110,28 +113,40 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
                predicate, initially TRUE. *)
             let is_int = Encode.is_int_var env in
             let cache = Tighten.make_cache () in
+            (* Validity checks share one session across iterations: p and
+               the NULL domain are fixed, only the candidate changes. *)
+            let vsession = lazy (Verify.make_session env ~p:pred) in
             (* Drop conjuncts the remaining ones already imply, so repeated
-               learner output does not pile up in the final predicate. *)
+               learner output does not pile up in the final predicate. All
+               n^2 implication checks run as assumption queries on one
+               shared session; each conjunct is encoded once. *)
             let prune_redundant pred0 =
-              let conjuncts = Ast.conjuncts pred0 in
-              let implied_by others c =
-                let f_others = Formula.and_ (List.map (Encode.encode_bool env) others) in
-                let f_c = Encode.encode_bool env c in
-                match
-                  Solver.solve ~is_int (Formula.and_ [ f_others; Formula.not_ f_c ])
-                with
-                | Solver.Unsat -> true
-                | Solver.Sat _ | Solver.Unknown -> false
-              in
-              let rec go kept = function
-                | [] -> List.rev kept
-                | c :: rest ->
-                  if implied_by (List.rev_append kept rest) c then go kept rest
-                  else go (c :: kept) rest
-              in
-              match go [] conjuncts with [] -> Ast.Ptrue | cs -> Ast.conj cs
+              match Ast.conjuncts pred0 with
+              | ([] | [ _ ]) as cs -> (match cs with [] -> Ast.Ptrue | _ -> pred0)
+              | conjuncts ->
+                let session = Solver.Session.create ~is_int Formula.tru in
+                let encoded =
+                  List.map (fun c -> (c, Encode.encode_bool env c)) conjuncts
+                in
+                let implied_by others c_formula =
+                  match
+                    Solver.Session.solve_under session
+                      ~assumptions:(Formula.not_ c_formula :: List.map snd others)
+                  with
+                  | Solver.Unsat -> true
+                  | Solver.Sat _ | Solver.Unknown -> false
+                in
+                let rec go kept = function
+                  | [] -> List.rev kept
+                  | ((_, f) as c) :: rest ->
+                    if implied_by (List.rev_append kept rest) f then go kept rest
+                    else go (c :: kept) rest
+                in
+                (match go [] encoded with
+                 | [] -> Ast.Ptrue
+                 | cs -> Ast.conj (List.map fst cs))
             in
-            let rec loop i p1 p1_formula ts fs =
+            let rec loop i p1 p1_formula ts fs ~n_ts ~n_fs =
               let finish ?(iters = i) outcome =
                 let polish p = Render.beautify env (prune_redundant p) in
                 let outcome =
@@ -143,11 +158,12 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
                 {
                   outcome;
                   iterations = iters;
-                  n_true = List.length ts;
-                  n_false = List.length fs;
+                  n_true = n_ts;
+                  n_false = n_fs;
                   gen_time = !gen_time;
                   learn_time = !learn_time;
                   verify_time = !verify_time;
+                  solver = Solver.stats_since solver0;
                 }
               in
               (* The budget never cancels the first iteration: initial
@@ -163,14 +179,14 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
                 in
                 let verdict, countermodel =
                   timed verify_time (fun () ->
-                      Verify.implies_ce env ~p:pred ~p1:learned.Learn.pred)
+                      Verify.implies_ce_session (Lazy.force vsession)
+                        ~p1:learned.Learn.pred)
                 in
                 match verdict with
                 | Verify.Valid -> begin
                   let already_conjunct =
-                    let key = Sia_sql.Printer.string_of_pred learned.Learn.pred in
                     List.exists
-                      (fun c -> Sia_sql.Printer.string_of_pred c = key)
+                      (Ast.pred_equal learned.Learn.pred)
                       (Ast.conjuncts p1)
                   in
                   let p3, p3_formula =
@@ -193,9 +209,9 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
                        unbounded one before declaring optimality. *)
                     let unbounded =
                       timed verify_time (fun () ->
-                          Solver.solve ~is_int
-                            (Formula.and_
-                               [ p3_formula; not_psi; Samples.not_old st fs ]))
+                          Samples.solve_residual st
+                            ~base:(Formula.and_ [ p3_formula; not_psi ])
+                            ~existing:fs)
                     in
                     match unbounded with
                     | Solver.Unsat -> finish ~iters:(i + 1) (Optimal p3)
@@ -205,9 +221,12 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
                         Array.of_list
                           (List.map (fun v -> Solver.model_value m v) st.Samples.target_vars)
                       in
-                      loop (i + 1) p3 p3_formula ts (fs @ [ sample ])
+                      loop (i + 1) p3 p3_formula ts (sample :: fs) ~n_ts
+                        ~n_fs:(n_fs + 1)
                   end
-                  else loop (i + 1) p3 p3_formula ts (fs @ fs1)
+                  else
+                    loop (i + 1) p3 p3_formula ts (fs1 @ fs) ~n_ts
+                      ~n_fs:(n_fs + List.length fs1)
                 end
                 | Verify.Invalid | Verify.Unknown -> begin
                   (* TRUE counter-examples: tuples satisfying p that the
@@ -245,11 +264,14 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
                     | Ast.Ptrue -> finish ~iters:(i + 1) (Failed "no fresh TRUE counter-examples")
                     | p -> finish ~iters:(i + 1) (Valid p)
                   end
-                  else loop (i + 1) p1 p1_formula (ts @ ts1) fs
+                  else
+                    loop (i + 1) p1 p1_formula (ts1 @ ts) fs
+                      ~n_ts:(n_ts + List.length ts1) ~n_fs
                 end
               end
             in
-            loop 0 Ast.Ptrue Formula.tru ts fs
+            loop 0 Ast.Ptrue Formula.tru ts fs ~n_ts:(List.length ts)
+              ~n_fs:(List.length fs)
           end
         end
       end

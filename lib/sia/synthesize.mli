@@ -22,6 +22,8 @@ type stats = {
   gen_time : float;  (** seconds in sample/counter-example generation *)
   learn_time : float;
   verify_time : float;
+  solver : Sia_smt.Solver.stats;
+      (** solver activity attributable to this synthesis run *)
 }
 
 val synthesize :

@@ -1,14 +1,33 @@
 open Sia_numeric
 open Sia_smt
 
-type cache = (string, int option) Hashtbl.t
-
-let make_cache () : cache = Hashtbl.create 32
-
 (* Thresholds depend only on (p, cols, w); the CEGIS loop revisits the
-   same directions many times, so memoization removes most solver calls. *)
+   same directions many times, so memoization removes most solver calls.
+   The cache also carries the incremental solver session for [p_formula]:
+   all probe queries for all directions share its learnt clauses, and each
+   probe atom [w.x < t] is a single assumption on the live solver. The
+   session is invalidated (rebuilt) whenever [p_formula] changes. *)
+type cache = {
+  thresholds : (string, int option) Hashtbl.t;
+  mutable session : (Formula.t * Solver.Session.t) option;
+}
+
+let make_cache () : cache = { thresholds = Hashtbl.create 32; session = None }
+
 let cache_key cols w =
   String.concat "," (List.mapi (fun i c -> c ^ ":" ^ Rat.to_string w.(i)) cols)
+
+let session_for cache env p_formula =
+  let fresh () = Solver.Session.create ~is_int:(Encode.is_int_var env) p_formula in
+  match cache with
+  | None -> fresh ()
+  | Some c -> (
+    match c.session with
+    | Some (f, s) when Formula.equal f p_formula -> s
+    | _ ->
+      let s = fresh () in
+      c.session <- Some (p_formula, s);
+      s)
 
 let dot_lin env cols w =
   List.fold_left
@@ -19,15 +38,13 @@ let dot_lin env cols w =
 
 (* Largest integer t with p => w.x >= t, i.e. p /\ (w.x < t) unsat. The
    predicate for t is monotone: larger t is easier to violate. *)
-let compute_threshold env ~p_formula ~cols ~w =
-  let is_int = Encode.is_int_var env in
+let compute_threshold session env ~cols ~w =
   let wx = dot_lin env cols w in
   let holds t =
     (* "p implies w.x >= t" *)
     match
-      Solver.solve ~is_int
-        (Formula.and_
-           [ p_formula; Formula.atom (Atom.mk_lt wx (Linexpr.const (Rat.of_int t))) ])
+      Solver.Session.solve_under session
+        ~assumptions:[ Formula.atom (Atom.mk_lt wx (Linexpr.const (Rat.of_int t))) ]
     with
     | Solver.Unsat -> Some true
     | Solver.Sat _ -> Some false
@@ -86,15 +103,16 @@ let compute_threshold env ~p_formula ~cols ~w =
 let strongest_threshold ?cache env ~p_formula ~cols ~w =
   let lookup =
     match cache with
-    | Some c -> Hashtbl.find_opt c (cache_key cols w)
+    | Some c -> Hashtbl.find_opt c.thresholds (cache_key cols w)
     | None -> None
   in
   match lookup with
   | Some hit -> hit
   | None ->
-    let result = compute_threshold env ~p_formula ~cols ~w in
+    let session = session_for cache env p_formula in
+    let result = compute_threshold session env ~cols ~w in
     (match cache with
-     | Some c -> Hashtbl.replace c (cache_key cols w) result
+     | Some c -> Hashtbl.replace c.thresholds (cache_key cols w) result
      | None -> ());
     result
 

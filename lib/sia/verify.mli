@@ -19,3 +19,15 @@ val implies_ce :
 (** Like {!implies}, also returning the countermodel on [Invalid] — a
     tuple satisfying [p] but not [p1], directly usable as a TRUE
     counter-example even when it falls outside the sampling box. *)
+
+type session
+(** Incremental verification context for a fixed [p]: the NULL domain and
+    [is_true p] are encoded once; each candidate [p1] is checked as an
+    assumption query, reusing everything the solver learnt from previous
+    candidates. *)
+
+val make_session : Encode.env -> p:Sia_sql.Ast.pred -> session
+
+val implies_ce_session :
+  session -> p1:Sia_sql.Ast.pred -> result * Sia_smt.Solver.model option
+(** Same verdicts as {!implies_ce} for the session's [p]. *)

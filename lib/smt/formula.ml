@@ -70,6 +70,33 @@ and nnf_neg = function
   | And fs -> or_ (List.map nnf_neg fs)
   | Or fs -> and_ (List.map nnf_neg fs)
 
+let rec compare a b =
+  match (a, b) with
+  | True, True | False, False -> 0
+  | Atom x, Atom y -> Atom.compare x y
+  | Not x, Not y -> compare x y
+  | And xs, And ys | Or xs, Or ys -> List.compare compare xs ys
+  | True, _ -> -1
+  | _, True -> 1
+  | False, _ -> -1
+  | _, False -> 1
+  | Atom _, _ -> -1
+  | _, Atom _ -> 1
+  | Not _, _ -> -1
+  | _, Not _ -> 1
+  | And _, _ -> -1
+  | _, And _ -> 1
+
+let equal a b = compare a b = 0
+
+let rec hash = function
+  | True -> 3
+  | False -> 5
+  | Atom a -> Atom.hash a
+  | Not f -> Hashtbl.hash (7, hash f)
+  | And fs -> Hashtbl.hash (11, List.map hash fs)
+  | Or fs -> Hashtbl.hash (13, List.map hash fs)
+
 let atoms f =
   let seen = Hashtbl.create 16 in
   let acc = ref [] in

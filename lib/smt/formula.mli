@@ -23,6 +23,14 @@ val nnf : t -> t
     {!Atom.negate}; negated divisibility atoms remain as [Not (Atom (Dvd _))]
     literals (the only [Not] surviving in the output). *)
 
+val compare : t -> t -> int
+(** Structural order (via {!Atom.compare} on leaves). *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** Compatible with {!equal}; usable with [Hashtbl.Make]. *)
+
 val atoms : t -> Atom.t list
 (** Distinct atoms, in first-occurrence order. *)
 

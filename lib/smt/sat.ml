@@ -31,6 +31,8 @@ type t = {
   mutable var_inc : float;
   mutable ok : bool;
   mutable conflicts : int;
+  mutable propagations : int;
+  mutable restarts : int;
   mutable seen : bool array;
 }
 
@@ -52,6 +54,8 @@ let create () =
     var_inc = 1.0;
     ok = true;
     conflicts = 0;
+    propagations = 0;
+    restarts = 0;
     seen = Array.make 16 false;
   }
 
@@ -79,6 +83,9 @@ let new_var s =
 
 let n_vars s = s.nvars
 let n_conflicts s = s.conflicts
+let n_propagations s = s.propagations
+let n_restarts s = s.restarts
+let n_learnts s = List.length s.learnts
 
 let lit_value s l =
   let a = s.assign.(var_of l) in
@@ -104,6 +111,7 @@ let propagate s =
        exactly [watches.(l)]. *)
     let l = s.trail.(s.qhead) in
     s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
     let falsified = negate l in
     let ws = s.watches.(l) in
     s.watches.(l) <- [];
@@ -301,9 +309,21 @@ let rec luby i =
   if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
   else luby (i - (1 lsl (!k - 1)) + 1)
 
-let solve s =
+(* [solve ?assumptions s] searches under the given assumption literals,
+   MiniSat-style: assumption [i] is decided at level [i + 1] (a dummy level
+   is opened when it is already implied, keeping the level <-> assumption
+   indexing aligned). A conflict at or below the assumption levels makes
+   the query unsat *under the assumptions* without marking the instance
+   globally unsat; learnt clauses never resolve on assumption decisions
+   (they have no reason clause), so everything learnt remains valid for
+   later calls with different assumptions. *)
+let solve ?(assumptions = []) s =
+  cancel_until s 0;
+  s.qhead <- s.trail_len;
   if not s.ok then false
   else begin
+    let assumps = Array.of_list assumptions in
+    let n_assumps = Array.length assumps in
     let restart_n = ref 1 in
     let result = ref None in
     while !result = None do
@@ -345,31 +365,45 @@ let solve s =
             var_decay s;
             if !confl_count > budget then within := false
           end
-        | None -> begin
-          match pick_branch s with
-          | None -> result := Some true
-          | Some l ->
-            s.trail_lim <- s.trail_len :: s.trail_lim;
-            enqueue s l None
-        end
+        | None ->
+          if decision_level s < n_assumps then begin
+            (* Next assumption becomes the decision for the next level. *)
+            let l = assumps.(decision_level s) in
+            match lit_value s l with
+            | 1 ->
+              (* Already implied: open a dummy level so level [i + 1]
+                 still corresponds to assumption [i]. *)
+              s.trail_lim <- s.trail_len :: s.trail_lim
+            | 0 ->
+              (* Falsified by level-0 facts, earlier assumptions, or a
+                 clause learnt from them: unsat under these assumptions. *)
+              result := Some false
+            | _ ->
+              s.trail_lim <- s.trail_len :: s.trail_lim;
+              enqueue s l None
+          end
+          else begin
+            match pick_branch s with
+            | None -> result := Some true
+            | Some l ->
+              s.trail_lim <- s.trail_len :: s.trail_lim;
+              enqueue s l None
+          end
       done;
-      if !result = None then cancel_until s 0
+      if !result = None then begin
+        s.restarts <- s.restarts + 1;
+        cancel_until s 0
+      end
     done;
-    (match !result with
-     | Some true ->
-       (* Keep the model readable, then reset the search state so that
-          clauses can be added afterwards. *)
-       for v = 0 to s.nvars - 1 do
-         if s.assign.(v) >= 0 then s.phase.(v) <- s.assign.(v) = 1
-       done
-     | Some false | None -> ());
     match !result with
-    | Some r ->
-      if r then begin
-        (* Record model into a stable snapshot before backtracking. *)
-        ()
-      end;
-      r
+    | Some true ->
+      (* Snapshot the model into the saved phases so {!value} keeps
+         answering after any later backtracking. *)
+      for v = 0 to s.nvars - 1 do
+        if s.assign.(v) >= 0 then s.phase.(v) <- s.assign.(v) = 1
+      done;
+      true
+    | Some false -> false
     | None -> assert false
   end
 

@@ -25,11 +25,23 @@ val add_clause : t -> lit list -> unit
 (** May be called before or between [solve] calls; an empty (or trivially
     contradictory at level 0) clause makes the instance permanently unsat. *)
 
-val solve : t -> bool
-(** [true] when satisfiable; the model is then readable via {!value}. *)
+val solve : ?assumptions:lit list -> t -> bool
+(** [true] when satisfiable; the model is then readable via {!value}.
+
+    [assumptions] are temporary unit premises for this call only
+    (MiniSat-style: decided at levels [1..k] before any free decision).
+    A [false] answer under non-empty assumptions means unsat {e under
+    those assumptions}; the instance stays usable, and clauses learnt
+    during the call remain valid for later calls with different
+    assumptions. *)
 
 val value : t -> int -> bool
 (** Model polarity of a variable after a successful {!solve}; variables the
     search never assigned default to [false]. *)
 
 val n_conflicts : t -> int
+val n_propagations : t -> int
+val n_restarts : t -> int
+
+val n_learnts : t -> int
+(** Number of clauses learnt and retained so far (O(learnts) walk). *)

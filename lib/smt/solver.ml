@@ -9,10 +9,128 @@ type result =
 
 let model_value m v = match List.assoc_opt v m with Some r -> r | None -> Rat.zero
 
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  queries : int;
+  sat_answers : int;
+  unsat_answers : int;
+  unknown_answers : int;
+  cache_hits : int;
+  encodings : int;
+  instances : int;
+  theory_rounds : int;
+  conflicts : int;
+  propagations : int;
+  restarts : int;
+  encode_time : float;
+  search_time : float;
+  theory_time : float;
+}
+
+let stats_zero =
+  {
+    queries = 0;
+    sat_answers = 0;
+    unsat_answers = 0;
+    unknown_answers = 0;
+    cache_hits = 0;
+    encodings = 0;
+    instances = 0;
+    theory_rounds = 0;
+    conflicts = 0;
+    propagations = 0;
+    restarts = 0;
+    encode_time = 0.0;
+    search_time = 0.0;
+    theory_time = 0.0;
+  }
+
+let totals = ref stats_zero
+let stats () = !totals
+let reset_stats () = totals := stats_zero
+
+let stats_add a b =
+  {
+    queries = a.queries + b.queries;
+    sat_answers = a.sat_answers + b.sat_answers;
+    unsat_answers = a.unsat_answers + b.unsat_answers;
+    unknown_answers = a.unknown_answers + b.unknown_answers;
+    cache_hits = a.cache_hits + b.cache_hits;
+    encodings = a.encodings + b.encodings;
+    instances = a.instances + b.instances;
+    theory_rounds = a.theory_rounds + b.theory_rounds;
+    conflicts = a.conflicts + b.conflicts;
+    propagations = a.propagations + b.propagations;
+    restarts = a.restarts + b.restarts;
+    encode_time = a.encode_time +. b.encode_time;
+    search_time = a.search_time +. b.search_time;
+    theory_time = a.theory_time +. b.theory_time;
+  }
+
+let stats_since s0 =
+  let s = !totals in
+  {
+    queries = s.queries - s0.queries;
+    sat_answers = s.sat_answers - s0.sat_answers;
+    unsat_answers = s.unsat_answers - s0.unsat_answers;
+    unknown_answers = s.unknown_answers - s0.unknown_answers;
+    cache_hits = s.cache_hits - s0.cache_hits;
+    encodings = s.encodings - s0.encodings;
+    instances = s.instances - s0.instances;
+    theory_rounds = s.theory_rounds - s0.theory_rounds;
+    conflicts = s.conflicts - s0.conflicts;
+    propagations = s.propagations - s0.propagations;
+    restarts = s.restarts - s0.restarts;
+    encode_time = s.encode_time -. s0.encode_time;
+    search_time = s.search_time -. s0.search_time;
+    theory_time = s.theory_time -. s0.theory_time;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "queries=%d (sat=%d unsat=%d unknown=%d cached=%d) encodings=%d \
+     instances=%d theory-rounds=%d conflicts=%d propagations=%d restarts=%d \
+     encode=%.3fs search=%.3fs (theory=%.3fs)"
+    s.queries s.sat_answers s.unsat_answers s.unknown_answers s.cache_hits
+    s.encodings s.instances s.theory_rounds s.conflicts s.propagations
+    s.restarts s.encode_time s.search_time s.theory_time
+
+let bump_query () = totals := { !totals with queries = !totals.queries + 1 }
+
+let bump_cache_hit () =
+  totals := { !totals with cache_hits = !totals.cache_hits + 1 }
+
+let bump_encoding dt =
+  totals :=
+    {
+      !totals with
+      encodings = !totals.encodings + 1;
+      encode_time = !totals.encode_time +. dt;
+    }
+
+let count_answer r =
+  (totals :=
+     match r with
+     | Sat _ -> { !totals with sat_answers = !totals.sat_answers + 1 }
+     | Unsat -> { !totals with unsat_answers = !totals.unsat_answers + 1 }
+     | Unknown -> { !totals with unknown_answers = !totals.unknown_answers + 1 });
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
 (* Tseitin encoding, implication direction only (sufficient for
    satisfiability): the formula is in NNF, so it is monotone in its
    literals, except for Dvd atoms which may occur under both polarities and
-   whose assignments are therefore always passed to the theory. *)
+   whose assignments are therefore always passed to the theory.
+
+   The implication-only direction is also what makes the returned root
+   literal usable as an activation literal: assuming the root turns the
+   formula on, while leaving it unassumed makes its clauses vacuous. *)
 let encode sat atom_var f =
   let rec enc f =
     match f with
@@ -47,6 +165,7 @@ type instance = {
 }
 
 let make_instance f =
+  let t0 = Sys.time () in
   let sat = Sat.create () in
   let atom_tbl = Hashtbl.create 64 in
   let inst = { sat; atom_tbl; atoms = []; fvars = Formula.vars f; formula = f } in
@@ -61,6 +180,8 @@ let make_instance f =
   in
   let root = encode sat atom_var f in
   Sat.add_clause sat [ root ];
+  totals := { !totals with instances = !totals.instances + 1 };
+  bump_encoding (Sys.time () -. t0);
   inst
 
 let atom_var inst a =
@@ -72,14 +193,43 @@ let atom_var inst a =
     inst.atoms <- (a, v) :: inst.atoms;
     v
 
-(* One DPLL(T) run on the current clause set. *)
-let run_instance ?(max_rounds = 50_000) ~is_int inst =
+(* One DPLL(T) run on the current clause set, optionally under assumption
+   literals. [check] lists extra formulas (beyond [inst.formula]) that the
+   caller asserted via assumptions: their variables join the model padding
+   and the returned model is validated against them too.
+
+   [theory_atoms], when given, restricts which atoms are passed to the
+   theory solver. On a long-lived session only the atoms of the base
+   formula, of the current assumptions, and of the model-blocking clauses
+   are relevant to the query; stale atoms from earlier queries stay
+   boolean-assigned (phase saving) but constraining the arithmetic model
+   with them would make every simplex call grow with session age — and
+   their values are free as far as this query's formulas are concerned.
+   Soundness is unchanged: the encoding is monotone NNF, so root truth
+   only rests on the checked atoms, and the model is still validated
+   against the full formulas below. *)
+let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
+    ?(check = []) ?theory_atoms ~is_int inst =
+  let t0 = Sys.time () in
+  let c0 = Sat.n_conflicts inst.sat in
+  let p0 = Sat.n_propagations inst.sat in
+  let r0 = Sat.n_restarts inst.sat in
+  let fvars =
+    match check with
+    | [] -> inst.fvars
+    | _ ->
+      List.sort_uniq Stdlib.compare
+        (List.rev_append (List.concat_map Formula.vars check) inst.fvars)
+  in
   let rec loop round =
     if round > max_rounds then Unknown
-    else if not (Sat.solve inst.sat) then Unsat
+    else if not (Sat.solve ~assumptions inst.sat) then Unsat
     else begin
       (* Theory literals from the boolean model: positive Lin atoms, and
          Dvd atoms under either polarity. *)
+      let atoms =
+        match theory_atoms with Some l -> l | None -> inst.atoms
+      in
       let lits =
         List.filter_map
           (fun (a, v) ->
@@ -87,19 +237,30 @@ let run_instance ?(max_rounds = 50_000) ~is_int inst =
             match a with
             | Atom.Lin _ -> if value then Some (a, true) else None
             | Atom.Dvd _ -> Some (a, value))
-          inst.atoms
+          atoms
       in
-      match Theory.check ~is_int lits with
+      let tt0 = Sys.time () in
+      let verdict = Theory.check ~is_int ?node_limit lits in
+      totals :=
+        {
+          !totals with
+          theory_rounds = !totals.theory_rounds + 1;
+          theory_time = !totals.theory_time +. (Sys.time () -. tt0);
+        };
+      match verdict with
       | Theory.Unknown -> Unknown
       | Theory.Sat m ->
         let m =
           List.fold_left
             (fun acc v -> if List.mem_assoc v acc then acc else (v, Rat.zero) :: acc)
-            m inst.fvars
+            m fvars
         in
         let lookup = model_value m in
-        if not (Formula.eval inst.formula lookup) then
-          failwith "Solver.solve: internal error, model does not satisfy formula";
+        if
+          not
+            (Formula.eval inst.formula lookup
+            && List.for_all (fun f -> Formula.eval f lookup) check)
+        then failwith "Solver.solve: internal error, model does not satisfy formula";
         Sat m
       | Theory.Unsat core ->
         let blocking =
@@ -113,50 +274,111 @@ let run_instance ?(max_rounds = 50_000) ~is_int inst =
         loop (round + 1)
     end
   in
-  loop 0
+  let r = loop 0 in
+  totals :=
+    {
+      !totals with
+      search_time = !totals.search_time +. (Sys.time () -. t0);
+      conflicts = !totals.conflicts + (Sat.n_conflicts inst.sat - c0);
+      propagations = !totals.propagations + (Sat.n_propagations inst.sat - p0);
+      restarts = !totals.restarts + (Sat.n_restarts inst.sat - r0);
+    };
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Memoized one-shot solving                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Results of one-shot [solve] calls are memoized on the NNF formula plus
+   the [is_int] fingerprint of its variables (the only part of [is_int]
+   the answer can depend on). Only Sat/Unsat verdicts are cached: Unknown
+   depends on [max_rounds] and theory node limits, so it is recomputed.
+   The cache has no invalidation rule by construction — a one-shot query
+   depends on nothing but the key. *)
+module Memo = Hashtbl.Make (struct
+  type t = Formula.t * bool list
+
+  let equal (f1, b1) (f2, b2) = b1 = b2 && Formula.equal f1 f2
+  let hash (f, b) = Hashtbl.hash (Formula.hash f, b)
+end)
+
+let memo : result Memo.t = Memo.create 1024
+
+(* Bound the cache; wholesale reset on overflow keeps it O(1) amortized
+   and is plenty for the CEGIS workloads (a run rarely exceeds a few
+   thousand distinct formulas). *)
+let memo_limit = 16_384
 
 let solve ?max_rounds ~is_int f =
   let f = Formula.nnf f in
+  bump_query ();
   match f with
-  | Formula.True -> Sat (List.map (fun v -> (v, Rat.zero)) (Formula.vars f))
-  | Formula.False -> Unsat
-  | _ -> run_instance ?max_rounds ~is_int (make_instance f)
+  | Formula.True ->
+    count_answer (Sat (List.map (fun v -> (v, Rat.zero)) (Formula.vars f)))
+  | Formula.False -> count_answer Unsat
+  | _ -> (
+    let key = (f, List.map is_int (Formula.vars f)) in
+    match Memo.find_opt memo key with
+    | Some r ->
+      bump_cache_hit ();
+      count_answer r
+    | None ->
+      let r = run_instance ?max_rounds ~is_int (make_instance f) in
+      (match r with
+       | Sat _ | Unsat ->
+         if Memo.length memo >= memo_limit then Memo.reset memo;
+         Memo.replace memo key r
+       | Unknown -> ());
+      count_answer r)
+
+(* Exclude the model (on [distinct_on]) from later queries — permanently,
+   or only while the [guard] literal is assumed. Returns the fresh
+   disequality atoms, which join the abstraction and must be
+   theory-checked by every query the clause is live for. *)
+let block_model ?guard inst ~distinct_on m =
+  let pairs =
+    List.concat_map
+      (fun v ->
+        let value = Linexpr.const (model_value m v) in
+        let lt = Atom.mk_lt (Linexpr.var v) value in
+        let gt = Atom.mk_gt (Linexpr.var v) value in
+        [ (lt, atom_var inst lt); (gt, atom_var inst gt) ])
+      distinct_on
+  in
+  let lits = List.map (fun (_, v) -> Sat.pos v) pairs in
+  Sat.add_clause inst.sat (match guard with Some g -> g :: lits | None -> lits);
+  pairs
 
 let solve_many ?max_rounds ~is_int ~count ~distinct_on f =
   if count <= 0 then ([], false)
   else begin
     let f = Formula.nnf f in
     match f with
-    | Formula.False -> ([], true)
+    | Formula.False ->
+      bump_query ();
+      ignore (count_answer Unsat);
+      ([], true)
     | _ -> begin
       let inst = make_instance f in
       let models = ref [] in
+      let n = ref 0 in
       let exhausted = ref false in
-      while List.length !models < count && not !exhausted do
-        match run_instance ?max_rounds ~is_int inst with
+      while !n < count && not !exhausted do
+        bump_query ();
+        match count_answer (run_instance ?max_rounds ~is_int inst) with
         | Unsat -> exhausted := true
         | Unknown -> exhausted := true
         | Sat m ->
-          models := !models @ [ m ];
+          models := m :: !models;
+          incr n;
           (* Block this model on the distinguished variables: the next
              model must differ on at least one of them. The fresh
              disequality atoms join the abstraction and are theory-checked
              like any other literal. *)
           if distinct_on = [] then exhausted := true
-          else begin
-            let lits =
-              List.concat_map
-                (fun v ->
-                  let value = Linexpr.const (model_value m v) in
-                  let lt = Atom.mk_lt (Linexpr.var v) value in
-                  let gt = Atom.mk_gt (Linexpr.var v) value in
-                  [ Sat.pos (atom_var inst lt); Sat.pos (atom_var inst gt) ])
-                distinct_on
-            in
-            Sat.add_clause inst.sat lits
-          end
+          else ignore (block_model inst ~distinct_on m)
       done;
-      (!models, !exhausted)
+      (List.rev !models, !exhausted)
     end
   end
 
@@ -165,3 +387,131 @@ let entails ~is_int p q =
   | Sat _ -> Some false
   | Unsat -> Some true
   | Unknown -> None
+
+(* ------------------------------------------------------------------ *)
+(* Persistent sessions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module FTbl = Hashtbl.Make (Formula)
+
+module Session = struct
+  type session = {
+    inst : instance;
+    is_int : int -> bool;
+    (* NNF formula -> activation literal and the formula's atoms *)
+    lits : (Sat.lit * (Atom.t * int) list) FTbl.t;
+    base_atoms : (Atom.t * int) list;
+    (* Formulas permanently asserted via [add_clause], with their atoms:
+       always theory-relevant and always part of model validation. *)
+    mutable asserted : Formula.t list;
+    mutable asserted_atoms : (Atom.t * int) list;
+  }
+
+  type t = session
+
+  let create ~is_int base =
+    let base = Formula.nnf base in
+    let inst = make_instance base in
+    {
+      inst;
+      is_int;
+      lits = FTbl.create 64;
+      base_atoms = inst.atoms;
+      asserted = [];
+      asserted_atoms = [];
+    }
+
+  (* Activation literal for a formula: encoded once per session, then
+     reused by every later query that assumes or asserts it. Because the
+     encoding is implication-only, an unassumed activation literal leaves
+     its clauses vacuously satisfiable. *)
+  let lit t f =
+    let f = Formula.nnf f in
+    match FTbl.find_opt t.lits f with
+    | Some entry -> entry
+    | None ->
+      let t0 = Sys.time () in
+      let l = encode t.inst.sat (atom_var t.inst) f in
+      bump_encoding (Sys.time () -. t0);
+      let entry =
+        (l, List.map (fun a -> (a, atom_var t.inst a)) (Formula.atoms f))
+      in
+      FTbl.add t.lits f entry;
+      entry
+
+  let add_clause t f =
+    let l, atoms = lit t f in
+    Sat.add_clause t.inst.sat [ l ];
+    t.asserted <- f :: t.asserted;
+    t.asserted_atoms <- List.rev_append atoms t.asserted_atoms
+
+  (* Atoms the theory must check for this query: base, permanently
+     asserted formulas, current assumptions, and (during enumeration) the
+     current call's model-blocking clauses, deduplicated. Stale atoms
+     from other queries are deliberately left out — see [run_instance]. *)
+  let relevant_atoms t query_atoms =
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun (_, v) ->
+        if Hashtbl.mem seen v then false
+        else begin
+          Hashtbl.add seen v ();
+          true
+        end)
+      (t.base_atoms @ t.asserted_atoms @ query_atoms)
+
+  (* [extra_lits]/[extra_atoms] carry raw per-call state (the enumeration
+     guard and its blocking atoms) that has no formula counterpart. *)
+  let run ?max_rounds ?node_limit ?(extra_lits = []) ?(extra_atoms = []) t
+      assumptions =
+    bump_query ();
+    let assumptions = List.map Formula.nnf assumptions in
+    let encoded = List.map (lit t) assumptions in
+    count_answer
+      (run_instance ?max_rounds ?node_limit
+         ~assumptions:(extra_lits @ List.map fst encoded)
+         ~check:(t.asserted @ assumptions)
+         ~theory_atoms:
+           (relevant_atoms t (extra_atoms @ List.concat_map snd encoded))
+         ~is_int:t.is_int t.inst)
+
+  let solve_under ?max_rounds ?node_limit ?(assumptions = []) t =
+    run ?max_rounds ?node_limit t assumptions
+
+  (* Model-blocking clauses are scoped to this call by a fresh activation
+     literal: assumed while enumerating, vacuous afterwards. The session's
+     later theory checks therefore do not pay for past enumerations;
+     callers that need earlier models excluded again pass explicit
+     exclusion assumptions. *)
+  let solve_many_under ?max_rounds ?(assumptions = []) ~count ~distinct_on t =
+    if count <= 0 then ([], false)
+    else begin
+      let guard = Sat.new_var t.inst.sat in
+      let blocked = ref [] in
+      let models = ref [] in
+      let n = ref 0 in
+      let exhausted = ref false in
+      while !n < count && not !exhausted do
+        match
+          run ?max_rounds ~extra_lits:[ Sat.pos guard ] ~extra_atoms:!blocked t
+            assumptions
+        with
+        | Unsat | Unknown -> exhausted := true
+        | Sat m ->
+          models := m :: !models;
+          incr n;
+          if distinct_on = [] then exhausted := true
+          else
+            blocked :=
+              List.rev_append
+                (block_model ~guard:(Sat.neg_lit guard) t.inst ~distinct_on m)
+                !blocked
+      done;
+      (* Retire the guard: its blocking clauses are satisfied at level 0
+         from now on and never constrain another query. *)
+      Sat.add_clause t.inst.sat [ Sat.neg_lit guard ];
+      (List.rev !models, !exhausted)
+    end
+
+  let n_encodings t = FTbl.length t.lits
+end

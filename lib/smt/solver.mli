@@ -39,3 +39,88 @@ val entails : is_int:(int -> bool) -> Formula.t -> Formula.t -> bool option
 
 val model_value : model -> int -> Rat.t
 (** Lookup with zero default. *)
+
+(** {2 Persistent sessions}
+
+    A session keeps one solver instance — atom table, Tseitin encoding,
+    theory blocking clauses, SAT learnt clauses — alive across a batch of
+    queries that share a base formula. Each query formula is encoded once
+    into an activation literal and then passed to the SAT core as an
+    assumption, so repeats of the same side formula cost no re-encoding
+    and everything learnt in one query speeds up the next. *)
+module Session : sig
+  type t
+
+  val create : is_int:(int -> bool) -> Formula.t -> t
+  (** New session whose base formula is permanently asserted. The [is_int]
+      map must cover every variable later used in queries on this
+      session. *)
+
+  val solve_under :
+    ?max_rounds:int ->
+    ?node_limit:int ->
+    ?assumptions:Formula.t list ->
+    t ->
+    result
+  (** Satisfiability of [base ∧ assumptions]. The assumption formulas hold
+      only for this call; a model assigns every variable of the base and of
+      the assumptions. [Unsat] means unsat under these assumptions — the
+      session stays usable. [node_limit] caps each integer
+      branch-and-bound check (default 4000): callers whose queries are
+      unbounded — no domain box — and who handle [Unknown] gracefully
+      should pass a small cap so one unlucky candidate cannot stall the
+      whole loop. *)
+
+  val add_clause : t -> Formula.t -> unit
+  (** Permanently conjoin a formula to the session (cheap on the live
+      solver: no re-encoding of anything already seen). *)
+
+  val solve_many_under :
+    ?max_rounds:int ->
+    ?assumptions:Formula.t list ->
+    count:int ->
+    distinct_on:int list ->
+    t ->
+    model list * bool
+  (** Like {!solve_many} but on the live session. The per-model blocking
+      clauses are scoped to this call (guarded by a fresh activation
+      literal): models are pairwise distinct on [distinct_on] within the
+      call, and later queries on the session are unaffected — re-exclude
+      earlier models with explicit assumptions if needed. The flag is
+      true when enumeration stopped before [count] models (model space
+      exhausted, or resource limit). *)
+
+  val n_encodings : t -> int
+  (** Distinct side formulas encoded into this session so far. *)
+end
+
+(** {2 Statistics}
+
+    Global counters over all solver activity in the process; snapshot
+    with {!stats} and subtract with {!stats_since} for per-phase deltas. *)
+
+type stats = {
+  queries : int;  (** satisfiability questions asked (incl. cache hits) *)
+  sat_answers : int;
+  unsat_answers : int;
+  unknown_answers : int;
+  cache_hits : int;  (** answered from the memo cache without solving *)
+  encodings : int;  (** Tseitin encodings performed (base + side formulas) *)
+  instances : int;  (** fresh solver instances built *)
+  theory_rounds : int;  (** simplex / branch-and-bound checks *)
+  conflicts : int;
+  propagations : int;
+  restarts : int;
+  encode_time : float;  (** CPU seconds spent encoding *)
+  search_time : float;  (** CPU seconds spent in SAT search + theory *)
+  theory_time : float;  (** CPU seconds spent in theory checks (part of [search_time]) *)
+}
+
+val stats : unit -> stats
+val stats_zero : stats
+val stats_since : stats -> stats
+(** Delta between now and an earlier {!stats} snapshot. *)
+
+val stats_add : stats -> stats -> stats
+val reset_stats : unit -> unit
+val pp_stats : Format.formatter -> stats -> unit

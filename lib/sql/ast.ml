@@ -60,6 +60,10 @@ let rec conjuncts = function
 
 let column_equal (a : column) (b : column) = a.table = b.table && a.name = b.name
 
+(* Predicates are pure trees of ints, floats, strings and options, so
+   structural equality is exact (no NaN constants survive parsing). *)
+let pred_equal (a : pred) (b : pred) = a = b
+
 let rec expr_columns = function
   | Col c -> [ c ]
   | Const _ -> []

@@ -58,6 +58,9 @@ val pred_columns : pred -> column list
 
 val expr_columns : expr -> column list
 val column_equal : column -> column -> bool
+
+(** Structural equality of predicate trees. *)
+val pred_equal : pred -> pred -> bool
 val pred_size : pred -> int
 (** Node count, a complexity measure used in reports. *)
 
