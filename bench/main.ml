@@ -3,7 +3,10 @@
    limitation study, a QE-method ablation, and bechamel micro-benchmarks.
 
    Usage:  main.exe [motivating|fig6|table2|table3|fig7|fig8|fig9|limits|
-                     ablation|micro|all]
+                     ablation|bench|micro|all] [--paranoid]
+   --paranoid audits every solver verdict through the independent
+   certificate checker and re-derives each synthesized rewrite; the
+   "bench" JSON then also reports the checking overhead.
    Environment:
      SIA_BENCH_QUERIES   number of generated queries   (default 200)
      SIA_CASE_QUERIES    case-study log size           (default 1000)
@@ -28,6 +31,11 @@ let env_int name default =
 
 let env_float name default =
   match Sys.getenv_opt name with Some s -> float_of_string s | None -> default
+
+(* --paranoid: run the workload with the independent certificate checker
+   auditing every solver verdict, re-derive each synthesized rewrite with
+   Rewrite.audit, and report the checking overhead in the perf JSON. *)
+let paranoid = ref false
 
 let n_queries () = env_int "SIA_BENCH_QUERIES" 200
 let n_case () = env_int "SIA_CASE_QUERIES" 1000
@@ -470,23 +478,50 @@ let run_ablation () =
    statistics over a fixed seeded workload, so the perf trajectory can be
    tracked across PRs (append the line to BENCH_synthesis.json). *)
 let run_perf () =
-  header "perf: end-to-end synthesis workload (JSON)";
+  header
+    (if !paranoid then "perf: end-to-end synthesis workload, paranoid (JSON)"
+     else "perf: end-to-end synthesis workload (JSON)");
   let n = env_int "SIA_PERF_QUERIES" 12 in
   let queries = Qgen.generate ~seed:42 ~count:n () in
   let subsets = Qgen.column_subsets 1 @ Qgen.column_subsets 2 in
-  let cfg = { Config.default with Config.time_budget = budget } in
+  let cfg =
+    { Config.default with Config.time_budget = budget; Config.paranoid = !paranoid }
+  in
   let t0 = Unix.gettimeofday () in
-  let stats =
+  let attempts =
     List.concat_map
       (fun (gq : Qgen.gen_query) ->
         List.map
           (fun subset ->
-            Synthesize.synthesize ~cfg Schema.tpch ~from:gq.Qgen.query.Ast.from
-              ~pred:gq.Qgen.pred ~target_cols:subset)
+            ( gq,
+              Synthesize.synthesize ~cfg Schema.tpch ~from:gq.Qgen.query.Ast.from
+                ~pred:gq.Qgen.pred ~target_cols:subset ))
           subsets)
       queries
   in
   let wall = Unix.gettimeofday () -. t0 in
+  let stats = List.map snd attempts in
+  (* Audit pass: statically re-derive every synthesized predicate through
+     the certificate-checked entailment, timing the whole pass. *)
+  let audit_passed = ref 0 and audit_failed = ref 0 in
+  let audit_t0 = Unix.gettimeofday () in
+  if !paranoid then
+    List.iter
+      (fun ((gq : Qgen.gen_query), st) ->
+        match Synthesize.predicate st with
+        | None -> ()
+        | Some p1 -> (
+          match
+            Rewrite.audit Schema.tpch ~from:gq.Qgen.query.Ast.from ~p:gq.Qgen.pred
+              ~p1
+          with
+          | Rewrite.Audit_passed -> incr audit_passed
+          | Rewrite.Audit_failed reason ->
+            incr audit_failed;
+            Printf.printf "  !! audit failed on query %d: %s\n" gq.Qgen.id reason
+          | Rewrite.Audit_off -> ()))
+      attempts;
+  let audit_wall = Unix.gettimeofday () -. audit_t0 in
   let count f = List.length (List.filter f stats) in
   let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 stats in
   let sv =
@@ -494,9 +529,15 @@ let run_perf () =
       (fun acc s -> Solver.stats_add acc s.Synthesize.solver)
       Solver.stats_zero stats
   in
+  (* Certificate-checking overhead relative to the time spent actually
+     solving (SAT search + theory + encoding). *)
+  let solve_s = sv.Solver.encode_time +. sv.Solver.search_time in
+  let cert_overhead =
+    (sv.Solver.cert_time +. audit_wall) /. Float.max 1e-9 solve_s
+  in
   let json =
     Printf.sprintf
-      "{\"bench\":\"synthesis\",\"queries\":%d,\"attempts\":%d,\"valid\":%d,\"optimal\":%d,\"wall_s\":%.3f,\"gen_s\":%.3f,\"learn_s\":%.3f,\"verify_s\":%.3f,\"solver_queries\":%d,\"solver_cache_hits\":%d,\"solver_encodings\":%d,\"solver_instances\":%d,\"solver_theory_rounds\":%d,\"solver_conflicts\":%d,\"solver_propagations\":%d,\"solver_restarts\":%d,\"solver_encode_s\":%.3f,\"solver_search_s\":%.3f,\"solver_theory_s\":%.3f}"
+      "{\"bench\":\"synthesis\",\"queries\":%d,\"attempts\":%d,\"valid\":%d,\"optimal\":%d,\"wall_s\":%.3f,\"gen_s\":%.3f,\"learn_s\":%.3f,\"verify_s\":%.3f,\"solver_queries\":%d,\"solver_cache_hits\":%d,\"solver_encodings\":%d,\"solver_instances\":%d,\"solver_theory_rounds\":%d,\"solver_conflicts\":%d,\"solver_propagations\":%d,\"solver_restarts\":%d,\"solver_encode_s\":%.3f,\"solver_search_s\":%.3f,\"solver_theory_s\":%.3f,\"paranoid\":%b,\"cert_lemmas\":%d,\"cert_proofs\":%d,\"cert_models\":%d,\"cert_rejections\":%d,\"cert_s\":%.3f,\"audit_passed\":%d,\"audit_failed\":%d,\"audit_s\":%.3f,\"cert_overhead\":%.3f}"
       n (List.length stats)
       (count Synthesize.is_valid_outcome)
       (count Synthesize.is_optimal_outcome)
@@ -507,9 +548,16 @@ let run_perf () =
       sv.Solver.queries sv.Solver.cache_hits sv.Solver.encodings
       sv.Solver.instances sv.Solver.theory_rounds sv.Solver.conflicts
       sv.Solver.propagations sv.Solver.restarts sv.Solver.encode_time
-      sv.Solver.search_time sv.Solver.theory_time
+      sv.Solver.search_time sv.Solver.theory_time !paranoid sv.Solver.cert_lemmas
+      sv.Solver.cert_proofs sv.Solver.cert_models sv.Solver.cert_rejections
+      sv.Solver.cert_time !audit_passed !audit_failed audit_wall cert_overhead
   in
   Format.printf "solver: %a@." Solver.pp_stats sv;
+  if !paranoid then
+    Printf.printf
+      "paranoid: %d lemma certs, %d proofs, %d models, %d rejections; audit %d passed / %d failed; overhead %.2fx solve time\n"
+      sv.Solver.cert_lemmas sv.Solver.cert_proofs sv.Solver.cert_models
+      sv.Solver.cert_rejections !audit_passed !audit_failed cert_overhead;
   print_endline json
 
 (* ------------------------------------------------------------------ *)
@@ -635,10 +683,19 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  paranoid := List.mem "--paranoid" args;
+  if !paranoid then Sia_check.Check.enable ();
+  let cmd =
+    match List.filter (fun a -> a <> "--paranoid") args with
+    | c :: _ -> c
+    | [] -> "all"
+  in
   Printf.printf
-    "sia bench: %s (SIA_BENCH_QUERIES=%d SIA_CASE_QUERIES=%d SIA_SF_ONE=%.3f SIA_SF_TEN=%.3f)\n%!"
-    cmd (n_queries ()) (n_case ()) (sf_one ()) (sf_ten ());
+    "sia bench: %s%s (SIA_BENCH_QUERIES=%d SIA_CASE_QUERIES=%d SIA_SF_ONE=%.3f SIA_SF_TEN=%.3f)\n%!"
+    cmd
+    (if !paranoid then " --paranoid" else "")
+    (n_queries ()) (n_case ()) (sf_one ()) (sf_ten ());
   let t0 = Unix.gettimeofday () in
   (match cmd with
    | "motivating" -> run_motivating ()

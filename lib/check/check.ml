@@ -1,0 +1,273 @@
+(* Independent certificate checker — the consumer side of
+   {!Sia_smt.Cert}. This library deliberately depends only on
+   [Sia_numeric] and the formula/atom/linexpr term language of [Sia_smt]:
+   it re-derives everything else (literal expansion, integer tightening,
+   atom evaluation) itself, so the solver's simplex, branch-and-bound and
+   CDCL internals are outside its trust boundary. What remains trusted is
+   the Tseitin encoding (atom <-> SAT-variable table) and the exact
+   arithmetic in [Sia_numeric].
+
+   All failures raise {!Sia_smt.Cert.Certificate_error}: a certificate
+   that does not establish its verdict is a soundness bug in the solver or
+   a bug here, and both must stop the run. *)
+
+open Sia_numeric
+open Sia_smt
+
+let fail fmt = Format.kasprintf (fun s -> raise (Cert.Certificate_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Independent formula evaluation (Sat models)                         *)
+(* ------------------------------------------------------------------ *)
+
+let eval_linexpr lookup e =
+  List.fold_left
+    (fun acc (v, c) -> Rat.add acc (Rat.mul c (lookup v)))
+    (Linexpr.constant e) (Linexpr.terms e)
+
+let eval_atom lookup = function
+  | Atom.Lin (rel, e) -> (
+    let x = eval_linexpr lookup e in
+    match rel with
+    | Atom.Le -> Rat.sign x <= 0
+    | Atom.Lt -> Rat.sign x < 0
+    | Atom.Eq -> Rat.is_zero x)
+  | Atom.Dvd (d, e) ->
+    let x = eval_linexpr lookup e in
+    Rat.is_integer x && Bigint.is_zero (Bigint.rem x.Rat.num d)
+
+let rec eval_formula lookup = function
+  | Formula.True -> true
+  | Formula.False -> false
+  | Formula.Atom a -> eval_atom lookup a
+  | Formula.Not f -> not (eval_formula lookup f)
+  | Formula.And fs -> List.for_all (eval_formula lookup) fs
+  | Formula.Or fs -> List.exists (eval_formula lookup) fs
+
+(* [lookup] must be total over the formulas' variables (strict: a missing
+   assignment raises rather than defaulting). *)
+let check_model lookup formulas =
+  List.iter
+    (fun f ->
+      if not (eval_formula lookup f) then
+        fail "Sat model does not satisfy the formula")
+    formulas
+
+(* ------------------------------------------------------------------ *)
+(* Theory-lemma certificates                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The expansion of a core literal into linear atoms, re-derived from the
+   literal and the certificate's fresh witness ids alone. This is the
+   checker's own statement of what the witnesses mean; if the solver's
+   expansion drifts from it, Farkas coefficients stop cancelling and the
+   certificate is rejected. *)
+let expand_spec (a, polarity) fresh =
+  match (a, polarity, fresh) with
+  | Atom.Lin _, true, [] -> [ a ]
+  | Atom.Lin _, true, _ -> fail "linear literal with witness variables"
+  | Atom.Lin _, false, _ -> fail "negated linear literal in core"
+  | Atom.Dvd (d, e), true, [ q ] ->
+    (* d | e  <=>  exists q. e - d*q = 0 *)
+    [ Atom.mk_eq e (Linexpr.var ~coeff:(Rat.of_bigint d) q) ]
+  | Atom.Dvd (d, e), false, [ q; r ] ->
+    (* not (d | e)  <=>  exists q r. e = d*q + r  /\  1 <= r <= d-1 *)
+    let dq = Linexpr.var ~coeff:(Rat.of_bigint d) q in
+    let rv = Linexpr.var r in
+    [
+      Atom.mk_eq e (Linexpr.add dq rv);
+      Atom.mk_ge rv (Linexpr.of_int 1);
+      Atom.mk_le rv (Linexpr.sub (Linexpr.const (Rat.of_bigint d)) (Linexpr.of_int 1));
+    ]
+  | Atom.Dvd _, _, _ -> fail "divisibility witness arity mismatch"
+
+(* Integer strengthening of an inequality over integer variables:
+   dividing [sum c_i x_i <= -k] by [g = gcd(c_i)] and rounding the bound
+   to an integer keeps exactly the integer solutions. Sound by the
+   standard rounding argument; applied pointwise, so a mismatch with the
+   solver's tightening surfaces as a non-cancelling combination. *)
+let tighten_spec is_int atom =
+  match atom with
+  | Atom.Lin ((Atom.Le | Atom.Lt) as rel, e) ->
+    let terms = Linexpr.terms e in
+    let k = Linexpr.constant e in
+    if
+      terms = []
+      || not (List.for_all (fun (v, c) -> is_int v && Rat.is_integer c) terms)
+      || not (Rat.is_integer k)
+    then atom
+    else begin
+      let g =
+        List.fold_left (fun acc (_, c) -> Bigint.gcd acc c.Rat.num) Bigint.zero terms
+      in
+      if Bigint.is_zero g then atom
+      else begin
+        let t = Linexpr.scale (Rat.make Bigint.one g) (Linexpr.set_constant e Rat.zero) in
+        let bound = Rat.div (Rat.neg k) (Rat.of_bigint g) in
+        let rhs =
+          match rel with
+          | Atom.Le -> Rat.floor bound
+          | Atom.Lt -> Bigint.sub (Rat.ceil bound) Bigint.one
+          | Atom.Eq -> assert false
+        in
+        Atom.mk_le t (Linexpr.const (Rat.of_bigint rhs))
+      end
+    end
+  | Atom.Lin (Atom.Eq, _) | Atom.Dvd _ -> atom
+
+(* gcd refutation: an equality [sum c_i x_i + k = 0] with integer
+   coefficients over integer variables has no solution when the
+   coefficient gcd does not divide the constant (or the constant is not
+   even an integer). *)
+let check_gcd is_int atom =
+  match atom with
+  | Atom.Lin (Atom.Eq, e) -> begin
+    let terms = Linexpr.terms e in
+    if terms = [] then fail "gcd certificate on a constant atom";
+    if not (List.for_all (fun (v, c) -> is_int v && Rat.is_integer c) terms) then
+      fail "gcd certificate with a non-integer term";
+    let g =
+      List.fold_left (fun acc (_, c) -> Bigint.gcd acc c.Rat.num) Bigint.zero terms
+    in
+    if Bigint.is_zero g then fail "gcd certificate with zero gcd";
+    let k = Linexpr.constant e in
+    if Rat.is_integer k && Bigint.is_zero (Bigint.rem k.Rat.num g) then
+      fail "gcd divides the constant: no refutation"
+  end
+  | _ -> fail "gcd certificate on a non-equality"
+
+(* One Farkas combination: all referenced atoms are linear; [Le]/[Lt]
+   atoms carry non-negative coefficients; the scaled sum cancels every
+   variable and leaves an infeasible constant. *)
+let check_leaf atom_of fk =
+  if fk = [] then fail "empty Farkas combination";
+  let strict = ref false in
+  let sum =
+    List.fold_left
+      (fun acc (r, c) ->
+        match atom_of r with
+        | Atom.Dvd _ -> fail "divisibility atom in a Farkas combination"
+        | Atom.Lin (rel, e) ->
+          (match rel with
+           | Atom.Eq -> ()
+           | Atom.Le ->
+             if Rat.sign c < 0 then fail "negative coefficient on a <= atom"
+           | Atom.Lt ->
+             if Rat.sign c < 0 then fail "negative coefficient on a < atom";
+             if Rat.sign c > 0 then strict := true);
+          Linexpr.add acc (Linexpr.scale c e))
+      Linexpr.zero fk
+  in
+  if not (Linexpr.is_const sum) then
+    fail "Farkas combination does not cancel the variables";
+  let k = Linexpr.constant sum in
+  if not (Rat.sign k > 0 || (Rat.is_zero k && !strict)) then
+    fail "Farkas combination is satisfiable (constant %s)" (Rat.to_string k)
+
+(* Verify that [cert] refutes the conjunction of [lits]. [is_int] is the
+   caller's integer map for the input variables; certificate witnesses
+   are integer by construction once shown fresh. *)
+let check_lemma ~is_int lits cert =
+  let lits_arr = Array.of_list lits in
+  let n = Array.length lits_arr in
+  if Array.length cert.Cert.fresh <> n then
+    fail "certificate covers %d literals, core has %d"
+      (Array.length cert.Cert.fresh) n;
+  (* Fresh witnesses must be pairwise distinct and disjoint from the
+     input's variables: only then is "exists witnesses" conservative and a
+     branch on a witness exhaustive. *)
+  let fresh_tbl = Hashtbl.create 8 in
+  Array.iter
+    (List.iter (fun v ->
+         if Hashtbl.mem fresh_tbl v then fail "duplicate fresh witness %d" v;
+         Hashtbl.add fresh_tbl v ()))
+    cert.Cert.fresh;
+  let input_vars =
+    List.sort_uniq Stdlib.compare (List.concat_map (fun (a, _) -> Atom.vars a) lits)
+  in
+  List.iter
+    (fun v ->
+      if Hashtbl.mem fresh_tbl v then
+        fail "fresh witness %d occurs in the input" v)
+    input_vars;
+  let is_int' v = is_int v || Hashtbl.mem fresh_tbl v in
+  let expanded =
+    Array.init n (fun i ->
+        Array.of_list
+          (List.map (tighten_spec is_int')
+             (expand_spec lits_arr.(i) cert.Cert.fresh.(i))))
+  in
+  let constrained v = List.mem v input_vars || Hashtbl.mem fresh_tbl v in
+  match cert.Cert.refutation with
+  | Cert.Gcd (i, j) ->
+    if i < 0 || i >= n then fail "gcd literal index out of range";
+    if j < 0 || j >= Array.length expanded.(i) then
+      fail "gcd atom index out of range";
+    check_gcd is_int' expanded.(i).(j)
+  | Cert.Tree tree ->
+    (* [path] holds the branch cuts from the root down, so [Cut k] in a
+       leaf is [List.nth path k]. *)
+    let rec walk path = function
+      | Cert.Leaf fk ->
+        let atom_of = function
+          | Cert.Hyp (i, j) ->
+            if i < 0 || i >= n then fail "hypothesis literal index out of range";
+            if j < 0 || j >= Array.length expanded.(i) then
+              fail "hypothesis atom index out of range";
+            expanded.(i).(j)
+          | Cert.Cut k -> (
+            match List.nth_opt path k with
+            | Some a -> a
+            | None -> fail "cut index out of range")
+        in
+        check_leaf atom_of fk
+      | Cert.Branch { var; floor; le; ge } ->
+        (* [x <= fl \/ x >= fl + 1] is exhaustive only for an integer
+           variable — or one the subproblem does not constrain at all, in
+           which case any model extends to an integer value for it. *)
+        if not (is_int' var || not (constrained var)) then
+          fail "branch on non-integer variable %d" var;
+        let le_atom =
+          Atom.mk_le (Linexpr.var var) (Linexpr.const (Rat.of_bigint floor))
+        in
+        let ge_atom =
+          Atom.mk_ge (Linexpr.var var)
+            (Linexpr.const (Rat.of_bigint (Bigint.add floor Bigint.one)))
+        in
+        walk (path @ [ le_atom ]) le;
+        walk (path @ [ ge_atom ]) ge
+    in
+    walk [] tree
+
+(* ------------------------------------------------------------------ *)
+(* Auditor wiring                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One auditor per solver instance: a replay propagator fed by the proof
+   event stream, plus the stateless lemma/model checks above. *)
+let make_auditor () =
+  let rup = Rup.create () in
+  {
+    Solver.on_sat_event =
+      (function
+      | Cert.Given lits -> Rup.add_clause rup lits
+      | Cert.Learnt lits ->
+        if not (Rup.check_rup rup lits) then
+          fail "learnt clause is not RUP over the clauses seen so far";
+        Rup.add_clause rup lits
+      | Cert.Final assumps ->
+        if not (Rup.check_final rup assumps) then
+          fail "Unsat verdict: assumptions do not propagate to a conflict");
+    on_lemma = (fun ~is_int lits cert -> check_lemma ~is_int lits cert);
+    on_model = (fun lookup formulas -> check_model lookup formulas);
+  }
+
+let install () = Solver.set_auditor_factory make_auditor
+
+(* Paranoid switch: install the auditor factory and flip the solver-wide
+   flag. Instances created while enabled stay audited for life. *)
+let enable () =
+  install ();
+  Solver.set_paranoid true
+
+let disable () = Solver.set_paranoid false

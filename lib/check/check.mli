@@ -1,0 +1,42 @@
+(** Independent certificate checker for the home-grown DPLL(T) solver.
+
+    Replays DRUP-style proof logs, verifies Farkas/branch-tree/gcd theory
+    certificates with exact arithmetic, and evaluates Sat models against
+    the full formula with its own evaluator. Depends only on
+    [Sia_numeric] and the formula/atom term language of [Sia_smt] — never
+    on solver internals; it hooks into {!Sia_smt.Solver} through the
+    auditor injection point.
+
+    Every check raises {!Sia_smt.Cert.Certificate_error} on failure. *)
+
+open Sia_numeric
+open Sia_smt
+
+val enable : unit -> unit
+(** Install the auditor factory and turn paranoid mode on: every solver
+    instance created from now on is audited for its lifetime. *)
+
+val disable : unit -> unit
+(** Turn paranoid mode off for instances created from now on. *)
+
+val install : unit -> unit
+(** Install the auditor factory without enabling paranoid mode. *)
+
+val make_auditor : unit -> Solver.auditor
+(** A fresh auditor (replay propagator + certificate checks) for one
+    solver instance. *)
+
+(** {2 Stand-alone checks} (exposed for tests and the rewrite auditor) *)
+
+val check_lemma :
+  is_int:(int -> bool) -> Theory.lit list -> Cert.theory_cert -> unit
+(** Verify that the certificate refutes the conjunction of the literals. *)
+
+val check_model : (int -> Rat.t) -> Formula.t list -> unit
+(** Verify that the (total, strict) assignment satisfies every formula. *)
+
+val eval_formula : (int -> Rat.t) -> Formula.t -> bool
+(** The checker's own structural evaluator (strict variable lookup is the
+    caller's responsibility: pass a lookup that raises on missing vars). *)
+
+val eval_atom : (int -> Rat.t) -> Atom.t -> bool

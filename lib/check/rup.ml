@@ -1,0 +1,174 @@
+(* Reverse-unit-propagation replay engine: a minimal two-watched-literal
+   propagator over the clause stream a solver instance emits. It shares
+   nothing with {!Sia_smt.Sat} beyond the literal encoding ([2v] positive,
+   [2v+1] negative) — no activities, no levels, no conflict analysis —
+   so a bug in the solver's bookkeeping cannot hide here.
+
+   All clause additions happen at the root (permanent trail); RUP and
+   final checks push temporary assumptions on top and undo them. *)
+
+type clause = { lits : int array }
+
+type t = {
+  mutable assign : int array; (* by var: -1 unassigned / 0 false / 1 true *)
+  mutable watches : clause list array; (* by literal *)
+  mutable trail : int array;
+  mutable trail_len : int;
+  mutable qhead : int;
+  mutable dead : bool; (* root conflict derived: everything is entailed *)
+}
+
+let var_of l = l / 2
+let lit_sign l = l land 1 = 0
+let negate l = l lxor 1
+
+let create () =
+  {
+    assign = Array.make 16 (-1);
+    watches = Array.make 32 [];
+    trail = Array.make 16 0;
+    trail_len = 0;
+    qhead = 0;
+    dead = false;
+  }
+
+let grow arr n default =
+  let len = Array.length arr in
+  if n <= len then arr
+  else begin
+    let arr' = Array.make (max n (2 * len)) default in
+    Array.blit arr 0 arr' 0 len;
+    arr'
+  end
+
+let ensure t v =
+  t.assign <- grow t.assign (v + 1) (-1);
+  t.trail <- grow t.trail (Array.length t.assign) 0;
+  t.watches <- grow t.watches (2 * (v + 1)) []
+
+let lit_value t l =
+  let a = t.assign.(var_of l) in
+  if a < 0 then -1 else if lit_sign l then a else 1 - a
+
+let enqueue t l =
+  t.assign.(var_of l) <- (if lit_sign l then 1 else 0);
+  t.trail.(t.trail_len) <- l;
+  t.trail_len <- t.trail_len + 1
+
+(* Unit propagation from the current queue head; true on conflict. *)
+let propagate t =
+  let conflict = ref false in
+  while (not !conflict) && t.qhead < t.trail_len do
+    let l = t.trail.(t.qhead) in
+    t.qhead <- t.qhead + 1;
+    let falsified = negate l in
+    let ws = t.watches.(l) in
+    t.watches.(l) <- [];
+    let rec go = function
+      | [] -> ()
+      | c :: rest -> begin
+        if c.lits.(0) = falsified then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- falsified
+        end;
+        if lit_value t c.lits.(0) = 1 then begin
+          t.watches.(l) <- c :: t.watches.(l);
+          go rest
+        end
+        else begin
+          let n = Array.length c.lits in
+          let found = ref false in
+          let i = ref 2 in
+          while (not !found) && !i < n do
+            if lit_value t c.lits.(!i) <> 0 then begin
+              let tmp = c.lits.(1) in
+              c.lits.(1) <- c.lits.(!i);
+              c.lits.(!i) <- tmp;
+              t.watches.(negate c.lits.(1)) <- c :: t.watches.(negate c.lits.(1));
+              found := true
+            end;
+            incr i
+          done;
+          if !found then go rest
+          else begin
+            t.watches.(l) <- c :: t.watches.(l);
+            if lit_value t c.lits.(0) = 0 then begin
+              t.watches.(l) <- List.rev_append rest t.watches.(l);
+              conflict := true
+            end
+            else begin
+              enqueue t c.lits.(0);
+              go rest
+            end
+          end
+        end
+      end
+    in
+    go ws
+  done;
+  !conflict
+
+let backtrack t mark =
+  for i = t.trail_len - 1 downto mark do
+    t.assign.(var_of t.trail.(i)) <- -1
+  done;
+  t.trail_len <- mark;
+  t.qhead <- mark
+
+(* Add a clause at the root. Tautologies and clauses already satisfied at
+   the root can never propagate and are skipped; root-false literals are
+   kept out of the watch positions (they stay false forever). *)
+let add_clause t lits =
+  if not t.dead then begin
+    List.iter (fun l -> ensure t (var_of l)) lits;
+    let tbl = Hashtbl.create 8 in
+    let taut = ref false in
+    let lits =
+      List.filter
+        (fun l ->
+          if Hashtbl.mem tbl (negate l) then taut := true;
+          if Hashtbl.mem tbl l then false
+          else begin
+            Hashtbl.add tbl l ();
+            true
+          end)
+        lits
+    in
+    if (not !taut) && not (List.exists (fun l -> lit_value t l = 1) lits) then begin
+      let unassigned = List.filter (fun l -> lit_value t l < 0) lits in
+      match unassigned with
+      | [] -> t.dead <- true
+      | [ l ] ->
+        enqueue t l;
+        if propagate t then t.dead <- true
+      | l0 :: l1 :: _ ->
+        let rest = List.filter (fun l -> lit_value t l = 0) lits in
+        let c = { lits = Array.of_list (unassigned @ rest) } in
+        t.watches.(negate l0) <- c :: t.watches.(negate l0);
+        t.watches.(negate l1) <- c :: t.watches.(negate l1)
+    end
+  end
+
+(* Do the given literals, asserted as temporary units, propagate to a
+   conflict? Leaves the root state untouched. *)
+let refutes t assumps =
+  if t.dead then true
+  else begin
+    List.iter (fun l -> ensure t (var_of l)) assumps;
+    let mark = t.trail_len in
+    let conflict = ref false in
+    List.iter
+      (fun l ->
+        if not !conflict then
+          match lit_value t l with
+          | 0 -> conflict := true
+          | 1 -> ()
+          | _ -> enqueue t l)
+      assumps;
+    let conflict = !conflict || propagate t in
+    backtrack t mark;
+    conflict
+  end
+
+let check_rup t lits = refutes t (List.map negate lits)
+let check_final t assumps = refutes t assumps

@@ -10,7 +10,16 @@ type t = {
   domain_bound : int;
   time_budget : float option;
   seed : int;
+  paranoid : bool;
 }
+
+(* Paranoid certificate checking defaults on when the environment asks
+   for it (the test/CI profile sets SIA_PARANOID=1); bench and the CLI
+   opt in per run. *)
+let env_paranoid =
+  match Sys.getenv_opt "SIA_PARANOID" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some _ | None -> false
 
 let default =
   {
@@ -25,6 +34,7 @@ let default =
     domain_bound = 40_000;
     time_budget = None;
     seed = 2021;
+    paranoid = env_paranoid;
   }
 
 let sia_v1 = { default with max_iterations = 1; initial_true = 110; initial_false = 110 }

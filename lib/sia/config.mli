@@ -18,6 +18,12 @@ type t = {
           iterations ([None] = unbounded). The paper's section 6.2
           recommends exactly such a timeout for production use. *)
   seed : int;
+  paranoid : bool;
+      (** audit every solver verdict through the independent certificate
+          checker ([lib/check]) and re-derive the validity of every
+          emitted rewrite before it is returned. Defaults to the
+          [SIA_PARANOID] environment variable (tests/CI set it; bench and
+          the CLI opt in explicitly). *)
 }
 
 val default : t

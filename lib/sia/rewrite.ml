@@ -1,11 +1,18 @@
+open Sia_smt
 module Ast = Sia_sql.Ast
 module Schema = Sia_relalg.Schema
 module Planner = Sia_relalg.Planner
+
+type audit_result =
+  | Audit_passed
+  | Audit_failed of string
+  | Audit_off
 
 type rewrite_result = {
   original : Ast.query;
   rewritten : Ast.query option;
   synthesized : Ast.pred option;
+  audit : audit_result;
   stats : Synthesize.stats;
 }
 
@@ -29,21 +36,74 @@ let non_join_pred cat (q : Ast.query) =
     in
     Ast.conj (List.filter (fun p -> not (is_join_eq p)) (Ast.conjuncts w))
 
+(* Static re-derivation of a rewrite's validity, independent of the
+   synthesis run that produced it: re-encode [p] and [p1] from scratch
+   and decide [is_true p /\ not (is_true p1)] with the memo cache
+   bypassed and the certificate checker forced on. A bug anywhere in the
+   synthesis pipeline (stale cache entry, unsound Verify shortcut) thus
+   cannot survive into an emitted rewrite. *)
+let audit cat ~from ~p ~p1 =
+  let was = Solver.paranoid () in
+  Fun.protect
+    ~finally:(fun () -> Solver.set_paranoid was)
+    (fun () ->
+      Sia_check.Check.enable ();
+      match Encode.build_env cat from (Ast.And (p, p1)) with
+      | exception Encode.Unsupported msg ->
+        Audit_failed ("unsupported predicate: " ^ msg)
+      | exception Not_found -> Audit_failed "unresolvable column"
+      | env -> (
+        let query =
+          Formula.and_
+            [
+              Encode.null_domain env;
+              Encode.encode_is_true env p;
+              Formula.not_ (Encode.encode_is_true env p1);
+            ]
+        in
+        match Solver.solve_fresh ~is_int:(Encode.is_int_var env) query with
+        | Solver.Unsat -> Audit_passed
+        | Solver.Sat _ -> Audit_failed "rewrite admits a countermodel"
+        | Solver.Unknown -> Audit_failed "solver resource limit"))
+
 let attach_result ?cfg cat q pred target_cols =
   let cfg = Option.value cfg ~default:Config.default in
   let stats = Synthesize.synthesize ~cfg cat ~from:q.Ast.from ~pred ~target_cols in
   match Synthesize.predicate stats with
-  | None -> { original = q; rewritten = None; synthesized = None; stats }
-  | Some p1 ->
-    let where' =
-      match q.Ast.where with None -> Some p1 | Some w -> Some (Ast.And (w, p1))
+  | None ->
+    { original = q; rewritten = None; synthesized = None; audit = Audit_off; stats }
+  | Some p1 -> (
+    let verdict =
+      if cfg.Config.paranoid then audit cat ~from:q.Ast.from ~p:pred ~p1
+      else Audit_off
     in
-    {
-      original = q;
-      rewritten = Some { q with Ast.where = where' };
-      synthesized = Some p1;
-      stats;
-    }
+    match verdict with
+    | Audit_failed reason ->
+      (* The audited implication did not re-derive: drop the rewrite
+         rather than emit an unproved predicate. *)
+      {
+        original = q;
+        rewritten = None;
+        synthesized = None;
+        audit = verdict;
+        stats =
+          {
+            stats with
+            Synthesize.outcome =
+              Synthesize.Failed ("rewrite audit failed: " ^ reason);
+          };
+      }
+    | Audit_passed | Audit_off ->
+      let where' =
+        match q.Ast.where with None -> Some p1 | Some w -> Some (Ast.And (w, p1))
+      in
+      {
+        original = q;
+        rewritten = Some { q with Ast.where = where' };
+        synthesized = Some p1;
+        audit = verdict;
+        stats;
+      })
 
 let rewrite_for_columns ?cfg cat q ~target_cols =
   attach_result ?cfg cat q (non_join_pred cat q) target_cols
@@ -64,6 +124,7 @@ let rewrite_for_table ?cfg cat q ~target_table =
       original = q;
       rewritten = None;
       synthesized = None;
+      audit = Audit_off;
       stats =
         {
           Synthesize.outcome = Synthesize.Failed "no target-table columns in predicate";

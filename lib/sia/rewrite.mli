@@ -2,12 +2,34 @@
     optimizer's pushdown rule can exploit it (the end-to-end flow of the
     paper's Fig 5). *)
 
+type audit_result =
+  | Audit_passed  (** validity re-derived by the certificate-checked audit *)
+  | Audit_failed of string
+      (** audit could not re-derive validity; the rewrite was dropped *)
+  | Audit_off  (** no audit ran (non-paranoid config, or nothing to audit) *)
+
 type rewrite_result = {
   original : Sia_sql.Ast.query;
   rewritten : Sia_sql.Ast.query option;  (** [None] when synthesis failed *)
   synthesized : Sia_sql.Ast.pred option;
+  audit : audit_result;
   stats : Synthesize.stats;
 }
+
+val audit :
+  Sia_relalg.Schema.catalog ->
+  from:string list ->
+  p:Sia_sql.Ast.pred ->
+  p1:Sia_sql.Ast.pred ->
+  audit_result
+(** Statically re-derive the validity of a rewrite: re-encode [p] and
+    [p1] from scratch and decide [is_true p /\ not (is_true p1)] with the
+    solver's memo cache bypassed and the independent certificate checker
+    ([lib/check]) forced on for the duration of the call. [Audit_passed]
+    therefore means a fresh, certificate-checked Unsat verdict — not a
+    replay of anything the synthesis run concluded. Under
+    {!Config.t.paranoid}, every emitted rewrite passes through this
+    audit; failures drop the rewrite. *)
 
 val rewrite_for_table :
   ?cfg:Config.t ->

@@ -96,7 +96,11 @@ let gen_models st ~base ~count ~existing =
   let n = ref 0 in
   let exhausted = ref false in
   let extract model =
-    Array.of_list (List.map (fun v -> Solver.model_value model v) st.target_vars)
+    (* Target variables always occur in the query (the box constrains
+       them), so a missing assignment is a solver bug — fail loudly
+       rather than silently sampling zero. *)
+    Array.of_list
+      (List.map (fun v -> Solver.model_value_strict model v) st.target_vars)
   in
   let solve_chunk want extra =
     Solver.Session.solve_many_under sess

@@ -37,6 +37,10 @@ let sample_eq env cols (sample : Rat.t array) =
        cols)
 
 let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
+  (* Paranoid mode: install the independent certificate checker so every
+     solver verdict below (Samples, Tighten, Verify, prune_redundant) is
+     audited as it is produced. *)
+  if cfg.Config.paranoid then Sia_check.Check.enable ();
   let start_time = Unix.gettimeofday () in
   let solver0 = Solver.stats () in
   let over_budget () =
@@ -134,6 +138,8 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
                       ~assumptions:(Formula.not_ c_formula :: List.map snd others)
                   with
                   | Solver.Unsat -> true
+                  (* Unknown must keep the conjunct: dropping it would
+                     weaken the predicate on an unproved implication. *)
                   | Solver.Sat _ | Solver.Unknown -> false
                 in
                 let rec go kept = function
@@ -215,11 +221,17 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
                     in
                     match unbounded with
                     | Solver.Unsat -> finish ~iters:(i + 1) (Optimal p3)
+                    (* Unknown downgrades Optimal to Valid: without an
+                       Unsat certificate the residual region may be
+                       nonempty, so optimality is never claimed on a
+                       resource limit. *)
                     | Solver.Unknown -> finish ~iters:(i + 1) (Valid p3)
                     | Solver.Sat m ->
                       let sample =
                         Array.of_list
-                          (List.map (fun v -> Solver.model_value m v) st.Samples.target_vars)
+                          (List.map
+                             (fun v -> Solver.model_value_strict m v)
+                             st.Samples.target_vars)
                       in
                       loop (i + 1) p3 p3_formula ts (sample :: fs) ~n_ts
                         ~n_fs:(n_fs + 1)
@@ -248,7 +260,7 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
                       let sample =
                         Array.of_list
                           (List.map
-                             (fun v -> Solver.model_value m v)
+                             (fun v -> Solver.model_value_strict m v)
                              st.Samples.target_vars)
                       in
                       let dup =

@@ -48,6 +48,8 @@ let compute_threshold session env ~cols ~w =
     with
     | Solver.Unsat -> Some true
     | Solver.Sat _ -> Some false
+    (* Unknown aborts the bisection (callers keep the untightened
+       threshold) — it must never count as "holds". *)
     | Solver.Unknown -> None
   in
   (* Find an initial bracket by exponential probing from 0. Thresholds

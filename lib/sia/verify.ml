@@ -32,14 +32,17 @@ let make_session env ~p =
   in
   { env; sess = Solver.Session.create ~is_int:(Encode.is_int_var env) base }
 
-let implies_ce_session s ~p1 =
+let implies_ce_session ?(node_limit = 800) s ~p1 =
   let t_p1 = Encode.encode_is_true s.env p1 in
   match
     (* Candidate predicates are unbounded (no domain box), so one unlucky
        branch-and-bound can diverge; cap it — Unknown is handled below. *)
-    Solver.Session.solve_under s.sess ~node_limit:800
+    Solver.Session.solve_under s.sess ~node_limit
       ~assumptions:[ Formula.not_ t_p1 ]
   with
   | Solver.Unsat -> (Valid, None)
   | Solver.Sat m -> (Invalid, Some m)
+  (* Soundness direction: a resource-limited solver answer surfaces as
+     [Unknown], never as [Valid] — only an Unsat verdict (certificate
+     checked in paranoid mode) blesses a candidate. *)
   | Solver.Unknown -> (Unknown, None)

@@ -29,5 +29,10 @@ type session
 val make_session : Encode.env -> p:Sia_sql.Ast.pred -> session
 
 val implies_ce_session :
-  session -> p1:Sia_sql.Ast.pred -> result * Sia_smt.Solver.model option
-(** Same verdicts as {!implies_ce} for the session's [p]. *)
+  ?node_limit:int ->
+  session ->
+  p1:Sia_sql.Ast.pred ->
+  result * Sia_smt.Solver.model option
+(** Same verdicts as {!implies_ce} for the session's [p]. [node_limit]
+    (default 800) caps the per-check integer branch-and-bound; exhausting
+    it yields [Unknown], which callers must treat as not-valid. *)

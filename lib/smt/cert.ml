@@ -1,0 +1,72 @@
+(* Certificate data shared between the solver (producer) and the
+   independent checker in [lib/check] (consumer). Everything here is pure
+   data over [Sia_numeric] and SAT literal integers: no solver state leaks
+   into a certificate, so a checker can replay one with nothing but the
+   original input and exact arithmetic. *)
+
+open Sia_numeric
+
+exception Certificate_error of string
+(** Raised by certificate consumers when a certificate does not actually
+    establish the verdict it was attached to. *)
+
+(* ------------------------------------------------------------------ *)
+(* Theory certificates                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A Farkas combination references the linear atoms of the subproblem it
+   refutes. [Hyp (i, j)] is atom [j] of the (tightened) expansion of core
+   literal [i]; [Cut k] is the [k]-th branch-and-bound cut on the path
+   from the root of the branch tree to the leaf holding the combination
+   (the root branch contributes cut 0). *)
+type fref =
+  | Hyp of int * int
+  | Cut of int
+
+type farkas = (fref * Rat.t) list
+(** Coefficients of an infeasible combination: [Le]/[Lt] atoms must carry
+    non-negative coefficients, [Eq] atoms may carry any sign. Summing
+    [coeff * (e rel 0)] over the entries must cancel every variable and
+    leave a constant [c] with [c > 0], or [c = 0] when at least one strict
+    atom has a positive coefficient. *)
+
+(* Branch-and-bound refutation tree. A [Branch] splits on [var <= floor]
+   versus [var >= floor + 1]; the split is exhaustive only for variables
+   that range over the integers (or do not occur in the subproblem at
+   all), which the checker verifies. *)
+type tree =
+  | Leaf of farkas
+  | Branch of { var : int; floor : Bigint.t; le : tree; ge : tree }
+
+(* How an Unsat theory core was refuted: either a branch tree of Farkas
+   leaves, or the gcd test — expansion atom [j] of core literal [i] is an
+   integer equality [sum a_k x_k + c = 0] whose coefficient gcd does not
+   divide [c]. *)
+type refutation =
+  | Tree of tree
+  | Gcd of int * int
+
+type theory_cert = {
+  fresh : int list array;
+      (** Per core literal, the fresh witness variables its expansion
+          introduced (divisibility quotients/remainders), in expansion
+          order. The checker re-derives the expansion itself and only
+          trusts these identifiers to name the witnesses. *)
+  refutation : refutation;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Propositional proof events                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* DRUP-style clausal proof log, streamed as the solver runs. [Given] is
+   every clause handed to the SAT core (input encoding, theory lemmas),
+   pre-simplification. [Learnt] clauses must be RUP with respect to the
+   clauses seen so far: asserting their negation and unit-propagating
+   yields a conflict. [Final lits] closes an Unsat verdict: asserting the
+   assumption literals [lits] and unit-propagating yields a conflict
+   ([lits] is empty when the instance itself is unsat). *)
+type sat_event =
+  | Given of int list
+  | Learnt of int list
+  | Final of int list

@@ -34,6 +34,7 @@ type t = {
   mutable propagations : int;
   mutable restarts : int;
   mutable seen : bool array;
+  mutable tracer : (Cert.sat_event -> unit) option;
 }
 
 let create () =
@@ -57,7 +58,11 @@ let create () =
     propagations = 0;
     restarts = 0;
     seen = Array.make 16 false;
+    tracer = None;
   }
+
+let set_tracer s f = s.tracer <- Some f
+let emit s ev = match s.tracer with Some f -> f ev | None -> ()
 
 let grow arr n default =
   let len = Array.length arr in
@@ -262,6 +267,9 @@ let add_clause_internal s lits learnt =
     c |> ignore
 
 let add_clause s lits =
+  (* Log the clause as given, pre-simplification: the checker applies its
+     own root-level simplification when replaying. *)
+  emit s (Cert.Given lits);
   if s.ok then begin
     cancel_until s 0;
     s.qhead <- s.trail_len;
@@ -320,7 +328,10 @@ let rec luby i =
 let solve ?(assumptions = []) s =
   cancel_until s 0;
   s.qhead <- s.trail_len;
-  if not s.ok then false
+  if not s.ok then begin
+    emit s (Cert.Final []);
+    false
+  end
   else begin
     let assumps = Array.of_list assumptions in
     let n_assumps = Array.length assumps in
@@ -338,15 +349,21 @@ let solve ?(assumptions = []) s =
           incr confl_count;
           if decision_level s = 0 then begin
             s.ok <- false;
+            emit s (Cert.Final []);
             result := Some false
           end
           else begin
             let learnt, bj = analyze s confl in
             cancel_until s bj;
             (match learnt with
-             | [] -> result := Some false
-             | [ l ] -> enqueue s l None
+             | [] ->
+               emit s (Cert.Final []);
+               result := Some false
+             | [ l ] ->
+               emit s (Cert.Learnt learnt);
+               enqueue s l None
              | l :: _ ->
+               emit s (Cert.Learnt learnt);
                let arr = Array.of_list learnt in
                (* Watch invariant: place a literal of maximal decision level
                   at index 1 so backtracking cannot leave a stale false
@@ -376,7 +393,11 @@ let solve ?(assumptions = []) s =
               s.trail_lim <- s.trail_len :: s.trail_lim
             | 0 ->
               (* Falsified by level-0 facts, earlier assumptions, or a
-                 clause learnt from them: unsat under these assumptions. *)
+                 clause learnt from them: unsat under these assumptions.
+                 The refutation is pure unit propagation below the free
+                 decision levels, so asserting the assumptions and
+                 propagating re-derives it. *)
+              emit s (Cert.Final assumptions);
               result := Some false
             | _ ->
               s.trail_lim <- s.trail_len :: s.trail_lim;

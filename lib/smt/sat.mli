@@ -21,6 +21,12 @@ val lit_of : int -> bool -> lit
 val var_of : lit -> int
 val lit_sign : lit -> bool
 
+val set_tracer : t -> (Cert.sat_event -> unit) -> unit
+(** Install a proof-event tracer. Must be installed before any clause is
+    added for the trace to cover the whole instance: the tracer receives
+    every given clause, every learnt clause (RUP w.r.t. the clauses seen
+    before it), and a {!Cert.Final} event for every Unsat answer. *)
+
 val add_clause : t -> lit list -> unit
 (** May be called before or between [solve] calls; an empty (or trivially
     contradictory at level 0) clause makes the instance permanently unsat. *)

@@ -16,7 +16,15 @@ type state = {
   upper : (Delta.t * int) option array;
 }
 
-exception Conflict of int list
+type farkas = (int * Rat.t) list
+
+(* Conflicts carry a Farkas certificate: coefficients over input-atom
+   indices whose combination cancels every variable and leaves an
+   infeasible constant (see {!Cert.farkas}). The unsat core is exactly
+   the set of indices with a non-zero coefficient. *)
+exception Conflict of farkas
+
+let core_of_farkas fk = List.sort_uniq Stdlib.compare (List.map fst fk)
 
 let build atoms =
   (* Map original variable ids to dense indices. *)
@@ -75,7 +83,17 @@ let build atoms =
             | Atom.Lt -> Rat.sign k < 0
             | Atom.Eq -> Rat.is_zero k
           in
-          if not ok then raise (Conflict [ i ])
+          if not ok then begin
+            (* The atom alone is its own refutation: [k (rel) 0] is false,
+               so coefficient 1 (or -1 for a negative equality) leaves a
+               positive — or zero-but-strict — constant. *)
+            let coeff =
+              match rel with
+              | Atom.Le | Atom.Lt -> Rat.one
+              | Atom.Eq -> if Rat.sign k > 0 then Rat.one else Rat.minus_one
+            in
+            raise (Conflict [ (i, coeff) ])
+          end
         end
         else begin
           let s = slack_of dense in
@@ -114,7 +132,11 @@ let build atoms =
          | Some (u, _) when Delta.compare u v <= 0 -> ()
          | Some _ | None ->
            (match st.lower.(s) with
-            | Some (l, rl) when Delta.compare v l < 0 -> raise (Conflict [ reason; rl ])
+            | Some (l, rl) when Delta.compare v l < 0 ->
+              (* upper(reason) crosses an existing lower bound: lower
+                 bounds only come from equalities, so -1 on [rl] is a
+                 legal Farkas coefficient. *)
+              raise (Conflict [ (reason, Rat.one); (rl, Rat.minus_one) ])
             | Some _ | None -> st.upper.(s) <- Some (v, reason)))
       end
       | `Lower -> begin
@@ -122,7 +144,8 @@ let build atoms =
          | Some (l, _) when Delta.compare l v >= 0 -> ()
          | Some _ | None ->
            (match st.upper.(s) with
-            | Some (u, ru) when Delta.compare v u > 0 -> raise (Conflict [ reason; ru ])
+            | Some (u, ru) when Delta.compare v u > 0 ->
+              raise (Conflict [ (ru, Rat.one); (reason, Rat.minus_one) ])
             | Some _ | None -> st.lower.(s) <- Some (v, reason)))
       end)
     (List.rev !bounds);
@@ -183,6 +206,43 @@ let pivot_and_update st xi xj v =
     end
   done
 
+(* Farkas combination for a stuck row. The tableau keeps every row a
+   linear consequence of the original slack definitions, so combining the
+   violated bound's atom with each row term's saturated-bound atom (scaled
+   by the term coefficient) cancels all variables; the conflict order on
+   delta-rationals guarantees the remaining constant is infeasible. The
+   same atom may serve as reason for several bounds, so coefficients are
+   accumulated per atom index and zero entries dropped. *)
+let farkas_of_row st xi ~at_lower =
+  let tbl = Hashtbl.create 8 in
+  let add i c =
+    let prev = try Hashtbl.find tbl i with Not_found -> Rat.zero in
+    Hashtbl.replace tbl i (Rat.add prev c)
+  in
+  (if at_lower then
+     (* beta(xi) < lower(xi): -1 * lower atom (an equality) plus, per row
+        term c*x, c * upper atom (c > 0) or c * lower atom (c < 0, an
+        equality, so a negative coefficient is legal). *)
+     match st.lower.(xi) with
+     | Some (_, r) -> add r Rat.minus_one
+     | None -> ()
+   else
+     match st.upper.(xi) with
+     | Some (_, r) -> add r Rat.one
+     | None -> ());
+  List.iter
+    (fun (x, c) ->
+      let want_upper = if at_lower then Rat.sign c > 0 else Rat.sign c < 0 in
+      let coeff = if at_lower then c else Rat.neg c in
+      if want_upper then
+        match st.upper.(x) with Some (_, r) -> add r coeff | None -> ()
+      else
+        match st.lower.(x) with Some (_, r) -> add r coeff | None -> ())
+    (Linexpr.terms st.rows.(xi));
+  Hashtbl.fold
+    (fun i c acc -> if Rat.is_zero c then acc else (i, c) :: acc)
+    tbl []
+
 let check st =
   let rec loop () =
     (* Bland's rule: smallest violating basic variable. *)
@@ -206,19 +266,7 @@ let check st =
               else if Rat.sign c < 0 && above_lower st x then xj := x
             end)
           (Linexpr.terms row);
-        if !xj < 0 then begin
-          (* Infeasible: build core from the row's saturated bounds. *)
-          let core = ref [] in
-          (match st.lower.(xi) with Some (_, r) -> core := r :: !core | None -> ());
-          List.iter
-            (fun (x, c) ->
-              if Rat.sign c > 0 then
-                match st.upper.(x) with Some (_, r) -> core := r :: !core | None -> ()
-              else
-                match st.lower.(x) with Some (_, r) -> core := r :: !core | None -> ())
-            (Linexpr.terms row);
-          Error (List.sort_uniq Stdlib.compare !core)
-        end
+        if !xj < 0 then Error (farkas_of_row st xi ~at_lower:true)
         else begin
           let l = match st.lower.(xi) with Some (l, _) -> l | None -> assert false in
           pivot_and_update st xi !xj l;
@@ -235,18 +283,7 @@ let check st =
               else if Rat.sign c > 0 && above_lower st x then xj := x
             end)
           (Linexpr.terms row);
-        if !xj < 0 then begin
-          let core = ref [] in
-          (match st.upper.(xi) with Some (_, r) -> core := r :: !core | None -> ());
-          List.iter
-            (fun (x, c) ->
-              if Rat.sign c < 0 then
-                match st.upper.(x) with Some (_, r) -> core := r :: !core | None -> ()
-              else
-                match st.lower.(x) with Some (_, r) -> core := r :: !core | None -> ())
-            (Linexpr.terms row);
-          Error (List.sort_uniq Stdlib.compare !core)
-        end
+        if !xj < 0 then Error (farkas_of_row st xi ~at_lower:false)
         else begin
           let u = match st.upper.(xi) with Some (u, _) -> u | None -> assert false in
           pivot_and_update st xi !xj u;
@@ -259,7 +296,7 @@ let check st =
 
 let solve_full atoms =
   match build atoms with
-  | exception Conflict core -> Error core
+  | exception Conflict fk -> Error fk
   | st, rev_ids, n_orig -> begin
     (* Move nonbasic variables inside their bounds before checking
        (slack variables start basic, so only original vars matter; they
@@ -267,7 +304,7 @@ let solve_full atoms =
        which maintains their bounds). *)
     recompute_basics st;
     match check st with
-    | Error core -> Error core
+    | Error fk -> Error fk
     | Ok () ->
       let model =
         List.filter_map
@@ -286,14 +323,19 @@ let solve_full atoms =
       Ok (model, !all)
   end
 
+let solve_delta_cert atoms =
+  match solve_full atoms with
+  | Error fk -> Error (core_of_farkas fk, fk)
+  | Ok (model, all) -> Ok (model, all)
+
 let solve_delta atoms =
   match solve_full atoms with
-  | Error core -> Error core
+  | Error fk -> Error (core_of_farkas fk)
   | Ok (model, _) -> Ok model
 
 let solve atoms =
   match solve_full atoms with
-  | Error core -> Unsat core
+  | Error fk -> Unsat (core_of_farkas fk)
   | Ok (dmodel, all) ->
     let delta0 = Delta.choose_delta all in
     Sat (List.map (fun (v, d) -> (v, Delta.apply delta0 d)) dmodel)

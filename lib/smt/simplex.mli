@@ -18,3 +18,19 @@ val solve : Atom.t list -> result
 val solve_delta : Atom.t list -> ((int * Delta.t) list, int list) Stdlib.result
 (** Like {!solve} but exposing the delta-rational assignment, for callers
     (branch and bound) that need exact strictness information. *)
+
+type farkas = (int * Rat.t) list
+(** Farkas certificate of infeasibility: coefficients over input-atom
+    indices. [Le]/[Lt] atoms carry non-negative coefficients, [Eq] atoms
+    any sign; the combination [sum coeff * atom] cancels every variable
+    and leaves a constant [c] with [c > 0], or [c = 0] with some strict
+    atom weighted positively. Zero coefficients are never emitted. *)
+
+val solve_delta_cert :
+  Atom.t list ->
+  ((int * Delta.t) list * Delta.t list, int list * farkas) Stdlib.result
+(** Like {!solve_delta}, but an infeasibility additionally carries its
+    Farkas certificate (the core is the certificate's index set), and a
+    feasible answer also returns every assignment (slack rows included)
+    and bound in play — the set {!Sia_numeric.Delta.choose_delta} needs
+    to concretize the infinitesimal without flipping any constraint. *)

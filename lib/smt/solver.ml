@@ -9,6 +9,16 @@ type result =
 
 let model_value m v = match List.assoc_opt v m with Some r -> r | None -> Rat.zero
 
+(* Strict variant for call sites that require a total model (the
+   certificate checker, countermodel extraction): a missing assignment is
+   a bug, not a zero. *)
+let model_value_strict m v =
+  match List.assoc_opt v m with
+  | Some r -> r
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Solver.model_value_strict: variable %d unassigned" v)
+
 (* ------------------------------------------------------------------ *)
 (* Statistics                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -28,6 +38,11 @@ type stats = {
   encode_time : float;
   search_time : float;
   theory_time : float;
+  cert_lemmas : int;
+  cert_proofs : int;
+  cert_models : int;
+  cert_rejections : int;
+  cert_time : float;
 }
 
 let stats_zero =
@@ -46,6 +61,11 @@ let stats_zero =
     encode_time = 0.0;
     search_time = 0.0;
     theory_time = 0.0;
+    cert_lemmas = 0;
+    cert_proofs = 0;
+    cert_models = 0;
+    cert_rejections = 0;
+    cert_time = 0.0;
   }
 
 let totals = ref stats_zero
@@ -68,6 +88,11 @@ let stats_add a b =
     encode_time = a.encode_time +. b.encode_time;
     search_time = a.search_time +. b.search_time;
     theory_time = a.theory_time +. b.theory_time;
+    cert_lemmas = a.cert_lemmas + b.cert_lemmas;
+    cert_proofs = a.cert_proofs + b.cert_proofs;
+    cert_models = a.cert_models + b.cert_models;
+    cert_rejections = a.cert_rejections + b.cert_rejections;
+    cert_time = a.cert_time +. b.cert_time;
   }
 
 let stats_since s0 =
@@ -87,16 +112,23 @@ let stats_since s0 =
     encode_time = s.encode_time -. s0.encode_time;
     search_time = s.search_time -. s0.search_time;
     theory_time = s.theory_time -. s0.theory_time;
+    cert_lemmas = s.cert_lemmas - s0.cert_lemmas;
+    cert_proofs = s.cert_proofs - s0.cert_proofs;
+    cert_models = s.cert_models - s0.cert_models;
+    cert_rejections = s.cert_rejections - s0.cert_rejections;
+    cert_time = s.cert_time -. s0.cert_time;
   }
 
 let pp_stats fmt s =
   Format.fprintf fmt
     "queries=%d (sat=%d unsat=%d unknown=%d cached=%d) encodings=%d \
      instances=%d theory-rounds=%d conflicts=%d propagations=%d restarts=%d \
-     encode=%.3fs search=%.3fs (theory=%.3fs)"
+     encode=%.3fs search=%.3fs (theory=%.3fs) certs=%d/%d/%d rejected=%d \
+     cert=%.3fs"
     s.queries s.sat_answers s.unsat_answers s.unknown_answers s.cache_hits
     s.encodings s.instances s.theory_rounds s.conflicts s.propagations
-    s.restarts s.encode_time s.search_time s.theory_time
+    s.restarts s.encode_time s.search_time s.theory_time s.cert_lemmas
+    s.cert_proofs s.cert_models s.cert_rejections s.cert_time
 
 let bump_query () = totals := { !totals with queries = !totals.queries + 1 }
 
@@ -118,6 +150,66 @@ let count_answer r =
      | Unsat -> { !totals with unsat_answers = !totals.unsat_answers + 1 }
      | Unknown -> { !totals with unknown_answers = !totals.unknown_answers + 1 });
   r
+
+(* ------------------------------------------------------------------ *)
+(* Certificate auditing                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The solver produces certificates; checking them lives in [lib/check],
+   which must not be a dependency of this library (it would invert the
+   trust relationship: the checker depends on the formula/atom types
+   only, not on solver internals). The checker therefore injects itself
+   here as an [auditor] factory; in paranoid mode every new instance gets
+   its own auditor, which receives the full proof-event stream, every
+   theory lemma with its certificate, and every model before it is
+   returned. Auditors raise {!Cert.Certificate_error} on a bad
+   certificate — verdicts never silently pass unaudited. *)
+type auditor = {
+  on_sat_event : Cert.sat_event -> unit;
+  on_lemma : is_int:(int -> bool) -> Theory.lit list -> Cert.theory_cert -> unit;
+  on_model : (int -> Rat.t) -> Formula.t list -> unit;
+}
+
+let paranoid_flag = ref false
+let set_paranoid b = paranoid_flag := b
+let paranoid () = !paranoid_flag
+
+let auditor_factory : (unit -> auditor) option ref = ref None
+let set_auditor_factory f = auditor_factory := Some f
+
+let new_auditor () =
+  if !paranoid_flag then
+    match !auditor_factory with Some f -> Some (f ()) | None -> None
+  else None
+
+let bump_cert_time dt =
+  totals := { !totals with cert_time = !totals.cert_time +. dt }
+
+(* Run one audit step, timing it and counting the outcome. Certificate
+   rejections propagate to the caller: a rejection means either a solver
+   soundness bug or a checker bug, and both must be loud. *)
+let audited kind f =
+  let t0 = Sys.time () in
+  match f () with
+  | () -> (
+    bump_cert_time (Sys.time () -. t0);
+    match kind with
+    | `Event -> ()
+    | `Proof -> totals := { !totals with cert_proofs = !totals.cert_proofs + 1 }
+    | `Lemma -> totals := { !totals with cert_lemmas = !totals.cert_lemmas + 1 }
+    | `Model -> totals := { !totals with cert_models = !totals.cert_models + 1 })
+  | exception e ->
+    bump_cert_time (Sys.time () -. t0);
+    (match e with
+     | Cert.Certificate_error _ ->
+       totals := { !totals with cert_rejections = !totals.cert_rejections + 1 }
+     | _ -> ());
+    raise e
+
+let traced aud ev =
+  audited
+    (match ev with Cert.Final _ -> `Proof | Cert.Given _ | Cert.Learnt _ -> `Event)
+    (fun () -> aud.on_sat_event ev)
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
@@ -162,13 +254,20 @@ type instance = {
   mutable atoms : (Atom.t * int) list;
   fvars : int list;
   formula : Formula.t; (* NNF *)
+  aud : auditor option;
 }
 
 let make_instance f =
   let t0 = Sys.time () in
   let sat = Sat.create () in
+  (* The tracer must be live before the first clause of the encoding, or
+     the replayed clause set would be incomplete. *)
+  let aud = new_auditor () in
+  (match aud with Some a -> Sat.set_tracer sat (traced a) | None -> ());
   let atom_tbl = Hashtbl.create 64 in
-  let inst = { sat; atom_tbl; atoms = []; fvars = Formula.vars f; formula = f } in
+  let inst =
+    { sat; atom_tbl; atoms = []; fvars = Formula.vars f; formula = f; aud }
+  in
   let atom_var a =
     match Hashtbl.find_opt atom_tbl a with
     | Some v -> v
@@ -240,7 +339,7 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
           atoms
       in
       let tt0 = Sys.time () in
-      let verdict = Theory.check ~is_int ?node_limit lits in
+      let verdict, cert = Theory.check_cert ~is_int ?node_limit lits in
       totals :=
         {
           !totals with
@@ -255,14 +354,36 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
             (fun acc v -> if List.mem_assoc v acc then acc else (v, Rat.zero) :: acc)
             m fvars
         in
-        let lookup = model_value m in
-        if
-          not
-            (Formula.eval inst.formula lookup
-            && List.for_all (fun f -> Formula.eval f lookup) check)
-        then failwith "Solver.solve: internal error, model does not satisfy formula";
+        (* The model is padded over every variable of the formulas below,
+           so the strict lookup cannot raise on a correct model — and a
+           model that misses one of their variables is exactly the bug the
+           strict lookup exists to expose. *)
+        let lookup = model_value_strict m in
+        (match inst.aud with
+         | Some a ->
+           (* Paranoid: the independent evaluator replaces the inline
+              backstop (it checks the same formulas with its own atom
+              semantics and raises {!Cert.Certificate_error}). *)
+           audited `Model (fun () -> a.on_model lookup (inst.formula :: check))
+         | None ->
+           if
+             not
+               (Formula.eval inst.formula lookup
+               && List.for_all (fun f -> Formula.eval f lookup) check)
+           then
+             failwith "Solver.solve: internal error, model does not satisfy formula");
         Sat m
       | Theory.Unsat core ->
+        (match inst.aud with
+         | Some a ->
+           let cert =
+             match cert with
+             | Some c -> c
+             | None ->
+               raise (Cert.Certificate_error "theory Unsat without certificate")
+           in
+           audited `Lemma (fun () -> a.on_lemma ~is_int core cert)
+         | None -> ());
         let blocking =
           List.map
             (fun (a, polarity) ->
@@ -330,6 +451,20 @@ let solve ?max_rounds ~is_int f =
          Memo.replace memo key r
        | Unknown -> ());
       count_answer r)
+
+(* Unmemoized one-shot solve: in paranoid mode a memo hit replays the
+   answer of an earlier (audited) computation without re-auditing, so
+   callers that must certify {e this} verdict — [Rewrite.audit], the fuzz
+   suite — bypass the cache. *)
+let solve_fresh ?max_rounds ?node_limit ~is_int f =
+  let f = Formula.nnf f in
+  bump_query ();
+  match f with
+  | Formula.True ->
+    count_answer (Sat (List.map (fun v -> (v, Rat.zero)) (Formula.vars f)))
+  | Formula.False -> count_answer Unsat
+  | _ ->
+    count_answer (run_instance ?max_rounds ?node_limit ~is_int (make_instance f))
 
 (* Exclude the model (on [distinct_on]) from later queries — permanently,
    or only while the [guard] literal is assumed. Returns the fresh

@@ -33,12 +33,59 @@ val solve_many :
     disequality atoms). The flag is true when the model space was
     exhausted before [count] models were found. *)
 
+val solve_fresh :
+  ?max_rounds:int -> ?node_limit:int -> is_int:(int -> bool) -> Formula.t ->
+  result
+(** Like {!solve} but never answered from the memo cache: in paranoid mode
+    the verdict of this very call is certificate-checked, which a cache
+    hit would bypass. [node_limit] caps each integer branch-and-bound
+    check, as in {!Session.solve_under}. *)
+
 val entails : is_int:(int -> bool) -> Formula.t -> Formula.t -> bool option
 (** [entails p q] decides whether [p] implies [q] ([Some true]),
-    exhibits a countermodel ([Some false]), or gives up ([None]). *)
+    exhibits a countermodel ([Some false]), or gives up ([None]).
+
+    Soundness direction for callers: [None] (Unknown) carries no
+    information — it must never be treated as [Some true]. *)
 
 val model_value : model -> int -> Rat.t
 (** Lookup with zero default. *)
+
+val model_value_strict : model -> int -> Rat.t
+(** Lookup that raises [Invalid_argument] on a missing assignment. Use at
+    every call site that requires a total model (countermodel extraction,
+    certificate checking) — a silent zero there turns an incomplete model
+    into a wrong sample. *)
+
+(** {2 Paranoid mode and certificate auditing}
+
+    In paranoid mode every solver instance streams its proof events,
+    theory lemmas (with certificates) and models to an auditor, which
+    raises {!Cert.Certificate_error} on anything it cannot independently
+    verify. The auditor implementation lives in [lib/check] and installs
+    itself via {!set_auditor_factory}; this library only defines the
+    injection point, so the checker never depends on solver internals. *)
+
+type auditor = {
+  on_sat_event : Cert.sat_event -> unit;
+      (** Every clause given to the SAT core, every learnt clause (RUP),
+          and a [Final] event per Unsat answer. *)
+  on_lemma : is_int:(int -> bool) -> Theory.lit list -> Cert.theory_cert -> unit;
+      (** Each theory conflict: the Unsat core and its certificate. *)
+  on_model : (int -> Rat.t) -> Formula.t list -> unit;
+      (** Each Sat answer: a total model lookup and the formulas it must
+          satisfy. *)
+}
+
+val set_auditor_factory : (unit -> auditor) -> unit
+(** Install the auditor constructor (one auditor per solver instance). *)
+
+val set_paranoid : bool -> unit
+(** Enable/disable auditing of new instances. Existing instances and
+    sessions keep the mode they were created under; memo-cache hits
+    replay previously audited verdicts without re-auditing. *)
+
+val paranoid : unit -> bool
 
 (** {2 Persistent sessions}
 
@@ -114,6 +161,11 @@ type stats = {
   encode_time : float;  (** CPU seconds spent encoding *)
   search_time : float;  (** CPU seconds spent in SAT search + theory *)
   theory_time : float;  (** CPU seconds spent in theory checks (part of [search_time]) *)
+  cert_lemmas : int;  (** theory-conflict certificates checked *)
+  cert_proofs : int;  (** Unsat proof logs replayed (Final events) *)
+  cert_models : int;  (** Sat models independently evaluated *)
+  cert_rejections : int;  (** certificates the checker refused (must stay 0) *)
+  cert_time : float;  (** CPU seconds spent checking certificates *)
 }
 
 val stats : unit -> stats

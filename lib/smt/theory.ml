@@ -9,27 +9,30 @@ type verdict =
 
 (* Rewrite a literal into plain linear atoms, introducing fresh integer
    variables for divisibility. [fresh] allocates variable ids that cannot
-   clash with the caller's. Returns the expanded atoms, each tagged with the
-   originating input index (for core mapping); side constraints introduced
-   by the rewrite share their origin's index. *)
-let expand_lit fresh idx (a, polarity) =
+   clash with the caller's. Returns the expanded atoms together with the
+   fresh witness variables introduced, in allocation order — the
+   certificate checker re-derives this expansion from the literal and the
+   witness ids alone, so the shape here is part of the certificate
+   contract (see [Check.expand_spec]). *)
+let expand_lit fresh (a, polarity) =
   match (a, polarity) with
   | Atom.Lin _, false -> invalid_arg "Theory.check: negated Lin literal"
-  | Atom.Lin _, true -> [ (idx, a) ]
+  | Atom.Lin _, true -> ([ a ], [])
   | Atom.Dvd (d, e), true ->
     (* d | e  <=>  exists q. e - d*q = 0 *)
     let q = fresh () in
-    [ (idx, Atom.mk_eq e (Linexpr.var ~coeff:(Rat.of_bigint d) q)) ]
+    ([ Atom.mk_eq e (Linexpr.var ~coeff:(Rat.of_bigint d) q) ], [ q ])
   | Atom.Dvd (d, e), false ->
     (* not (d | e)  <=>  exists q r. e = d*q + r  /\  1 <= r <= d-1 *)
     let q = fresh () and r = fresh () in
     let dq = Linexpr.var ~coeff:(Rat.of_bigint d) q in
     let rv = Linexpr.var r in
-    [
-      (idx, Atom.mk_eq e (Linexpr.add dq rv));
-      (idx, Atom.mk_ge rv (Linexpr.of_int 1));
-      (idx, Atom.mk_le rv (Linexpr.sub (Linexpr.const (Rat.of_bigint d)) (Linexpr.of_int 1)));
-    ]
+    ( [
+        Atom.mk_eq e (Linexpr.add dq rv);
+        Atom.mk_ge rv (Linexpr.of_int 1);
+        Atom.mk_le rv (Linexpr.sub (Linexpr.const (Rat.of_bigint d)) (Linexpr.of_int 1));
+      ],
+      [ q; r ] )
 
 (* Integer tightening: for an atom whose variables are all integer (with
    integer coefficients, which canonical atoms guarantee), the constraint
@@ -92,7 +95,20 @@ let delta_floor (d : Delta.t) =
   end
   else Rat.floor r
 
-let check ~is_int ?(node_limit = 4000) lits =
+(* Remap the [Hyp] references of a refutation tree from input-literal
+   indices to positions in the core literal list. *)
+let rec remap_tree pos = function
+  | Cert.Leaf fk ->
+    Cert.Leaf
+      (List.map
+         (function
+           | Cert.Hyp (i, j), c -> (Cert.Hyp (pos i, j), c)
+           | (Cert.Cut _, _) as e -> e)
+         fk)
+  | Cert.Branch b ->
+    Cert.Branch { b with le = remap_tree pos b.le; ge = remap_tree pos b.ge }
+
+let check_cert ~is_int ?(node_limit = 4000) lits =
   let max_var =
     List.fold_left
       (fun acc (a, _) -> List.fold_left max acc (Atom.vars a))
@@ -106,41 +122,81 @@ let check ~is_int ?(node_limit = 4000) lits =
     fresh_vars := v :: !fresh_vars;
     v
   in
-  let tagged = List.concat (List.mapi (fun i l -> expand_lit fresh i l) lits) in
+  let expansions = List.map (expand_lit fresh) lits in
+  let fresh_arr = Array.of_list (List.map snd expansions) in
   let lits_arr = Array.of_list lits in
   let is_int v = is_int v || List.mem v !fresh_vars in
-  let tagged = List.map (fun (i, a) -> (i, tighten_int is_int a)) tagged in
+  (* Flatten, tagging each atom with (input literal index, position within
+     that literal's expansion) — the [Hyp] coordinates of certificates. *)
+  let tagged =
+    List.concat
+      (List.mapi
+         (fun i (atoms, _) ->
+           List.mapi (fun j a -> (i, j, tighten_int is_int a)) atoms)
+         expansions)
+  in
+  (* Certificate for an Unsat core: per-core-literal fresh witnesses plus
+     the refutation, with [Hyp] references remapped to core positions. *)
+  let cert_for core_idx refutation =
+    let pos =
+      let tbl = Hashtbl.create 8 in
+      List.iteri (fun p i -> Hashtbl.add tbl i p) core_idx;
+      fun i -> try Hashtbl.find tbl i with Not_found -> -1
+    in
+    let refutation =
+      match refutation with
+      | Cert.Tree t -> Cert.Tree (remap_tree pos t)
+      | Cert.Gcd _ as g -> g
+    in
+    {
+      Cert.fresh = Array.of_list (List.map (fun i -> fresh_arr.(i)) core_idx);
+      refutation;
+    }
+  in
   (* Fast gcd screen. *)
   let gcd_hit =
-    List.find_opt (fun (_, a) -> gcd_infeasible is_int a) tagged
+    List.find_opt (fun (_, _, a) -> gcd_infeasible is_int a) tagged
   in
   match gcd_hit with
-  | Some (i, _) -> Unsat [ lits_arr.(i) ]
+  | Some (i, j, _) ->
+    (Unsat [ lits_arr.(i) ], Some (cert_for [ i ] (Cert.Gcd (0, j))))
   | None -> begin
-    let base_atoms = List.map snd tagged in
-    let base_origin = Array.of_list (List.map fst tagged) in
+    let base_atoms = List.map (fun (_, _, a) -> a) tagged in
+    let base_ref = Array.of_list (List.map (fun (i, j, _) -> (i, j)) tagged) in
+    let n_base = Array.length base_ref in
     let orig_vars =
       List.sort_uniq Stdlib.compare (List.concat_map (fun (a, _) -> Atom.vars a) lits)
     in
     let nodes = ref 0 in
-    (* Branch and bound: [extra] are internal branching atoms with no
-       origin. Returns a model or a core in input-literal space, or raises
-       on exhausted budget. *)
+    (* Branch and bound: [extra] are internal branching atoms, newest
+       first, so simplex index [n_base + j] is the cut at root distance
+       [length extra - 1 - j]. Returns a model, or a core in input-literal
+       space plus the refutation subtree, or raises on exhausted budget. *)
     let exception Out_of_budget in
     let rec bb extra =
       incr nodes;
       if !nodes > node_limit then raise Out_of_budget;
       let atoms = base_atoms @ extra in
-      match Simplex.solve_delta atoms with
-      | Error core ->
-        let n_base = Array.length base_origin in
+      match Simplex.solve_delta_cert atoms with
+      | Error (core, fk) ->
+        let depth = List.length extra in
+        let leaf =
+          Cert.Leaf
+            (List.map
+               (fun (si, c) ->
+                 if si < n_base then
+                   let i, j = base_ref.(si) in
+                   (Cert.Hyp (i, j), c)
+                 else (Cert.Cut (depth - 1 - (si - n_base)), c))
+               fk)
+        in
         let input_core =
           List.filter_map
-            (fun i -> if i < n_base then Some base_origin.(i) else None)
+            (fun si -> if si < n_base then Some (fst base_ref.(si)) else None)
             core
         in
-        Error (List.sort_uniq Stdlib.compare input_core)
-      | Ok dmodel -> begin
+        Error (List.sort_uniq Stdlib.compare input_core, leaf)
+      | Ok ((dmodel, _) as leaf) -> begin
         (* Find an integer variable with a non-integral value. *)
         let frac =
           List.find_opt
@@ -150,7 +206,7 @@ let check ~is_int ?(node_limit = 4000) lits =
             dmodel
         in
         match frac with
-        | None -> Ok dmodel
+        | None -> Ok leaf
         | Some (v, d) ->
           let fl = delta_floor d in
           let le = Atom.mk_le (Linexpr.var v) (Linexpr.const (Rat.of_bigint fl)) in
@@ -160,24 +216,37 @@ let check ~is_int ?(node_limit = 4000) lits =
           in
           (match bb (le :: extra) with
            | Ok m -> Ok m
-           | Error c1 -> begin
+           | Error (c1, t1) -> begin
              match bb (ge :: extra) with
              | Ok m -> Ok m
-             | Error c2 -> Error (List.sort_uniq Stdlib.compare (c1 @ c2))
+             | Error (c2, t2) ->
+               Error
+                 ( List.sort_uniq Stdlib.compare (c1 @ c2),
+                   Cert.Branch { var = v; floor = fl; le = t1; ge = t2 } )
            end)
       end
     in
     match bb [] with
-    | exception Out_of_budget -> Unknown
-    | Error core_idx ->
+    | exception Out_of_budget -> (Unknown, None)
+    | Error (core_idx, tree) ->
       (* A branch-derived core can be empty only if infeasibility came
          entirely from internal atoms, which cannot happen since branches
          partition integer space; fall back to the full literal set. *)
-      if core_idx = [] then Unsat (Array.to_list lits_arr)
-      else Unsat (List.map (fun i -> lits_arr.(i)) core_idx)
-    | Ok dmodel ->
-      let all = List.map snd dmodel in
-      let delta0 = Delta.choose_delta all in
+      let core_idx =
+        if core_idx = [] then List.init (Array.length lits_arr) (fun i -> i)
+        else core_idx
+      in
+      ( Unsat (List.map (fun i -> lits_arr.(i)) core_idx),
+        Some (cert_for core_idx (Cert.Tree tree)) )
+    | Ok (dmodel, in_play) ->
+      (* delta0 must preserve not only the pairwise order of variable
+         values but the sign of every constraint row: a strict atom like
+         [10x - y < 0] with [x = delta] tolerates only [delta0 < 1/10],
+         which no pairwise comparison of the input variables' values
+         reveals. [in_play] is the simplex's full set of assignments
+         (slack rows included) and bounds, exactly what choose_delta
+         needs. *)
+      let delta0 = Delta.choose_delta in_play in
       let model =
         List.filter_map
           (fun (v, d) ->
@@ -191,5 +260,7 @@ let check ~is_int ?(node_limit = 4000) lits =
           (fun acc v -> if List.mem_assoc v acc then acc else (v, Rat.zero) :: acc)
           model orig_vars
       in
-      Sat model
+      (Sat model, None)
   end
+
+let check ~is_int ?node_limit lits = fst (check_cert ~is_int ?node_limit lits)

@@ -17,3 +17,14 @@ val check : is_int:(int -> bool) -> ?node_limit:int -> lit list -> verdict
 (** Integer variables are rounded by branch and bound; divisibility
     constraints become fresh integer variables. Models assign every
     variable occurring in the input (integral values for integer vars). *)
+
+val check_cert :
+  is_int:(int -> bool) ->
+  ?node_limit:int ->
+  lit list ->
+  verdict * Cert.theory_cert option
+(** Like {!check}, but every [Unsat] verdict additionally carries a
+    certificate (a gcd witness or a branch tree of Farkas combinations)
+    that {!Cert} consumers can replay independently. [Sat] and [Unknown]
+    verdicts carry no certificate — a model is its own certificate, and is
+    audited separately against the full formula. *)

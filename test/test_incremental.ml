@@ -238,6 +238,7 @@ let test_sat_assumptions () =
 
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Sia_check.Check.enable ();
   Alcotest.run "incremental"
     [
       ( "equivalence",

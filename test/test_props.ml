@@ -239,6 +239,65 @@ let prop_fm_contains_cooper =
           [ -12; -5; -2; -1; 0; 1; 4; 11 ]
       | _, _ -> true)
 
+(* Random cubes over three variables for eliminating var 2; small
+   coefficients keep FM's quadratic blow-up trivial. *)
+let gen_qe_cube =
+  QCheck.Gen.(
+    let gen_atom =
+      let* a = int_range (-2) 2 in
+      let* b = int_range (-2) 2 in
+      let* d = int_range (-2) 2 in
+      let* k = int_range (-8) 8 in
+      let* strict = bool in
+      let e = Linexpr.add (Linexpr.add (sv a 0) (sv b 1)) (sv d 2) in
+      return (if strict then Atom.mk_lt e (c k) else Atom.mk_le e (c k))
+    in
+    list_size (int_range 1 4) gen_atom)
+
+let qe_grid = [ (0, 0); (1, -2); (-3, 4); (5, 1); (-1, -7); (2, 3) ]
+
+(* Pin vars 0 and 1 to a grid point and ask the solver whether some value
+   of var 2 satisfies the cube; the projection must evaluate to exactly
+   that verdict (Unknown skipped). *)
+let qe_matches_solver ~is_int atoms projected_eval =
+  List.for_all
+    (fun (x, y) ->
+      let pinned =
+        Formula.and_
+          (Formula.atom (Atom.mk_eq (v 0) (c x))
+          :: Formula.atom (Atom.mk_eq (v 1) (c y))
+          :: List.map Formula.atom atoms)
+      in
+      let lk var = if var = 0 then qi x else if var = 1 then qi y else Rat.zero in
+      match Solver.solve_fresh ~is_int pinned with
+      | Solver.Unknown -> true
+      | Solver.Sat _ -> projected_eval lk
+      | Solver.Unsat -> not (projected_eval lk))
+    qe_grid
+
+let prop_fm_matches_real_solver =
+  (* Fourier-Motzkin is exact over R: eliminating a variable must agree
+     with the real-typed solver's own verdict on every grid point. *)
+  QCheck.Test.make ~name:"fm projection agrees with real solver" ~count:80
+    (QCheck.make gen_qe_cube)
+    (fun atoms ->
+      match Fourier_motzkin.eliminate [ 2 ] atoms with
+      | None -> true
+      | Some proj ->
+        let proj_f = Formula.and_ (List.map Formula.atom proj) in
+        qe_matches_solver ~is_int:(fun _ -> false) atoms (Formula.eval proj_f))
+
+let prop_cooper_matches_int_solver =
+  (* Cooper's elimination is exact over Z: same agreement against the
+     integer-typed solver. *)
+  QCheck.Test.make ~name:"cooper projection agrees with int solver" ~count:80
+    (QCheck.make gen_qe_cube)
+    (fun atoms ->
+      match Cooper.eliminate_cube 2 (List.map (fun a -> (a, true)) atoms) with
+      | None -> true
+      | Some cooper_f ->
+        qe_matches_solver ~is_int:all_int atoms (Formula.eval cooper_f))
+
 let prop_entails_reflexive_transitive =
   QCheck.Test.make ~name:"entailment is reflexive and respects strengthening" ~count:100
     (QCheck.pair (QCheck.int_range (-10) 10) (QCheck.int_range 0 10))
@@ -281,6 +340,7 @@ let test_dvd_negation_roundtrip () =
 
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Sia_check.Check.enable ();
   Alcotest.run "props"
     [
       ( "normal-forms",
@@ -300,5 +360,12 @@ let () =
             Alcotest.test_case "dvd polarity partition" `Quick test_dvd_negation_roundtrip;
           ] );
       ( "qe-agreement",
-        qsuite [ prop_fm_cooper_agree_on_unit_nonstrict; prop_fm_contains_cooper; prop_entails_reflexive_transitive ] );
+        qsuite
+          [
+            prop_fm_cooper_agree_on_unit_nonstrict;
+            prop_fm_contains_cooper;
+            prop_fm_matches_real_solver;
+            prop_cooper_matches_int_solver;
+            prop_entails_reflexive_transitive;
+          ] );
     ]

@@ -124,6 +124,18 @@ let test_verify_null_semantics () =
   Alcotest.(check bool) "p implies itself under NULLs" true
     (Verify.implies env2 ~p ~p1:good = Verify.Valid)
 
+let test_verify_unknown_never_valid () =
+  (* A zero branch-and-bound budget turns every theory check into
+     Unknown: the verdict must surface as Unknown (treated as not-valid
+     by every caller), never as Valid — pinning the soundness direction
+     of resource limits. *)
+  let p = Parser.parse_predicate "l_quantity > 10" in
+  let p1 = Parser.parse_predicate "l_quantity > 5" in
+  let env = Encode.build_env cat [ "lineitem" ] (Ast.And (p, p1)) in
+  let s = Verify.make_session env ~p in
+  let verdict, _ = Verify.implies_ce_session ~node_limit:0 s ~p1 in
+  Alcotest.(check bool) "unknown, not valid" true (verdict = Verify.Unknown)
+
 (* --- Samples --- *)
 
 let sample_state pred target_cols =
@@ -393,6 +405,7 @@ let test_constant_propagation () =
 
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Sia_check.Check.enable ();
   Alcotest.run "sia"
     [
       ( "encode",
@@ -407,6 +420,8 @@ let () =
           Alcotest.test_case "weaker/stronger" `Quick test_verify_weaker;
           Alcotest.test_case "motivating bounds" `Quick test_verify_motivating;
           Alcotest.test_case "null semantics" `Quick test_verify_null_semantics;
+          Alcotest.test_case "unknown never valid" `Quick
+            test_verify_unknown_never_valid;
         ] );
       ( "samples",
         [

@@ -515,6 +515,9 @@ let prop_qe_fm_overapproximates =
 
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest in
+  (* Run the whole suite with the independent certificate checker
+     auditing every verdict. *)
+  Sia_check.Check.enable ();
   Alcotest.run "smt"
     [
       ( "sat",

@@ -75,6 +75,7 @@ let test_case_study_buckets () =
     (b.Case_study.le_1s + b.Case_study.le_10s + b.Case_study.le_100s + b.Case_study.gt_100s)
 
 let () =
+  Sia_check.Check.enable ();
   Alcotest.run "workload"
     [
       ( "qgen",
