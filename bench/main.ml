@@ -3,10 +3,14 @@
    limitation study, a QE-method ablation, and bechamel micro-benchmarks.
 
    Usage:  main.exe [motivating|fig6|table2|table3|fig7|fig8|fig9|limits|
-                     ablation|bench|micro|all] [--paranoid]
+                     ablation|bench|micro|all] [--paranoid] [--jobs N] [--smoke]
    --paranoid audits every solver verdict through the independent
    certificate checker and re-derives each synthesized rewrite; the
    "bench" JSON then also reports the checking overhead.
+   --jobs N  ("bench" only) runs the workload on an N-worker fork pool
+   and again sequentially, checks the outputs are identical, and reports
+   both JSON rows with the speedup; --smoke shrinks the workload for CI
+   (exit 1 on any parallel/sequential mismatch either way).
    Environment:
      SIA_BENCH_QUERIES   number of generated queries   (default 200)
      SIA_CASE_QUERIES    case-study log size           (default 1000)
@@ -34,8 +38,10 @@ let env_float name default =
 
 (* --paranoid: run the workload with the independent certificate checker
    auditing every solver verdict, re-derive each synthesized rewrite with
-   Rewrite.audit, and report the checking overhead in the perf JSON. *)
-let paranoid = ref false
+   Rewrite.audit, and report the checking overhead in the perf JSON.
+   Defaults to the SIA_PARANOID environment switch (via [Config.default])
+   so the CI matrix leg reaches the bench smoke step too. *)
+let paranoid = ref Config.default.Config.paranoid
 
 let n_queries () = env_int "SIA_BENCH_QUERIES" 200
 let n_case () = env_int "SIA_CASE_QUERIES" 1000
@@ -476,89 +482,174 @@ let run_ablation () =
 
 (* One JSON line with end-to-end synthesis wall-clock and solver
    statistics over a fixed seeded workload, so the perf trajectory can be
-   tracked across PRs (append the line to BENCH_synthesis.json). *)
+   tracked across PRs (append the line to BENCH_synthesis.json).
+
+   With --jobs N (N > 1) the workload runs twice — first on an N-worker
+   pool, then sequentially in-process — and the two result lists are
+   compared attempt by attempt: rendered predicates and valid/optimal
+   outcomes must be identical, or the run fails with exit 1. Both rows
+   are printed; the parallel one carries "jobs", per-worker task counts
+   and the measured speedup. --smoke shrinks the workload (4 queries
+   unless SIA_PERF_QUERIES overrides) for CI. *)
+let jobs_n = ref 1
+let smoke = ref false
+
 let run_perf () =
+  let jobs = !jobs_n in
   header
-    (if !paranoid then "perf: end-to-end synthesis workload, paranoid (JSON)"
-     else "perf: end-to-end synthesis workload (JSON)");
-  let n = env_int "SIA_PERF_QUERIES" 12 in
+    (Printf.sprintf "perf: end-to-end synthesis workload%s%s (JSON)"
+       (if jobs > 1 then Printf.sprintf ", %d workers + sequential reference" jobs
+        else "")
+       (if !paranoid then ", paranoid" else ""));
+  let n = env_int "SIA_PERF_QUERIES" (if !smoke then 4 else 12) in
   let queries = Qgen.generate ~seed:42 ~count:n () in
   let subsets = Qgen.column_subsets 1 @ Qgen.column_subsets 2 in
+  (* Differential mode drops the per-attempt wall-clock budget: a timeout
+     that fires under CPU contention in one run but not the other is the
+     one nondeterminism source the comparison cannot control for. *)
   let cfg =
-    { Config.default with Config.time_budget = budget; Config.paranoid = !paranoid }
+    {
+      Config.default with
+      Config.time_budget = (if jobs > 1 then None else budget);
+      Config.paranoid = !paranoid;
+    }
   in
-  let t0 = Unix.gettimeofday () in
-  let attempts =
+  let tagged =
     List.concat_map
-      (fun (gq : Qgen.gen_query) ->
-        List.map
-          (fun subset ->
-            ( gq,
-              Synthesize.synthesize ~cfg Schema.tpch ~from:gq.Qgen.query.Ast.from
-                ~pred:gq.Qgen.pred ~target_cols:subset ))
-          subsets)
+      (fun (gq : Qgen.gen_query) -> List.map (fun s -> (gq, s)) subsets)
       queries
   in
-  let wall = Unix.gettimeofday () -. t0 in
-  let stats = List.map snd attempts in
-  (* Audit pass: statically re-derive every synthesized predicate through
-     the certificate-checked entailment, timing the whole pass. *)
-  let audit_passed = ref 0 and audit_failed = ref 0 in
-  let audit_t0 = Unix.gettimeofday () in
-  if !paranoid then
-    List.iter
-      (fun ((gq : Qgen.gen_query), st) ->
-        match Synthesize.predicate st with
-        | None -> ()
-        | Some p1 -> (
-          match
-            Rewrite.audit Schema.tpch ~from:gq.Qgen.query.Ast.from ~p:gq.Qgen.pred
-              ~p1
-          with
-          | Rewrite.Audit_passed -> incr audit_passed
-          | Rewrite.Audit_failed reason ->
-            incr audit_failed;
-            Printf.printf "  !! audit failed on query %d: %s\n" gq.Qgen.id reason
-          | Rewrite.Audit_off -> ()))
-      attempts;
-  let audit_wall = Unix.gettimeofday () -. audit_t0 in
-  let count f = List.length (List.filter f stats) in
-  let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 stats in
-  let sv =
-    List.fold_left
-      (fun acc s -> Solver.stats_add acc s.Synthesize.solver)
-      Solver.stats_zero stats
+  let attempts =
+    List.map
+      (fun ((gq : Qgen.gen_query), subset) ->
+        {
+          Synthesize.from = gq.Qgen.query.Ast.from;
+          pred = gq.Qgen.pred;
+          target_cols = subset;
+        })
+      tagged
   in
-  (* Certificate-checking overhead relative to the time spent actually
-     solving (SAT search + theory + encoding). *)
-  let solve_s = sv.Solver.encode_time +. sv.Solver.search_time in
-  let cert_overhead =
-    (sv.Solver.cert_time +. audit_wall) /. Float.max 1e-9 solve_s
+  let run_batch j =
+    let t0 = Unix.gettimeofday () in
+    let b =
+      Synthesize.synthesize_batch
+        ~cfg:{ cfg with Config.jobs = j }
+        Schema.tpch attempts
+    in
+    (b, Unix.gettimeofday () -. t0)
   in
-  let json =
-    Printf.sprintf
-      "{\"bench\":\"synthesis\",\"queries\":%d,\"attempts\":%d,\"valid\":%d,\"optimal\":%d,\"wall_s\":%.3f,\"gen_s\":%.3f,\"learn_s\":%.3f,\"verify_s\":%.3f,\"solver_queries\":%d,\"solver_cache_hits\":%d,\"solver_encodings\":%d,\"solver_instances\":%d,\"solver_theory_rounds\":%d,\"solver_conflicts\":%d,\"solver_propagations\":%d,\"solver_restarts\":%d,\"solver_encode_s\":%.3f,\"solver_search_s\":%.3f,\"solver_theory_s\":%.3f,\"paranoid\":%b,\"cert_lemmas\":%d,\"cert_proofs\":%d,\"cert_models\":%d,\"cert_rejections\":%d,\"cert_s\":%.3f,\"audit_passed\":%d,\"audit_failed\":%d,\"audit_s\":%.3f,\"cert_overhead\":%.3f}"
-      n (List.length stats)
-      (count Synthesize.is_valid_outcome)
-      (count Synthesize.is_optimal_outcome)
-      wall
-      (sum (fun s -> s.Synthesize.gen_time))
-      (sum (fun s -> s.Synthesize.learn_time))
-      (sum (fun s -> s.Synthesize.verify_time))
-      sv.Solver.queries sv.Solver.cache_hits sv.Solver.encodings
-      sv.Solver.instances sv.Solver.theory_rounds sv.Solver.conflicts
-      sv.Solver.propagations sv.Solver.restarts sv.Solver.encode_time
-      sv.Solver.search_time sv.Solver.theory_time !paranoid sv.Solver.cert_lemmas
-      sv.Solver.cert_proofs sv.Solver.cert_models sv.Solver.cert_rejections
-      sv.Solver.cert_time !audit_passed !audit_failed audit_wall cert_overhead
+  (* Report one batch as a JSON row. [audit] runs the certificate-checked
+     re-derivation pass (paranoid only); [seq_wall] marks a parallel row
+     and carries the sequential reference for the speedup field. *)
+  let emit ?(audit = false) ?seq_wall ~wall (b : Synthesize.batch) =
+    let stats = b.Synthesize.results in
+    let audit_passed = ref 0 and audit_failed = ref 0 in
+    let audit_t0 = Unix.gettimeofday () in
+    if audit && !paranoid then
+      List.iter2
+        (fun ((gq : Qgen.gen_query), _) st ->
+          match Synthesize.predicate st with
+          | None -> ()
+          | Some p1 -> (
+            match
+              Rewrite.audit Schema.tpch ~from:gq.Qgen.query.Ast.from
+                ~p:gq.Qgen.pred ~p1
+            with
+            | Rewrite.Audit_passed -> incr audit_passed
+            | Rewrite.Audit_failed reason ->
+              incr audit_failed;
+              Printf.printf "  !! audit failed on query %d: %s\n" gq.Qgen.id reason
+            | Rewrite.Audit_off -> ()))
+        tagged stats;
+    let audit_wall = Unix.gettimeofday () -. audit_t0 in
+    let count f = List.length (List.filter f stats) in
+    let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 stats in
+    let sv =
+      List.fold_left
+        (fun acc s -> Solver.stats_add acc s.Synthesize.solver)
+        Solver.stats_zero stats
+    in
+    (* Certificate-checking overhead relative to the time spent actually
+       solving (SAT search + theory + encoding). *)
+    let solve_s = sv.Solver.encode_time +. sv.Solver.search_time in
+    let cert_overhead =
+      (sv.Solver.cert_time +. audit_wall) /. Float.max 1e-9 solve_s
+    in
+    let pool_fields =
+      match seq_wall with
+      | None -> Printf.sprintf ",\"jobs\":%d" b.Synthesize.jobs
+      | Some sw ->
+        Printf.sprintf
+          ",\"jobs\":%d,\"worker_tasks\":[%s],\"seq_wall_s\":%.3f,\"speedup\":%.2f"
+          b.Synthesize.jobs
+          (String.concat "," (List.map string_of_int b.Synthesize.worker_tasks))
+          sw (sw /. Float.max 1e-9 wall)
+    in
+    let json =
+      Printf.sprintf
+        "{\"bench\":\"synthesis\",\"queries\":%d,\"attempts\":%d,\"valid\":%d,\"optimal\":%d,\"wall_s\":%.3f,\"gen_s\":%.3f,\"learn_s\":%.3f,\"verify_s\":%.3f,\"solver_queries\":%d,\"solver_cache_hits\":%d,\"solver_encodings\":%d,\"solver_instances\":%d,\"solver_theory_rounds\":%d,\"solver_conflicts\":%d,\"solver_propagations\":%d,\"solver_restarts\":%d,\"solver_encode_s\":%.3f,\"solver_search_s\":%.3f,\"solver_theory_s\":%.3f,\"paranoid\":%b,\"cert_lemmas\":%d,\"cert_proofs\":%d,\"cert_models\":%d,\"cert_rejections\":%d,\"cert_s\":%.3f,\"audit_passed\":%d,\"audit_failed\":%d,\"audit_s\":%.3f,\"cert_overhead\":%.3f%s}"
+        n (List.length stats)
+        (count Synthesize.is_valid_outcome)
+        (count Synthesize.is_optimal_outcome)
+        wall
+        (sum (fun s -> s.Synthesize.gen_time))
+        (sum (fun s -> s.Synthesize.learn_time))
+        (sum (fun s -> s.Synthesize.verify_time))
+        sv.Solver.queries sv.Solver.cache_hits sv.Solver.encodings
+        sv.Solver.instances sv.Solver.theory_rounds sv.Solver.conflicts
+        sv.Solver.propagations sv.Solver.restarts sv.Solver.encode_time
+        sv.Solver.search_time sv.Solver.theory_time !paranoid sv.Solver.cert_lemmas
+        sv.Solver.cert_proofs sv.Solver.cert_models sv.Solver.cert_rejections
+        sv.Solver.cert_time !audit_passed !audit_failed audit_wall cert_overhead
+        pool_fields
+    in
+    Format.printf "solver: %a@." Solver.pp_stats sv;
+    if audit && !paranoid then
+      Printf.printf
+        "paranoid: %d lemma certs, %d proofs, %d models, %d rejections; audit %d passed / %d failed; overhead %.2fx solve time\n"
+        sv.Solver.cert_lemmas sv.Solver.cert_proofs sv.Solver.cert_models
+        sv.Solver.cert_rejections !audit_passed !audit_failed cert_overhead;
+    print_endline json
   in
-  Format.printf "solver: %a@." Solver.pp_stats sv;
-  if !paranoid then
-    Printf.printf
-      "paranoid: %d lemma certs, %d proofs, %d models, %d rejections; audit %d passed / %d failed; overhead %.2fx solve time\n"
-      sv.Solver.cert_lemmas sv.Solver.cert_proofs sv.Solver.cert_models
-      sv.Solver.cert_rejections !audit_passed !audit_failed cert_overhead;
-  print_endline json
+  if jobs <= 1 then begin
+    let b, wall = run_batch 1 in
+    emit ~audit:true ~wall b
+  end
+  else begin
+    (* Parallel first: the forked workers must not inherit a memo cache
+       warmed by the sequential reference run, or the measured "speedup"
+       would be answering from cache. (Worker caches die with the
+       workers, so the sequential run that follows starts equally cold.) *)
+    let pb, pwall = run_batch jobs in
+    let sb, swall = run_batch 1 in
+    let render st =
+      match Synthesize.predicate st with
+      | Some p -> Printer.string_of_pred p
+      | None -> "-"
+    in
+    let preds_p = List.map render pb.Synthesize.results in
+    let preds_s = List.map render sb.Synthesize.results in
+    let flags b =
+      List.map
+        (fun st ->
+          (Synthesize.is_valid_outcome st, Synthesize.is_optimal_outcome st))
+        b.Synthesize.results
+    in
+    emit ~wall:swall sb;
+    emit ~audit:true ~seq_wall:swall ~wall:pwall pb;
+    if preds_p = preds_s && flags pb = flags sb then
+      Printf.printf
+        "differential: %d-worker output identical to sequential (%d attempts, %.2fx)\n"
+        jobs (List.length attempts) (swall /. Float.max 1e-9 pwall)
+    else begin
+      Printf.printf "!! parallel/sequential mismatch:\n";
+      List.iteri
+        (fun i (p, s) ->
+          if p <> s then Printf.printf "  attempt %d: jobs=%d %s | jobs=1 %s\n" i jobs p s)
+        (List.combine preds_p preds_s);
+      exit 1
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel)                                          *)
@@ -683,18 +774,35 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  paranoid := List.mem "--paranoid" args;
-  if !paranoid then Sia_check.Check.enable ();
-  let cmd =
-    match List.filter (fun a -> a <> "--paranoid") args with
-    | c :: _ -> c
-    | [] -> "all"
+  let rec parse = function
+    | [] -> []
+    | "--paranoid" :: rest ->
+      paranoid := true;
+      parse rest
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | "--jobs" :: v :: rest ->
+      (match int_of_string_opt v with
+       | Some j when j >= 1 -> jobs_n := j
+       | Some _ | None ->
+         Printf.eprintf "--jobs expects a positive integer, got %s\n" v;
+         exit 1);
+      parse rest
+    | "--jobs" :: [] ->
+      Printf.eprintf "--jobs expects a worker count\n";
+      exit 1
+    | a :: rest -> a :: parse rest
   in
+  let positional = parse (List.tl (Array.to_list Sys.argv)) in
+  if !paranoid then Sia_check.Check.enable ();
+  let cmd = match positional with c :: _ -> c | [] -> "all" in
   Printf.printf
-    "sia bench: %s%s (SIA_BENCH_QUERIES=%d SIA_CASE_QUERIES=%d SIA_SF_ONE=%.3f SIA_SF_TEN=%.3f)\n%!"
+    "sia bench: %s%s%s%s (SIA_BENCH_QUERIES=%d SIA_CASE_QUERIES=%d SIA_SF_ONE=%.3f SIA_SF_TEN=%.3f)\n%!"
     cmd
     (if !paranoid then " --paranoid" else "")
+    (if !jobs_n > 1 then Printf.sprintf " --jobs %d" !jobs_n else "")
+    (if !smoke then " --smoke" else "")
     (n_queries ()) (n_case ()) (sf_one ()) (sf_ten ());
   let t0 = Unix.gettimeofday () in
   (match cmd with

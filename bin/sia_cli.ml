@@ -1,5 +1,6 @@
 (* Command-line interface to Sia: parse a query, synthesize a predicate
-   over the requested columns, print the rewritten query and the plans. *)
+   over the requested columns, print the rewritten query and the plans.
+   Several -c groups run as one batch, in parallel when --jobs > 1. *)
 
 module Ast = Sia_sql.Ast
 module Parser = Sia_sql.Parser
@@ -14,24 +15,14 @@ let outcome_string = function
   | Synthesize.Trivial -> "trivial (only TRUE is valid)"
   | Synthesize.Failed msg -> "failed: " ^ msg
 
-let run_synthesize query cols table iterations show_plans =
-  let q = Parser.parse_query query in
-  let cfg = { Config.default with Config.max_iterations = iterations } in
-  let result =
-    match cols with
-    | [] -> begin
-      match table with
-      | Some t -> Rewrite.rewrite_for_table ~cfg Schema.tpch q ~target_table:t
-      | None -> failwith "pass --columns or --table"
-    end
-    | cols -> Rewrite.rewrite_for_columns ~cfg Schema.tpch q ~target_cols:cols
-  in
+let report show_plans result =
   let st = result.Rewrite.stats in
   Printf.printf "outcome:      %s\n" (outcome_string st.Synthesize.outcome);
   Printf.printf "iterations:   %d\n" st.Synthesize.iterations;
-  Printf.printf "samples:      %d TRUE / %d FALSE\n" st.Synthesize.n_true st.Synthesize.n_false;
-  Printf.printf "time (s):     gen %.3f / learn %.3f / verify %.3f\n" st.Synthesize.gen_time
-    st.Synthesize.learn_time st.Synthesize.verify_time;
+  Printf.printf "samples:      %d TRUE / %d FALSE\n" st.Synthesize.n_true
+    st.Synthesize.n_false;
+  Printf.printf "time (s):     gen %.3f / learn %.3f / verify %.3f\n"
+    st.Synthesize.gen_time st.Synthesize.learn_time st.Synthesize.verify_time;
   (match result.Rewrite.rewritten with
    | Some q' -> Printf.printf "rewritten:    %s\n" (Printer.string_of_query q')
    | None -> ());
@@ -43,14 +34,42 @@ let run_synthesize query cols table iterations show_plans =
     | None -> ()
   end
 
+let run_synthesize query cols_groups table iterations jobs show_plans =
+  let q = Parser.parse_query query in
+  let cfg =
+    { Config.default with Config.max_iterations = iterations; Config.jobs = jobs }
+  in
+  match cols_groups with
+  | [] -> begin
+    match table with
+    | Some t -> report show_plans (Rewrite.rewrite_for_table ~cfg Schema.tpch q ~target_table:t)
+    | None -> failwith "pass --columns or --table"
+  end
+  | [ cols ] ->
+    report show_plans (Rewrite.rewrite_for_columns ~cfg Schema.tpch q ~target_cols:cols)
+  | groups ->
+    (* One batch over all column groups of the query; the pool shards and
+       reassembles in submission order, so output order matches the
+       command line regardless of --jobs. *)
+    let results =
+      Rewrite.rewrite_all ~cfg Schema.tpch (List.map (fun g -> (q, g)) groups)
+    in
+    List.iter2
+      (fun g r ->
+        Printf.printf "== columns %s ==\n" (String.concat "," g);
+        report show_plans r)
+      groups results
+
 open Cmdliner
 
 let query_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"SQL query text.")
 
 let cols_arg =
-  Arg.(value & opt (list string) [] & info [ "c"; "columns" ] ~docv:"COLS"
-         ~doc:"Comma-separated target columns for the synthesized predicate.")
+  Arg.(value & opt_all (list string) [] & info [ "c"; "columns" ] ~docv:"COLS"
+         ~doc:"Comma-separated target columns for the synthesized predicate. \
+               Repeat the flag to synthesize over several column groups in \
+               one batch.")
 
 let table_arg =
   Arg.(value & opt (some string) None & info [ "t"; "table" ] ~docv:"TABLE"
@@ -60,6 +79,12 @@ let iters_arg =
   Arg.(value & opt int Config.default.Config.max_iterations
        & info [ "i"; "iterations" ] ~docv:"N" ~doc:"Learning-loop budget.")
 
+let jobs_arg =
+  Arg.(value & opt int Config.default.Config.jobs
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker processes for batched synthesis (several -c groups). \
+                 Results are identical to -j 1, in the same order.")
+
 let plans_arg =
   Arg.(value & flag & info [ "p"; "plans" ] ~doc:"Print optimized plans for both queries.")
 
@@ -67,6 +92,7 @@ let cmd =
   let doc = "Synthesize valid predicates over a column subset (Sia, SIGMOD 2021)" in
   Cmd.v
     (Cmd.info "sia_cli" ~doc)
-    Term.(const run_synthesize $ query_arg $ cols_arg $ table_arg $ iters_arg $ plans_arg)
+    Term.(const run_synthesize $ query_arg $ cols_arg $ table_arg $ iters_arg
+          $ jobs_arg $ plans_arg)
 
 let () = exit (Cmd.eval cmd)

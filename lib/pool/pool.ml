@@ -1,0 +1,234 @@
+exception Worker_error of string
+
+type 'c summary = {
+  jobs : int;
+  per_worker_tasks : int list;
+  per_worker_wall : float list;
+  epilogues : 'c list;
+}
+
+(* Wire protocol, worker -> parent: a stream of length-prefixed Marshal
+   frames (4-byte big-endian payload length, then the payload). One
+   [Result]/[Failed] per task, then exactly one [Done] before the worker
+   closes its pipe — an EOF without [Done] is a crash. *)
+type ('b, 'c) frame =
+  | Result of int * 'b (* submission index, task result *)
+  | Failed of int * string (* submission index, exception text *)
+  | Done of int * float * 'c option (* tasks completed, wall seconds, epilogue *)
+
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd bytes !off (n - !off) with
+    | k -> off := !off + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let send_frame fd v =
+  let payload = Marshal.to_bytes v [] in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (Bytes.length payload));
+  write_all fd hdr;
+  write_all fd payload
+
+(* Worker body: run the shard in submission order, stream results back.
+   A failed task short-circuits the rest of the shard (the parent will
+   raise anyway); the failure itself is just another frame, so the parent
+   can distinguish "task raised" from "worker crashed". *)
+let worker_main fd ~init ~epilogue ~f tasks =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (match init with Some g -> g () | None -> ());
+  let t0 = Unix.gettimeofday () in
+  let completed = ref 0 in
+  (try
+     List.iter
+       (fun (idx, item) ->
+         match f item with
+         | r ->
+           (try send_frame fd (Result (idx, r))
+            with e ->
+              send_frame fd
+                (Failed (idx, "result not marshalable: " ^ Printexc.to_string e));
+              raise Exit);
+           incr completed
+         | exception e ->
+           send_frame fd (Failed (idx, Printexc.to_string e));
+           raise Exit)
+       tasks
+   with Exit -> ());
+  let ep =
+    match epilogue with
+    | Some g -> ( try Some (g ()) with _ -> None)
+    | None -> None
+  in
+  (try send_frame fd (Done (!completed, Unix.gettimeofday () -. t0, ep))
+   with _ -> send_frame fd (Done (!completed, Unix.gettimeofday () -. t0, None)))
+
+(* Per-worker parent-side state: accumulated raw bytes, decoded frames. *)
+type ('b, 'c) worker = {
+  pid : int;
+  fd : Unix.file_descr;
+  assigned : int; (* tasks in this worker's shard *)
+  buf : Buffer.t;
+  mutable received : int; (* Result/Failed frames decoded *)
+  mutable fin : (int * float * 'c option) option; (* the Done frame *)
+  mutable failed : (int * string) option; (* first Failed frame *)
+  mutable eof : bool;
+}
+
+(* Decode every complete frame sitting in [w.buf], leaving a partial
+   trailing frame (if any) in place. *)
+let drain_frames w ~on_result =
+  let data = Buffer.to_bytes w.buf in
+  let len = Bytes.length data in
+  let pos = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if len - !pos >= 4 then begin
+      let flen = Int32.to_int (Bytes.get_int32_be data !pos) in
+      if len - !pos - 4 >= flen then begin
+        let frame : (_, _) frame =
+          Marshal.from_bytes (Bytes.sub data (!pos + 4) flen) 0
+        in
+        pos := !pos + 4 + flen;
+        match frame with
+        | Result (idx, r) ->
+          w.received <- w.received + 1;
+          on_result idx r
+        | Failed (idx, msg) ->
+          w.received <- w.received + 1;
+          if w.failed = None then w.failed <- Some (idx, msg)
+        | Done (n, wall, ep) -> w.fin <- Some (n, wall, ep)
+      end
+      else continue := false
+    end
+    else continue := false
+  done;
+  Buffer.clear w.buf;
+  Buffer.add_subbytes w.buf data !pos (len - !pos)
+
+let map ?(jobs = 1) ?(shard = fun idx _ -> idx) ?init ?epilogue f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n = 0 then
+    ([], { jobs = 0; per_worker_tasks = []; per_worker_wall = []; epilogues = [] })
+  else begin
+    let jobs = max 1 (min jobs n) in
+    (* Shards: submission order within each worker. *)
+    let shards = Array.make jobs [] in
+    for idx = n - 1 downto 0 do
+      let w = abs (shard idx items.(idx)) mod jobs in
+      shards.(w) <- (idx, items.(idx)) :: shards.(w)
+    done;
+    let results = Array.make n None in
+    (* Fork the workers. Each child closes its own read end plus the read
+       ends inherited from earlier siblings (so a sibling's EOF is seen as
+       soon as that sibling exits); write ends of earlier siblings are
+       already closed in the parent by the time the next fork happens. *)
+    flush stdout;
+    flush stderr;
+    let sibling_reads = ref [] in
+    let fork_worker w =
+      let r, wr = Unix.pipe ~cloexec:false () in
+      match Unix.fork () with
+      | 0 ->
+        List.iter (fun fd -> try Unix.close fd with _ -> ()) (r :: !sibling_reads);
+        worker_main wr ~init ~epilogue ~f shards.(w);
+        (try Unix.close wr with _ -> ());
+        Unix._exit 0
+      | pid ->
+        Unix.close wr;
+        sibling_reads := r :: !sibling_reads;
+        {
+          pid;
+          fd = r;
+          assigned = List.length shards.(w);
+          buf = Buffer.create 4096;
+          received = 0;
+          fin = None;
+          failed = None;
+          eof = false;
+        }
+    in
+    let rec fork_all w = if w >= jobs then [] else fork_worker w :: fork_all (w + 1) in
+    let workers = Array.of_list (fork_all 0) in
+    (* Read until every worker has hit EOF, decoding frames as they
+       arrive; a slow worker never blocks reading a fast one. *)
+    let chunk = Bytes.create 65536 in
+    let open_fds () =
+      Array.to_list
+        (Array.of_seq
+           (Seq.filter_map
+              (fun w -> if w.eof then None else Some w.fd)
+              (Array.to_seq workers)))
+    in
+    let errors = ref [] in
+    let rec pump () =
+      match open_fds () with
+      | [] -> ()
+      | fds ->
+        let ready, _, _ = Unix.select fds [] [] (-1.0) in
+        List.iter
+          (fun fd ->
+            let w =
+              List.find (fun w -> w.fd = fd) (Array.to_list workers)
+            in
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 ->
+              w.eof <- true;
+              Unix.close fd
+            | k ->
+              Buffer.add_subbytes w.buf chunk 0 k;
+              drain_frames w ~on_result:(fun idx r -> results.(idx) <- Some r)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+          ready;
+        pump ()
+    in
+    pump ();
+    (* Reap every child, then diagnose. *)
+    Array.iteri
+      (fun i w ->
+        let _, status = Unix.waitpid [] w.pid in
+        (match w.failed with
+         | Some (idx, msg) ->
+           errors := Printf.sprintf "task %d raised: %s" idx msg :: !errors
+         | None -> ());
+        match (status, w.fin) with
+        | Unix.WEXITED 0, Some (completed, _, _) ->
+          if completed < w.assigned && w.failed = None then
+            errors :=
+              Printf.sprintf "worker %d completed %d of %d tasks" i completed
+                w.assigned
+              :: !errors
+        | Unix.WEXITED 0, None ->
+          errors := Printf.sprintf "worker %d closed without reporting" i :: !errors
+        | Unix.WEXITED c, _ ->
+          errors := Printf.sprintf "worker %d exited with code %d" i c :: !errors
+        | Unix.WSIGNALED s, _ ->
+          errors := Printf.sprintf "worker %d killed by signal %d" i s :: !errors
+        | Unix.WSTOPPED _, _ ->
+          errors := Printf.sprintf "worker %d stopped" i :: !errors)
+      workers;
+    (match List.rev !errors with
+     | [] -> ()
+     | es -> raise (Worker_error (String.concat "; " es)));
+    let out =
+      Array.to_list
+        (Array.mapi
+           (fun idx -> function
+             | Some r -> r
+             | None ->
+               raise
+                 (Worker_error (Printf.sprintf "no result for task %d" idx)))
+           results)
+    in
+    let fins = Array.to_list (Array.map (fun w -> Option.get w.fin) workers) in
+    ( out,
+      {
+        jobs;
+        per_worker_tasks = List.map (fun (c, _, _) -> c) fins;
+        per_worker_wall = List.map (fun (_, t, _) -> t) fins;
+        epilogues = List.filter_map (fun (_, _, ep) -> ep) fins;
+      } )
+  end

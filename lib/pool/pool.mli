@@ -1,0 +1,54 @@
+(** Fork-based worker pool with deterministic result order.
+
+    [map f items] shards the items over [jobs] forked worker processes and
+    returns the results {e in submission order}, independent of completion
+    order. Tasks reach workers for free through [fork]'s memory image (no
+    closure serialization); only results travel back, over a pipe per
+    worker carrying length-prefixed [Marshal] frames.
+
+    Determinism contract: given a pure [f], the same [items], [jobs] and
+    [shard] produce the same result list as [List.map f items] — each
+    worker processes its shard in ascending submission order, and the
+    parent reassembles by submission index. Worker-process side effects
+    (caches warmed, global counters) die with the worker; use [epilogue]
+    to ship a summary of them back.
+
+    OCaml 5 note: [fork] is only safe while the process runs a single
+    domain, which is how this codebase operates. *)
+
+exception Worker_error of string
+(** A worker failed: its task raised, it died before reporting, or it
+    exited abnormally. The parent drains and reaps every worker before
+    raising, so no children are leaked. *)
+
+type 'c summary = {
+  jobs : int;  (** workers actually forked *)
+  per_worker_tasks : int list;  (** tasks completed, per worker *)
+  per_worker_wall : float list;  (** wall-clock seconds, per worker *)
+  epilogues : 'c list;  (** [epilogue] results, in worker order *)
+}
+
+val map :
+  ?jobs:int ->
+  ?shard:(int -> 'a -> int) ->
+  ?init:(unit -> unit) ->
+  ?epilogue:(unit -> 'c) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list * 'c summary
+(** [map ~jobs f items] runs [f] over [items] in [jobs] forked workers
+    (default 1; clamped to [1 .. length items]) and returns results in
+    submission order.
+
+    [shard idx item] assigns each item to a worker bucket ([mod jobs],
+    so any int is fine; default: round-robin on [idx]). Items that must
+    share one worker's warm state — e.g. attempts on the same query,
+    which re-ask each other's solver queries — should shard to the same
+    bucket.
+
+    [init] runs once in each worker before its first task; [epilogue]
+    runs once after its last task and its result is shipped back in the
+    summary (e.g. a worker's solver-stats delta).
+
+    Raises {!Worker_error} if any task raises (the exception text is
+    forwarded) or any worker dies without completing its shard. *)

@@ -11,6 +11,7 @@ type t = {
   time_budget : float option;
   seed : int;
   paranoid : bool;
+  jobs : int;
 }
 
 (* Paranoid certificate checking defaults on when the environment asks
@@ -20,6 +21,15 @@ let env_paranoid =
   match Sys.getenv_opt "SIA_PARANOID" with
   | Some ("1" | "true" | "yes" | "on") -> true
   | Some _ | None -> false
+
+(* Worker-pool width. Synthesis batches fork this many workers; 1 means
+   in-process sequential execution (no fork). *)
+let env_jobs =
+  match Sys.getenv_opt "SIA_JOBS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> 1)
+  | None -> 1
 
 let default =
   {
@@ -35,6 +45,7 @@ let default =
     time_budget = None;
     seed = 2021;
     paranoid = env_paranoid;
+    jobs = env_jobs;
   }
 
 let sia_v1 = { default with max_iterations = 1; initial_true = 110; initial_false = 110 }

@@ -24,6 +24,12 @@ type t = {
           emitted rewrite before it is returned. Defaults to the
           [SIA_PARANOID] environment variable (tests/CI set it; bench and
           the CLI opt in explicitly). *)
+  jobs : int;
+      (** worker processes for synthesis batches ({!Synthesize.synthesize_batch},
+          {!Rewrite.rewrite_all}): attempts are sharded over this many
+          forked workers. [1] (the default, or the [SIA_JOBS] environment
+          variable) runs in-process with no fork. Parallel runs emit
+          byte-identical results to sequential ones — see [lib/pool]. *)
 }
 
 val default : t

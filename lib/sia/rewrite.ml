@@ -142,3 +142,36 @@ let rewrite_for_table ?cfg cat q ~target_table =
 let plans cat r =
   ( Planner.plan cat r.original,
     Option.map (Planner.plan cat) r.rewritten )
+
+(* Batched rewriting with the same sharding discipline as
+   [Synthesize.synthesize_batch]: tasks on the same query share a worker,
+   results come back in submission order, worker solver deltas are folded
+   into this process's totals. *)
+let rewrite_all ?cfg cat tasks =
+  let cfg = Option.value cfg ~default:Config.default in
+  let run (q, target_cols) = rewrite_for_columns ~cfg cat q ~target_cols in
+  if cfg.Config.jobs <= 1 then List.map run tasks
+  else begin
+    let groups = Hashtbl.create 16 in
+    let group_of =
+      Array.of_list
+        (List.map
+           (fun (q, _) ->
+             match Hashtbl.find_opt groups q with
+             | Some g -> g
+             | None ->
+               let g = Hashtbl.length groups in
+               Hashtbl.add groups q g;
+               g)
+           tasks)
+    in
+    let baseline = Solver.stats () in
+    let results, summary =
+      Sia_pool.Pool.map ~jobs:cfg.Config.jobs
+        ~shard:(fun i _ -> group_of.(i))
+        ~epilogue:(fun () -> Solver.stats_since baseline)
+        run tasks
+    in
+    List.iter Solver.absorb_stats summary.Sia_pool.Pool.epilogues;
+    results
+  end

@@ -53,3 +53,15 @@ val plans :
   rewrite_result ->
   Sia_relalg.Plan.t * Sia_relalg.Plan.t option
 (** Optimized plans for the original and (when present) rewritten query. *)
+
+val rewrite_all :
+  ?cfg:Config.t ->
+  Sia_relalg.Schema.catalog ->
+  (Sia_sql.Ast.query * string list) list ->
+  rewrite_result list
+(** [rewrite_all cat tasks] rewrites each [(query, target_cols)] pair —
+    {!rewrite_for_columns} over the list — fanning out over
+    {!Config.t.jobs} forked workers when [jobs > 1]. Tasks on the same
+    query shard to one worker; results are in submission order and
+    identical to the sequential run's (see {!Synthesize.synthesize_batch}).
+    Raises [Pool.Worker_error] on worker death. *)

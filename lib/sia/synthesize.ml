@@ -2,6 +2,7 @@ open Sia_numeric
 open Sia_smt
 module Ast = Sia_sql.Ast
 module Schema = Sia_relalg.Schema
+module Pool = Sia_pool.Pool
 
 type outcome =
   | Optimal of Ast.pred
@@ -288,3 +289,77 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
         end
       end
     end
+
+(* ------------------------------------------------------------------ *)
+(* Batched synthesis                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type attempt = {
+  from : string list;
+  pred : Ast.pred;
+  target_cols : string list;
+}
+
+type batch = {
+  results : stats list;
+  jobs : int;
+  worker_tasks : int list;
+  worker_wall : float list;
+  worker_solver : Solver.stats list;
+}
+
+let synthesize_batch ?(cfg = Config.default) catalog attempts =
+  let run a =
+    synthesize ~cfg catalog ~from:a.from ~pred:a.pred ~target_cols:a.target_cols
+  in
+  if cfg.Config.jobs <= 1 then begin
+    let solver0 = Solver.stats () in
+    let t0 = Unix.gettimeofday () in
+    let results = List.map run attempts in
+    {
+      results;
+      jobs = 1;
+      worker_tasks = [ List.length attempts ];
+      worker_wall = [ Unix.gettimeofday () -. t0 ];
+      worker_solver = [ Solver.stats_since solver0 ];
+    }
+  end
+  else begin
+    (* Shard by query: attempts that share (from, pred) — the column
+       subsets of one query — land on the same worker in submission
+       order, so each worker's memo cache sees exactly the query sequence
+       the sequential run would have fed it. Whole query groups are dealt
+       round-robin across workers in first-occurrence order. *)
+    let groups = Hashtbl.create 16 in
+    let group_of =
+      Array.of_list
+        (List.map
+           (fun a ->
+             let key = (a.from, a.pred) in
+             match Hashtbl.find_opt groups key with
+             | Some g -> g
+             | None ->
+               let g = Hashtbl.length groups in
+               Hashtbl.add groups key g;
+               g)
+           attempts)
+    in
+    (* The epilogue ships each worker's solver-stats delta back; absorbing
+       the deltas keeps the parent's global counters truthful about work
+       done on its behalf. *)
+    let baseline = Solver.stats () in
+    let results, summary =
+      Pool.map ~jobs:cfg.Config.jobs
+        ~shard:(fun i _ -> group_of.(i))
+        ~epilogue:(fun () -> Solver.stats_since baseline)
+        run attempts
+    in
+    List.iter Solver.absorb_stats summary.Pool.epilogues;
+    {
+      results;
+      jobs = summary.Pool.jobs;
+      worker_tasks = summary.Pool.per_worker_tasks;
+      worker_wall = summary.Pool.per_worker_wall;
+      worker_solver = summary.Pool.epilogues;
+    }
+  end

@@ -72,6 +72,13 @@ let subst a x r =
   | Lin (rel, e) -> canon rel (Linexpr.subst e x r)
   | Dvd (d, e) -> mk_dvd d (Linexpr.subst e x r)
 
+(* Renaming re-canonicalizes: the Eq sign convention depends on the lowest
+   variable id, which a renaming can change. *)
+let map_vars f a =
+  match a with
+  | Lin (rel, e) -> canon rel (Linexpr.rename f e)
+  | Dvd (d, e) -> mk_dvd d (Linexpr.rename f e)
+
 let compare a b =
   match (a, b) with
   | Lin (r1, e1), Lin (r2, e2) ->

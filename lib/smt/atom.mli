@@ -29,6 +29,11 @@ val negate : t -> t list
 val eval : t -> (int -> Rat.t) -> bool
 val vars : t -> int list
 val subst : t -> int -> Linexpr.t -> t
+
+val map_vars : (int -> int) -> t -> t
+(** Rename every variable through the map and re-canonicalize (the [Eq]
+    sign convention depends on variable order, so the result may flip). *)
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val hash : t -> int

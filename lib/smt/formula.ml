@@ -139,6 +139,14 @@ let rec map_atoms fn = function
   | Or fs -> or_ (List.map (map_atoms fn) fs)
 
 let subst f x r = map_atoms (fun a -> atom (Atom.subst a x r)) f
+let map_vars m f = map_atoms (fun a -> atom (Atom.map_vars m a)) f
+
+let rec canon f =
+  match f with
+  | True | False | Atom _ -> f
+  | Not g -> not_ (canon g)
+  | And fs -> and_ (List.sort_uniq compare (List.map canon fs))
+  | Or fs -> or_ (List.sort_uniq compare (List.map canon fs))
 
 let dnf ?(limit = 4096) f =
   let exception Too_big in

@@ -41,6 +41,15 @@ val size : t -> int
 val map_atoms : (Atom.t -> t) -> t -> t
 val subst : t -> int -> Linexpr.t -> t
 
+val map_vars : (int -> int) -> t -> t
+(** Rename every variable through the map (see {!Atom.map_vars}). *)
+
+val canon : t -> t
+(** Order-insensitive normal form: children of [And]/[Or] are recursively
+    canonicalized, sorted by {!compare} and deduplicated, so conjunctions
+    that differ only in conjunct order (or repetition) compare equal. Used
+    as a cache key — semantics are preserved, structure is not. *)
+
 val dnf : ?limit:int -> t -> (Atom.t * bool) list list option
 (** Disjunctive normal form of the NNF as a list of cubes; each literal is
     an atom with a polarity (false only for divisibility atoms). [None] when

@@ -36,6 +36,17 @@ let vars a = List.map fst (terms a)
 let is_const a = IntMap.is_empty a.tm
 let mem a x = IntMap.mem x a.tm
 
+let rename f a =
+  let tm =
+    IntMap.fold
+      (fun x c acc ->
+        IntMap.update (f x)
+          (function None -> Some c | Some c' -> norm_add c c')
+          acc)
+      a.tm IntMap.empty
+  in
+  { tm; k = a.k }
+
 let subst e x r =
   let c = coeff e x in
   if Rat.is_zero c then e else add (remove e x) (scale c r)

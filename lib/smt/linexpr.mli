@@ -33,6 +33,11 @@ val mem : t -> int -> bool
 val subst : t -> int -> t -> t
 (** [subst e x r] replaces variable [x] by expression [r]. *)
 
+val rename : (int -> int) -> t -> t
+(** [rename f e] replaces every variable [x] by [f x]. Coefficients of
+    variables mapped to the same image are summed (zero sums drop out), so
+    non-injective maps stay well-formed. *)
+
 val eval : t -> (int -> Rat.t) -> Rat.t
 
 val scale_to_int : t -> t

@@ -95,6 +95,12 @@ let stats_add a b =
     cert_time = a.cert_time +. b.cert_time;
   }
 
+(* Merge a delta computed elsewhere — a worker process's [stats_since]
+   over its lifetime — into this process's totals. The pool calls this
+   once per worker so that [stats ()] in the parent reflects work done on
+   its behalf in forked children. *)
+let absorb_stats s = totals := stats_add !totals s
+
 let stats_since s0 =
   let s = !totals in
   {
@@ -410,17 +416,37 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
 (* Memoized one-shot solving                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* Results of one-shot [solve] calls are memoized on the NNF formula plus
-   the [is_int] fingerprint of its variables (the only part of [is_int]
-   the answer can depend on). Only Sat/Unsat verdicts are cached: Unknown
-   depends on [max_rounds] and theory node limits, so it is recomputed.
-   The cache has no invalidation rule by construction — a one-shot query
-   depends on nothing but the key. *)
-module Memo = Hashtbl.Make (struct
-  type t = Formula.t * bool list
+(* Verdicts are memoized on a *canonical* key so that the syntactically
+   different ways CEGIS asks the same question coincide:
 
-  let equal (f1, b1) (f2, b2) = b1 = b2 && Formula.equal f1 f2
-  let hash (f, b) = Hashtbl.hash (Formula.hash f, b)
+   - the formula is order-normalized ({!Formula.canon}: And/Or children
+     sorted and deduplicated), so [base ∧ p ∧ q] and [q ∧ base ∧ p] share
+     an entry regardless of how a session interleaved its assertions;
+   - variables are alpha-renamed to 0,1,2,... in first-occurrence order
+     over the canonical formula, so fresh-variable numbering (per-attempt
+     [Encode] environments allocate from a moving counter) does not split
+     otherwise identical queries;
+   - the [is_int] fingerprint of the canonical variables joins the key
+     (the only part of [is_int] the answer can depend on);
+   - the resource limits ([max_rounds], theory [node_limit]) join the key,
+     so a cached verdict is always one the same call would have computed —
+     without them a warm-session Sat could answer for a colder query that
+     would itself have returned Unknown, which would make cached and
+     recomputed runs observably different (the parallel pool relies on
+     hit ≡ recompute for its determinism guarantee).
+
+   Only Sat/Unsat verdicts are cached — Unknown is a resource artifact,
+   not a truth. Models are stored in canonical variable space and
+   translated back through the renaming on a hit. The cache has no
+   invalidation rule by construction: a query's answer depends on nothing
+   but the key. *)
+module Memo = Hashtbl.Make (struct
+  type t = Formula.t * bool list * int * int
+
+  let equal (f1, b1, r1, n1) (f2, b2, r2, n2) =
+    r1 = r2 && n1 = n2 && b1 = b2 && Formula.equal f1 f2
+
+  let hash (f, b, r, n) = Hashtbl.hash (Formula.hash f, b, r, n)
 end)
 
 let memo : result Memo.t = Memo.create 1024
@@ -429,8 +455,64 @@ let memo : result Memo.t = Memo.create 1024
    and is plenty for the CEGIS workloads (a run rarely exceeds a few
    thousand distinct formulas). *)
 let memo_limit = 16_384
+let default_max_rounds = 50_000
+let default_node_limit = 4000 (* Theory.check_cert's default *)
 
-let solve ?max_rounds ~is_int f =
+type memo_key = {
+  key : Formula.t * bool list * int * int;
+  fwd : (int, int) Hashtbl.t; (* original var -> canonical var *)
+  back : int array; (* canonical var -> original var *)
+}
+
+let memo_key ~is_int ~max_rounds ~node_limit f =
+  let f = Formula.canon f in
+  let fwd = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem fwd v) then begin
+            Hashtbl.add fwd v (Hashtbl.length fwd);
+            order := v :: !order
+          end)
+        (Atom.vars a))
+    (Formula.atoms f);
+  let back = Array.of_list (List.rev !order) in
+  let kf = Formula.map_vars (Hashtbl.find fwd) f in
+  let bits = Array.to_list (Array.map is_int back) in
+  { key = (kf, bits, max_rounds, node_limit); fwd; back }
+
+let memo_find k =
+  match Memo.find_opt memo k.key with
+  | None | Some Unknown -> None
+  | Some Unsat -> Some Unsat
+  | Some (Sat m) -> Some (Sat (List.map (fun (cv, r) -> (k.back.(cv), r)) m))
+
+let memo_store k r =
+  match r with
+  | Unknown -> ()
+  | Unsat | Sat _ ->
+    let r =
+      match r with
+      | Sat m ->
+        (* Store in canonical space. Variables outside the key (none in
+           practice: the theory already filters its Dvd witnesses, and
+           padding covers exactly the formula's variables) are dropped
+           rather than corrupting the entry. *)
+        Sat
+          (List.filter_map
+             (fun (v, value) ->
+               match Hashtbl.find_opt k.fwd v with
+               | Some cv -> Some (cv, value)
+               | None -> None)
+             m)
+      | r -> r
+    in
+    if Memo.length memo >= memo_limit then Memo.reset memo;
+    Memo.replace memo k.key r
+
+let solve ?(max_rounds = default_max_rounds) ~is_int f =
   let f = Formula.nnf f in
   bump_query ();
   match f with
@@ -438,18 +520,14 @@ let solve ?max_rounds ~is_int f =
     count_answer (Sat (List.map (fun v -> (v, Rat.zero)) (Formula.vars f)))
   | Formula.False -> count_answer Unsat
   | _ -> (
-    let key = (f, List.map is_int (Formula.vars f)) in
-    match Memo.find_opt memo key with
+    let k = memo_key ~is_int ~max_rounds ~node_limit:default_node_limit f in
+    match memo_find k with
     | Some r ->
       bump_cache_hit ();
       count_answer r
     | None ->
-      let r = run_instance ?max_rounds ~is_int (make_instance f) in
-      (match r with
-       | Sat _ | Unsat ->
-         if Memo.length memo >= memo_limit then Memo.reset memo;
-         Memo.replace memo key r
-       | Unknown -> ());
+      let r = run_instance ~max_rounds ~is_int (make_instance f) in
+      memo_store k r;
       count_answer r)
 
 (* Unmemoized one-shot solve: in paranoid mode a memo hit replays the
@@ -596,19 +674,45 @@ module Session = struct
       (t.base_atoms @ t.asserted_atoms @ query_atoms)
 
   (* [extra_lits]/[extra_atoms] carry raw per-call state (the enumeration
-     guard and its blocking atoms) that has no formula counterpart. *)
-  let run ?max_rounds ?node_limit ?(extra_lits = []) ?(extra_atoms = []) t
-      assumptions =
+     guard and its blocking atoms) that has no formula counterpart.
+
+     Queries without per-call state are answered through the global memo
+     cache: the key is the full conjunction base ∧ asserted ∧ assumptions,
+     canonicalized (see the memo above), so a threshold probe repeated on
+     the sibling session of another column subset — or by a one-shot
+     [solve] of the same conjunction — costs a table lookup. Enumeration
+     calls ([extra_lits ≠ []]) bypass the cache: their answer depends on
+     blocking clauses that exist only inside that call. *)
+  let run ?(max_rounds = default_max_rounds) ?node_limit ?(extra_lits = [])
+      ?(extra_atoms = []) t assumptions =
     bump_query ();
     let assumptions = List.map Formula.nnf assumptions in
-    let encoded = List.map (lit t) assumptions in
-    count_answer
-      (run_instance ?max_rounds ?node_limit
-         ~assumptions:(extra_lits @ List.map fst encoded)
-         ~check:(t.asserted @ assumptions)
-         ~theory_atoms:
-           (relevant_atoms t (extra_atoms @ List.concat_map snd encoded))
-         ~is_int:t.is_int t.inst)
+    let memo_k =
+      if extra_lits = [] && extra_atoms = [] then
+        Some
+          (memo_key ~is_int:t.is_int ~max_rounds
+             ~node_limit:(Option.value node_limit ~default:default_node_limit)
+             (Formula.nnf
+                (Formula.and_
+                   (t.inst.formula :: List.rev_append t.asserted assumptions))))
+      else None
+    in
+    match Option.bind memo_k memo_find with
+    | Some r ->
+      bump_cache_hit ();
+      count_answer r
+    | None ->
+      let encoded = List.map (lit t) assumptions in
+      let r =
+        run_instance ~max_rounds ?node_limit
+          ~assumptions:(extra_lits @ List.map fst encoded)
+          ~check:(t.asserted @ assumptions)
+          ~theory_atoms:
+            (relevant_atoms t (extra_atoms @ List.concat_map snd encoded))
+          ~is_int:t.is_int t.inst
+      in
+      (match memo_k with Some k -> memo_store k r | None -> ());
+      count_answer r
 
   let solve_under ?max_rounds ?node_limit ?(assumptions = []) t =
     run ?max_rounds ?node_limit t assumptions

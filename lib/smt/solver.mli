@@ -116,7 +116,12 @@ module Session : sig
       branch-and-bound check (default 4000): callers whose queries are
       unbounded — no domain box — and who handle [Unknown] gracefully
       should pass a small cap so one unlucky candidate cannot stall the
-      whole loop. *)
+      whole loop.
+
+      Definitive answers are shared with {!solve} through the global memo
+      cache, keyed on the canonicalized conjunction
+      [base ∧ asserted ∧ assumptions] plus the resource limits — repeating
+      a query on a sibling session costs a table lookup. *)
 
   val add_clause : t -> Formula.t -> unit
   (** Permanently conjoin a formula to the session (cheap on the live
@@ -174,5 +179,12 @@ val stats_since : stats -> stats
 (** Delta between now and an earlier {!stats} snapshot. *)
 
 val stats_add : stats -> stats -> stats
+
+val absorb_stats : stats -> unit
+(** Merge a delta computed in another process (a pool worker's
+    {!stats_since} over its lifetime) into this process's totals, so
+    {!stats} accounts for work forked children did on the caller's
+    behalf. *)
+
 val reset_stats : unit -> unit
 val pp_stats : Format.formatter -> stats -> unit

@@ -126,6 +126,54 @@ let test_plan_execution_equivalence () =
   Alcotest.(check int) "same cardinality" out1.Table.nrows out2.Table.nrows;
   Alcotest.(check bool) "pushed plan differs from naive" true (not (Sia_relalg.Plan.equal naive pushed))
 
+(* --- Three-valued NULL semantics (examples/null_semantics.ml, asserted) --- *)
+
+(* The example's walkthrough as hard assertions: over nullable columns,
+   Verify must use SQL's trivalent semantics. A value-level tautology like
+   (b > -100 OR b <= -100) evaluates to NULL when b is NULL, so it would
+   drop the tuple (a=1, b=NULL) that p = (a > 0 OR b > 0) accepts. *)
+
+let nullable_cat : Schema.catalog =
+  [
+    {
+      Schema.tname = "t";
+      row_estimate = 1000;
+      columns =
+        [
+          { Schema.cname = "a"; ctype = Schema.Tint; nullable = true };
+          { Schema.cname = "b"; ctype = Schema.Tint; nullable = true };
+        ];
+    };
+  ]
+
+let implies_verdict p_str p1_str =
+  let p = Parser.parse_predicate p_str in
+  let p1 = Parser.parse_predicate p1_str in
+  let env = Sia_core.Encode.build_env nullable_cat [ "t" ] (Ast.And (p, p1)) in
+  Sia_core.Verify.implies env ~p ~p1
+
+let test_null_tautology_trap () =
+  (* Valid over non-null data, invalid under SQL semantics. *)
+  Alcotest.(check bool) "value-level tautology rejected" true
+    (implies_verdict "a > 0 OR b > 0" "b > -100 OR b <= -100"
+     = Sia_core.Verify.Invalid)
+
+let test_null_self_implication () =
+  Alcotest.(check bool) "p implies itself under NULLs" true
+    (implies_verdict "a > 0 OR b > 0" "a > 0 OR b > 0" = Sia_core.Verify.Valid)
+
+let test_null_conjunction_forces_nonnull () =
+  (* p TRUE requires b > 0 TRUE, which requires b non-NULL: the one-sided
+     weakening survives the trivalent encoding. *)
+  Alcotest.(check bool) "AND branch forces b non-null" true
+    (implies_verdict "a > 0 AND b > 0" "b > 0" = Sia_core.Verify.Valid)
+
+let test_null_disjunction_leaks_null () =
+  (* The same weakening under OR does not: (a=1, b=NULL) makes p TRUE but
+     b > 0 NULL. *)
+  Alcotest.(check bool) "OR branch can leave b NULL" true
+    (implies_verdict "a > 0 OR b > 0" "b > 0" = Sia_core.Verify.Invalid)
+
 let prop_filter_join_commute =
   QCheck.Test.make ~name:"filter commutes with join on one-sided predicates" ~count:20
     (QCheck.int_range 10 100)
@@ -168,4 +216,12 @@ let () =
           Alcotest.test_case "plan equivalence" `Quick test_plan_execution_equivalence;
         ] );
       ("exec-props", qsuite [ prop_filter_join_commute ]);
+      ( "null-semantics",
+        [
+          Alcotest.test_case "tautology trap" `Quick test_null_tautology_trap;
+          Alcotest.test_case "self implication" `Quick test_null_self_implication;
+          Alcotest.test_case "AND forces non-null" `Quick
+            test_null_conjunction_forces_nonnull;
+          Alcotest.test_case "OR leaks NULL" `Quick test_null_disjunction_leaks_null;
+        ] );
     ]

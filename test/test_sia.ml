@@ -360,6 +360,39 @@ let test_rewrite_end_to_end () =
   in
   Alcotest.(check bool) "filter pushed to lineitem" true has_lineitem_filter
 
+(* Golden snapshots for the motivating query (examples/tpch_motivating.ml):
+   the full rewritten SQL, verbatim. The pipeline is deterministic (no
+   wall-clock budget in [Config.default]), so any drift here is a real
+   behaviour change — inspect it, then update the expected strings. *)
+let test_rewrite_golden_motivating () =
+  let q1_text =
+    "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey AND \
+     l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01' AND \
+     l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10"
+  in
+  let q1 = Parser.parse_query q1_text in
+  let rendered r =
+    match r.Rewrite.rewritten with
+    | Some q -> Printer.string_of_query q
+    | None -> "<none>"
+  in
+  let prefix = q1_text ^ " AND " in
+  Alcotest.(check string) "table-level rewrite (both synthesized bounds)"
+    (prefix
+     ^ "DATE '1993-06-19' >= l_shipdate AND \
+        l_shipdate + INTERVAL '28' DAY >= l_commitdate;")
+    (rendered (Rewrite.rewrite_for_table cat q1 ~target_table:"lineitem"));
+  Alcotest.(check string) "single-column rewrite (paper's l_shipdate bound)"
+    (prefix ^ "DATE '1993-06-19' >= l_shipdate;")
+    (rendered (Rewrite.rewrite_for_columns cat q1 ~target_cols:[ "l_shipdate" ]));
+  Alcotest.(check string) "two-column rewrite"
+    (prefix
+     ^ "DATE '1993-06-19' >= l_shipdate AND \
+        l_shipdate + INTERVAL '28' DAY >= l_commitdate;")
+    (rendered
+       (Rewrite.rewrite_for_columns cat q1
+          ~target_cols:[ "l_shipdate"; "l_commitdate" ]))
+
 let prop_synthesized_predicates_valid =
   (* Random generated queries: any synthesized predicate must pass an
      independent Verify, and must not drop rows on real data. *)
@@ -444,7 +477,12 @@ let () =
           Alcotest.test_case "time budget" `Quick test_synthesize_time_budget;
           Alcotest.test_case "missing target" `Quick test_synthesize_missing_target;
         ] );
-      ("rewrite", [ Alcotest.test_case "end to end" `Slow test_rewrite_end_to_end ]);
+      ( "rewrite",
+        [
+          Alcotest.test_case "end to end" `Slow test_rewrite_end_to_end;
+          Alcotest.test_case "golden motivating SQL" `Quick
+            test_rewrite_golden_motivating;
+        ] );
       ("synthesize-props", qsuite [ prop_synthesized_predicates_valid ]);
       ( "baselines",
         [
