@@ -3,7 +3,9 @@
    limitation study, a QE-method ablation, and bechamel micro-benchmarks.
 
    Usage:  main.exe [motivating|fig6|table2|table3|fig7|fig8|fig9|limits|
-                     ablation|bench|micro|all] [--paranoid] [--jobs N] [--smoke]
+                     ablation|bench|numeric|micro|all]
+                    [--paranoid] [--jobs N] [--smoke] [--numeric]
+                    [--baseline FILE]
    --paranoid audits every solver verdict through the independent
    certificate checker and re-derives each synthesized rewrite; the
    "bench" JSON then also reports the checking overhead.
@@ -493,6 +495,71 @@ let run_ablation () =
    unless SIA_PERF_QUERIES overrides) for CI. *)
 let jobs_n = ref 1
 let smoke = ref false
+let baseline_file = ref None
+let numeric_flag = ref false
+
+(* Extract an integer field from a JSON row without a JSON dependency:
+   the bench rows are flat objects we printed ourselves. *)
+let json_int_field row name =
+  let needle = Printf.sprintf "\"%s\":" name in
+  match String.index_opt row '{' with
+  | None -> None
+  | Some _ -> (
+    let rec find from =
+      match String.index_from_opt row from '"' with
+      | None -> None
+      | Some i ->
+        if i + String.length needle <= String.length row
+           && String.sub row i (String.length needle) = needle
+        then Some (i + String.length needle)
+        else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start ->
+      let stop = ref start in
+      while
+        !stop < String.length row
+        && (match row.[!stop] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr stop
+      done;
+      int_of_string_opt (String.sub row start (!stop - start)))
+
+(* --baseline FILE: fail the run if efficacy regressed against the
+   committed reference row (the last JSON object line of FILE). *)
+let check_baseline ~valid ~optimal file =
+  let last_row =
+    let ic = open_in file in
+    let rec go acc =
+      match input_line ic with
+      | line ->
+        go (if String.length line > 0 && line.[0] = '{' then Some line else acc)
+      | exception End_of_file ->
+        close_in ic;
+        acc
+    in
+    go None
+  in
+  match last_row with
+  | None ->
+    Printf.eprintf "baseline %s: no JSON row found\n" file;
+    exit 1
+  | Some row -> (
+    match (json_int_field row "valid", json_int_field row "optimal") with
+    | Some bv, Some bo ->
+      if valid < bv || optimal < bo then begin
+        Printf.eprintf
+          "!! efficacy regression vs %s: valid %d (baseline %d), optimal %d (baseline %d)\n"
+          file valid bv optimal bo;
+        exit 1
+      end
+      else
+        Printf.printf "baseline %s: ok (valid %d >= %d, optimal %d >= %d)\n" file
+          valid bv optimal bo
+    | _ ->
+      Printf.eprintf "baseline %s: row lacks valid/optimal fields\n" file;
+      exit 1)
 
 let run_perf () =
   let jobs = !jobs_n in
@@ -585,19 +652,25 @@ let run_perf () =
           (String.concat "," (List.map string_of_int b.Synthesize.worker_tasks))
           sw (sw /. Float.max 1e-9 wall)
     in
+    let valid = count Synthesize.is_valid_outcome in
+    let optimal = count Synthesize.is_optimal_outcome in
+    (* Per-phase times are summed over attempts, which at jobs > 1 means
+       CPU seconds aggregated across workers — deliberately reported
+       under *_cpu_s names, separate from the wall clock, so a parallel
+       row's phase times reading above wall_s is meaningful instead of
+       contradictory. *)
     let json =
       Printf.sprintf
-        "{\"bench\":\"synthesis\",\"queries\":%d,\"attempts\":%d,\"valid\":%d,\"optimal\":%d,\"wall_s\":%.3f,\"gen_s\":%.3f,\"learn_s\":%.3f,\"verify_s\":%.3f,\"solver_queries\":%d,\"solver_cache_hits\":%d,\"solver_encodings\":%d,\"solver_instances\":%d,\"solver_theory_rounds\":%d,\"solver_conflicts\":%d,\"solver_propagations\":%d,\"solver_restarts\":%d,\"solver_encode_s\":%.3f,\"solver_search_s\":%.3f,\"solver_theory_s\":%.3f,\"paranoid\":%b,\"cert_lemmas\":%d,\"cert_proofs\":%d,\"cert_models\":%d,\"cert_rejections\":%d,\"cert_s\":%.3f,\"audit_passed\":%d,\"audit_failed\":%d,\"audit_s\":%.3f,\"cert_overhead\":%.3f%s}"
-        n (List.length stats)
-        (count Synthesize.is_valid_outcome)
-        (count Synthesize.is_optimal_outcome)
-        wall
+        "{\"bench\":\"synthesis\",\"queries\":%d,\"attempts\":%d,\"valid\":%d,\"optimal\":%d,\"wall_s\":%.3f,\"gen_cpu_s\":%.3f,\"learn_cpu_s\":%.3f,\"verify_cpu_s\":%.3f,\"solver_queries\":%d,\"solver_cache_hits\":%d,\"solver_encodings\":%d,\"solver_instances\":%d,\"solver_theory_rounds\":%d,\"solver_reused_rounds\":%d,\"solver_rebuilds\":%d,\"solver_conflicts\":%d,\"solver_propagations\":%d,\"solver_restarts\":%d,\"solver_pivots\":%d,\"solver_encode_s\":%.3f,\"solver_search_s\":%.3f,\"solver_theory_s\":%.3f,\"paranoid\":%b,\"cert_lemmas\":%d,\"cert_proofs\":%d,\"cert_models\":%d,\"cert_rejections\":%d,\"cert_s\":%.3f,\"audit_passed\":%d,\"audit_failed\":%d,\"audit_s\":%.3f,\"cert_overhead\":%.3f%s}"
+        n (List.length stats) valid optimal wall
         (sum (fun s -> s.Synthesize.gen_time))
         (sum (fun s -> s.Synthesize.learn_time))
         (sum (fun s -> s.Synthesize.verify_time))
         sv.Solver.queries sv.Solver.cache_hits sv.Solver.encodings
-        sv.Solver.instances sv.Solver.theory_rounds sv.Solver.conflicts
-        sv.Solver.propagations sv.Solver.restarts sv.Solver.encode_time
+        sv.Solver.instances sv.Solver.theory_rounds sv.Solver.reused_rounds
+        sv.Solver.tableau_rebuilds sv.Solver.conflicts
+        sv.Solver.propagations sv.Solver.restarts sv.Solver.pivots
+        sv.Solver.encode_time
         sv.Solver.search_time sv.Solver.theory_time !paranoid sv.Solver.cert_lemmas
         sv.Solver.cert_proofs sv.Solver.cert_models sv.Solver.cert_rejections
         sv.Solver.cert_time !audit_passed !audit_failed audit_wall cert_overhead
@@ -609,11 +682,13 @@ let run_perf () =
         "paranoid: %d lemma certs, %d proofs, %d models, %d rejections; audit %d passed / %d failed; overhead %.2fx solve time\n"
         sv.Solver.cert_lemmas sv.Solver.cert_proofs sv.Solver.cert_models
         sv.Solver.cert_rejections !audit_passed !audit_failed cert_overhead;
-    print_endline json
+    print_endline json;
+    (valid, optimal)
   in
   if jobs <= 1 then begin
     let b, wall = run_batch 1 in
-    emit ~audit:true ~wall b
+    let valid, optimal = emit ~audit:true ~wall b in
+    Option.iter (check_baseline ~valid ~optimal) !baseline_file
   end
   else begin
     (* Parallel first: the forked workers must not inherit a memo cache
@@ -635,8 +710,9 @@ let run_perf () =
           (Synthesize.is_valid_outcome st, Synthesize.is_optimal_outcome st))
         b.Synthesize.results
     in
-    emit ~wall:swall sb;
-    emit ~audit:true ~seq_wall:swall ~wall:pwall pb;
+    let valid, optimal = emit ~wall:swall sb in
+    let (_ : int * int) = emit ~audit:true ~seq_wall:swall ~wall:pwall pb in
+    Option.iter (check_baseline ~valid ~optimal) !baseline_file;
     if preds_p = preds_s && flags pb = flags sb then
       Printf.printf
         "differential: %d-worker output identical to sequential (%d attempts, %.2fx)\n"
@@ -772,6 +848,117 @@ let run_micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Numeric-layer throughput (bench --numeric)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Ops/sec over the three operand regimes the [Bigint] representation
+   distinguishes — int fast path, values hugging the int boundary
+   (promotion/demotion traffic), and multi-limb magnitudes — plus the
+   [Rat] both-int fast paths on top. One JSON line for the artifact. *)
+let run_numeric () =
+  header "numeric: Bigint/Rat throughput by operand regime (JSON)";
+  let open Sia_numeric in
+  let rand = Random.State.make [| 0x51a; 42 |] in
+  let n_ops = env_int "SIA_NUMERIC_OPS" 2_000_000 in
+  let small () = Bigint.of_int (Random.State.int rand 2_000_001 - 1_000_000) in
+  let edge () =
+    let off = Random.State.int rand 1_000_000 in
+    let b = Bigint.sub (Bigint.of_int max_int) (Bigint.of_int off) in
+    if Random.State.bool rand then b else Bigint.neg b
+  in
+  let big () =
+    let b =
+      Bigint.add
+        (Bigint.mul (Bigint.of_int max_int) (Bigint.of_int (1 + Random.State.int rand 1000)))
+        (small ())
+    in
+    if Random.State.bool rand then b else Bigint.neg b
+  in
+  let mk gen = Array.init 1024 (fun _ -> gen ()) in
+  let time_ops f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    float_of_int n_ops /. Float.max 1e-9 dt
+  in
+  let bench_binop op xs ys =
+    time_ops (fun () ->
+        let sink = ref Bigint.zero in
+        for i = 0 to n_ops - 1 do
+          sink := op xs.(i land 1023) ys.((i * 7) land 1023)
+        done;
+        ignore (Bigint.sign !sink))
+  in
+  let bench_cmp xs ys =
+    time_ops (fun () ->
+        let sink = ref 0 in
+        for i = 0 to n_ops - 1 do
+          sink := !sink + Bigint.compare xs.(i land 1023) ys.((i * 7) land 1023)
+        done;
+        ignore !sink)
+  in
+  let nonzero a = Array.map (fun b -> if Bigint.is_zero b then Bigint.one else b) a in
+  let regimes = [ ("small", small); ("edge", edge); ("big", big) ] in
+  let fields = ref [] in
+  List.iter
+    (fun (name, gen) ->
+      let xs = mk gen and ys = mk gen in
+      let ysn = nonzero ys in
+      let ops =
+        [
+          ("add", bench_binop Bigint.add xs ys);
+          ("sub", bench_binop Bigint.sub xs ys);
+          ("mul", bench_binop Bigint.mul xs ys);
+          ("div", bench_binop Bigint.div xs ysn);
+          ("gcd", bench_binop Bigint.gcd xs ys);
+          ("compare", bench_cmp xs ys);
+        ]
+      in
+      List.iter
+        (fun (op, rate) ->
+          Printf.printf "  bigint %-5s %-8s %12.2e ops/s\n%!" name op rate;
+          fields := Printf.sprintf "\"bigint_%s_%s\":%.3e" name op rate :: !fields)
+        ops)
+    regimes;
+  (* Rat: both-int fast path vs big-component rationals. *)
+  let mk_rat gen =
+    let dens = nonzero (mk gen) in
+    Array.init 1024 (fun i -> Rat.make (gen ()) (Bigint.abs dens.(i)))
+  in
+  let bench_rat_binop op xs ys =
+    time_ops (fun () ->
+        let sink = ref Rat.zero in
+        for i = 0 to n_ops - 1 do
+          sink := op xs.(i land 1023) ys.((i * 7) land 1023)
+        done;
+        ignore (Rat.sign !sink))
+  in
+  List.iter
+    (fun (name, gen) ->
+      let xs = mk_rat gen and ys = mk_rat gen in
+      let ops =
+        [
+          ("add", bench_rat_binop Rat.add xs ys);
+          ("mul", bench_rat_binop Rat.mul xs ys);
+          ( "compare",
+            time_ops (fun () ->
+                let sink = ref 0 in
+                for i = 0 to n_ops - 1 do
+                  sink := !sink + Rat.compare xs.(i land 1023) ys.((i * 7) land 1023)
+                done;
+                ignore !sink) );
+        ]
+      in
+      List.iter
+        (fun (op, rate) ->
+          Printf.printf "  rat    %-5s %-8s %12.2e ops/s\n%!" name op rate;
+          fields := Printf.sprintf "\"rat_%s_%s\":%.3e" name op rate :: !fields)
+        ops)
+    [ ("small", small); ("big", big) ];
+  Printf.printf "{\"bench\":\"numeric\",\"ops\":%d,%s}\n" n_ops
+    (String.concat "," (List.rev !fields))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let rec parse = function
@@ -792,6 +979,15 @@ let () =
     | "--jobs" :: [] ->
       Printf.eprintf "--jobs expects a worker count\n";
       exit 1
+    | "--baseline" :: f :: rest ->
+      baseline_file := Some f;
+      parse rest
+    | "--baseline" :: [] ->
+      Printf.eprintf "--baseline expects a JSON file\n";
+      exit 1
+    | "--numeric" :: rest ->
+      numeric_flag := true;
+      parse rest
     | a :: rest -> a :: parse rest
   in
   let positional = parse (List.tl (Array.to_list Sys.argv)) in
@@ -815,7 +1011,8 @@ let () =
    | "fig9" | "table4" -> run_fig9 ()
    | "limits" -> run_limits ()
    | "ablation" -> run_ablation ()
-   | "bench" | "perf" -> run_perf ()
+   | "bench" | "perf" -> if !numeric_flag then run_numeric () else run_perf ()
+   | "numeric" -> run_numeric ()
    | "micro" -> run_micro ()
    | "all" ->
      run_motivating ();
@@ -830,7 +1027,7 @@ let () =
      run_micro ()
    | other ->
      Printf.eprintf
-       "unknown experiment %s (expected motivating|fig6|table2|table3|fig7|fig8|fig9|limits|ablation|bench|micro|all)\n"
+       "unknown experiment %s (expected motivating|fig6|table2|table3|fig7|fig8|fig9|limits|ablation|bench|numeric|micro|all)\n"
        other;
      exit 1);
   Printf.printf "\n[%s done in %.1f s]\n" cmd (Unix.gettimeofday () -. t0)

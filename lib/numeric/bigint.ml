@@ -1,57 +1,112 @@
-(* Arbitrary-precision signed integers, base 10^9 little-endian magnitude.
+(* Arbitrary-precision signed integers with a small-integer fast path.
 
-   The magnitude array never has trailing (most-significant) zero limbs and
-   [sign = 0] iff the magnitude is empty. Base 10^9 keeps limb products
-   within native int range (10^18 < 2^62) and makes decimal conversion
-   trivial. *)
+   Representation: [Small n] for every value that fits a native [int],
+   [Big {sign; mag}] (base 10^9 little-endian magnitude) only for values
+   whose absolute value exceeds [max_int]. The representation is
+   canonical — a value is [Small] iff it is representable as a native
+   int — so structural equality coincides with numeric equality and
+   cross-constructor comparisons can decide on the constructor alone.
+
+   The solver performs millions of tiny-magnitude operations (simplex
+   pivots, gcd reductions, bound comparisons); the [Small] paths keep
+   those allocation-free except for the result cell itself. The [Big]
+   magnitude arithmetic is unchanged from the original array-per-value
+   implementation: base 10^9 keeps limb products within native int range
+   (10^18 < 2^62) and makes decimal conversion trivial. *)
 
 let base = 1_000_000_000
 
-type t = { sign : int; mag : int array }
+type t =
+  | Small of int
+  | Big of { sign : int; mag : int array }
 
-let zero = { sign = 0; mag = [||] }
+let zero = Small 0
+let one = Small 1
+let minus_one = Small (-1)
+let two = Small 2
+let of_int n = Small n
 
-let normalize sign mag =
-  let n = ref (Array.length mag) in
-  while !n > 0 && mag.(!n - 1) = 0 do
+(* ------------------------------------------------------------------ *)
+(* Representation plumbing                                             *)
+(* ------------------------------------------------------------------ *)
+
+let effective_length m =
+  let n = ref (Array.length m) in
+  while !n > 0 && m.(!n - 1) = 0 do
     decr n
   done;
-  if !n = 0 then zero
-  else if !n = Array.length mag then { sign; mag }
-  else { sign; mag = Array.sub mag 0 !n }
+  !n
 
-let of_int n =
-  if n = 0 then zero
+(* Magnitude of a native int as limbs. Peel limbs from the negative
+   value: [-(n mod base)] is non-negative for [n < 0], which sidesteps
+   [abs min_int] overflow. *)
+let mag_of_int n =
+  if n = 0 then [||]
   else begin
-    let sign = if n > 0 then 1 else -1 in
-    (* Peel limbs from the negative value: [-(n mod base)] is non-negative
-       for [n < 0], which sidesteps [abs min_int] overflow. *)
     let m = if n > 0 then -n else n in
     let rec limbs m acc = if m = 0 then acc else limbs (m / base) (-(m mod base) :: acc) in
-    let big_endian = limbs m [] in
-    normalize sign (Array.of_list (List.rev big_endian))
+    Array.of_list (List.rev (limbs m []))
   end
 
-let one = of_int 1
-let minus_one = of_int (-1)
-let two = of_int 2
-let sign x = x.sign
-let is_zero x = x.sign = 0
+(* (sign, magnitude) view of any value; the slow-path entry point. *)
+let repr = function
+  | Small n -> ((if n > 0 then 1 else if n < 0 then -1 else 0), mag_of_int n)
+  | Big b -> (b.sign, b.mag)
+
+(* [small_of_mag sign mag] is the native-int value when it fits.
+   [max_int] is 4611686018427387903 = 4*10^18 + 611686018427387903; a
+   negative value may additionally be [min_int] (magnitude one larger). *)
+let small_of_mag sign mag =
+  let n = effective_length mag in
+  if n = 0 then Some 0
+  else if n <= 2 then begin
+    let v = (if n = 2 then mag.(1) * base else 0) + mag.(0) in
+    Some (if sign < 0 then -v else v)
+  end
+  else if n = 3 then begin
+    let hi = mag.(2) in
+    if hi > 4 then None
+    else begin
+      let lo = (mag.(1) * base) + mag.(0) in
+      if hi < 4 then begin
+        let v = (hi * 1_000_000_000_000_000_000) + lo in
+        Some (if sign < 0 then -v else v)
+      end
+      else begin
+        let rest = max_int - 4_000_000_000_000_000_000 in
+        if lo <= rest then begin
+          let v = 4_000_000_000_000_000_000 + lo in
+          Some (if sign < 0 then -v else v)
+        end
+        else if sign < 0 && lo = rest + 1 then Some min_int
+        else None
+      end
+    end
+  end
+  else None
+
+let normalize sign mag =
+  match small_of_mag sign mag with
+  | Some v -> Small v
+  | None ->
+    let n = effective_length mag in
+    if n = Array.length mag then Big { sign; mag }
+    else Big { sign; mag = Array.sub mag 0 n }
+
+let sign = function Small n -> Stdlib.compare n 0 | Big b -> b.sign
+let is_zero = function Small 0 -> true | Small _ | Big _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude arithmetic (Big slow path)                                *)
+(* ------------------------------------------------------------------ *)
 
 let compare_mag a b =
-  let la = Array.length a and lb = Array.length b in
+  let la = effective_length a and lb = effective_length b in
   if la <> lb then Stdlib.compare la lb
   else begin
     let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
     go (la - 1)
   end
-
-let compare a b =
-  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
-  else if a.sign >= 0 then compare_mag a.mag b.mag
-  else compare_mag b.mag a.mag
-
-let equal a b = compare a b = 0
 
 let add_mag a b =
   let la = Array.length a and lb = Array.length b in
@@ -89,22 +144,6 @@ let sub_mag a b =
   done;
   r
 
-let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
-let abs x = if x.sign < 0 then neg x else x
-
-let rec add a b =
-  if a.sign = 0 then b
-  else if b.sign = 0 then a
-  else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
-  else begin
-    let c = compare_mag a.mag b.mag in
-    if c = 0 then zero
-    else if c > 0 then normalize a.sign (sub_mag a.mag b.mag)
-    else normalize b.sign (sub_mag b.mag a.mag)
-  end
-
-and sub a b = add a (neg b)
-
 let mul_mag a b =
   let la = Array.length a and lb = Array.length b in
   let r = Array.make (la + lb) 0 in
@@ -128,11 +167,80 @@ let mul_mag a b =
   done;
   r
 
-let mul a b =
-  if a.sign = 0 || b.sign = 0 then zero
-  else normalize (a.sign * b.sign) (mul_mag a.mag b.mag)
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
 
-let mul_int a n = mul a (of_int n)
+(* Canonicality carries the cross-constructor cases: a [Big] magnitude
+   always exceeds every [Small] magnitude, so only its sign matters. *)
+let compare a b =
+  match (a, b) with
+  | Small x, Small y -> Stdlib.compare x y
+  | Small _, Big b -> if b.sign > 0 then -1 else 1
+  | Big a, Small _ -> if a.sign > 0 then 1 else -1
+  | Big a, Big b ->
+    if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+    else if a.sign >= 0 then compare_mag a.mag b.mag
+    else compare_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Ring operations                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let neg = function
+  | Small n when n <> min_int -> Small (-n)
+  | x ->
+    let s, m = repr x in
+    normalize (-s) m
+
+let abs x = if sign x < 0 then neg x else x
+
+let slow_add a b =
+  let sa, ma = repr a and sb, mb = repr b in
+  if sa = 0 then b
+  else if sb = 0 then a
+  else if sa = sb then normalize sa (add_mag ma mb)
+  else begin
+    let c = compare_mag ma mb in
+    if c = 0 then zero
+    else if c > 0 then normalize sa (sub_mag ma mb)
+    else normalize sb (sub_mag mb ma)
+  end
+
+let add a b =
+  match (a, b) with
+  | Small x, Small y ->
+    let s = x + y in
+    (* Overflow iff operands share a sign the sum does not. *)
+    if x >= 0 = (y >= 0) && s >= 0 <> (x >= 0) then slow_add a b else Small s
+  | _ -> slow_add a b
+
+let sub a b =
+  match (a, b) with
+  | Small x, Small y ->
+    let s = x - y in
+    if x >= 0 <> (y >= 0) && s >= 0 <> (x >= 0) then slow_add a (neg b) else Small s
+  | _ -> slow_add a (neg b)
+
+(* Magnitudes below 2^31 square safely inside a 63-bit int. *)
+let small_mul_limit = 1 lsl 31
+
+let mul a b =
+  match (a, b) with
+  | Small x, Small y
+    when x > -small_mul_limit && x < small_mul_limit && y > -small_mul_limit
+         && y < small_mul_limit -> Small (x * y)
+  | _ ->
+    let sa, ma = repr a and sb, mb = repr b in
+    if sa = 0 || sb = 0 then zero else normalize (sa * sb) (mul_mag ma mb)
+
+let mul_int a n = mul a (Small n)
+
+(* ------------------------------------------------------------------ *)
+(* Division                                                            *)
+(* ------------------------------------------------------------------ *)
 
 (* Multiply magnitude by a single limb-sized int (0 <= d < base). *)
 let mul_mag_small a d =
@@ -152,13 +260,6 @@ let mul_mag_small a d =
 
 (* Compare [a] against [b] shifted left by [k] limbs, without materializing
    the shift. Both magnitudes may carry most-significant zero limbs. *)
-let effective_length m =
-  let n = ref (Array.length m) in
-  while !n > 0 && m.(!n - 1) = 0 do
-    decr n
-  done;
-  !n
-
 let compare_mag_shifted a b k =
   let la' = effective_length a in
   let lb' = effective_length b in
@@ -220,14 +321,21 @@ let divmod_mag a b =
   end
 
 let divmod a b =
-  if b.sign = 0 then raise Division_by_zero;
-  if a.sign = 0 then (zero, zero)
-  else begin
-    let qm, rm = divmod_mag a.mag b.mag in
-    let q = normalize (a.sign * b.sign) qm in
-    let r = normalize a.sign rm in
-    (q, r)
-  end
+  match (a, b) with
+  | _, Small 0 -> raise Division_by_zero
+  | Small x, Small y ->
+    (* [min_int / -1] is the single overflowing native division. OCaml's
+       [/] and [mod] are truncated (round toward zero, remainder takes the
+       dividend's sign), matching this module's contract. *)
+    if x = min_int && y = -1 then (neg (Small min_int), zero)
+    else (Small (x / y), Small (x mod y))
+  | Small _, Big _ ->
+    (* |b| > max_int >= |a|: quotient 0, remainder the dividend. *)
+    (zero, a)
+  | Big _, _ ->
+    let sa, ma = repr a and sb, mb = repr b in
+    let qm, rm = divmod_mag ma mb in
+    (normalize (sa * sb) qm, normalize sa rm)
 
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
@@ -236,8 +344,18 @@ let fdiv a b =
   let q, r = divmod a b in
   if is_zero r || sign r = sign b then q else sub q one
 
+(* ------------------------------------------------------------------ *)
+(* gcd and friends                                                     *)
+(* ------------------------------------------------------------------ *)
+
 let rec gcd_aux a b = if is_zero b then a else gcd_aux b (rem a b)
-let gcd a b = gcd_aux (abs a) (abs b)
+
+let gcd a b =
+  match (a, b) with
+  | Small x, Small y when x <> min_int && y <> min_int ->
+    let rec g a b = if b = 0 then a else g b (a mod b) in
+    Small (g (Stdlib.abs x) (Stdlib.abs y))
+  | _ -> gcd_aux (abs a) (abs b)
 
 let lcm a b = if is_zero a || is_zero b then zero else abs (div (mul a b) (gcd a b))
 let min a b = if compare a b <= 0 then a else b
@@ -248,31 +366,21 @@ let pow x n =
   let rec go acc x n = if n = 0 then acc else if n land 1 = 1 then go (mul acc x) (mul x x) (n lsr 1) else go acc (mul x x) (n lsr 1) in
   go one x n
 
-let to_int x =
-  match x.sign with
-  | 0 -> Some 0
-  | _ ->
-    (* Accumulate from the most significant limb, watching for overflow. *)
-    let ok = ref true in
-    let acc = ref 0 in
-    let limit = Stdlib.max_int / base in
-    for i = Array.length x.mag - 1 downto 0 do
-      if !acc > limit then ok := false;
-      if !ok then begin
-        let v = (!acc * base) + x.mag.(i) in
-        if v < 0 then ok := false else acc := v
-      end
-    done;
-    if !ok then Some (if x.sign < 0 then - !acc else !acc) else None
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonicality again: [Big] is out of native range by construction. *)
+let to_int = function Small n -> Some n | Big _ -> None
 
 let to_int_exn x =
   match to_int x with
   | Some n -> n
   | None -> failwith "Bigint.to_int_exn: out of native int range"
 
-let to_string x =
-  if x.sign = 0 then "0"
-  else begin
+let to_string = function
+  | Small n -> string_of_int n
+  | Big x ->
     let b = Buffer.create 16 in
     if x.sign < 0 then Buffer.add_char b '-';
     let n = Array.length x.mag in
@@ -281,28 +389,34 @@ let to_string x =
       Buffer.add_string b (Printf.sprintf "%09d" x.mag.(i))
     done;
     Buffer.contents b
-  end
 
 let of_string s =
   let len = String.length s in
   if len = 0 then invalid_arg "Bigint.of_string: empty";
-  let neg, start = if s.[0] = '-' then (true, 1) else if s.[0] = '+' then (false, 1) else (false, 0) in
+  let negative, start = if s.[0] = '-' then (true, 1) else if s.[0] = '+' then (false, 1) else (false, 0) in
   if start >= len then invalid_arg "Bigint.of_string: no digits";
   let acc = ref zero in
-  let ten = of_int 10 in
+  let ten = Small 10 in
   for i = start to len - 1 do
     let c = s.[i] in
     if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit";
-    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+    acc := add (mul !acc ten) (Small (Char.code c - Char.code '0'))
   done;
-  if neg then { !acc with sign = -(!acc).sign } else !acc
+  if negative then neg !acc else !acc
 
-let to_float x =
-  let f = ref 0.0 in
-  for i = Array.length x.mag - 1 downto 0 do
-    f := (!f *. float_of_int base) +. float_of_int x.mag.(i)
-  done;
-  if x.sign < 0 then -. !f else !f
+let to_float = function
+  | Small n -> float_of_int n
+  | Big x ->
+    let f = ref 0.0 in
+    for i = Array.length x.mag - 1 downto 0 do
+      f := (!f *. float_of_int base) +. float_of_int x.mag.(i)
+    done;
+    if x.sign < 0 then -. !f else !f
 
-let hash x = Hashtbl.hash (x.sign, x.mag)
+(* Equal values share a constructor (canonical representation), so the
+   two hash branches never have to agree with each other. *)
+let hash = function
+  | Small n -> Hashtbl.hash n
+  | Big x -> Hashtbl.hash (x.sign, x.mag)
+
 let pp fmt x = Format.pp_print_string fmt (to_string x)

@@ -11,10 +11,23 @@ let compare a b =
   if c <> 0 then c else Rat.compare a.inf b.inf
 
 let equal a b = compare a b = 0
-let add a b = { real = Rat.add a.real b.real; inf = Rat.add a.inf b.inf }
-let sub a b = { real = Rat.sub a.real b.real; inf = Rat.sub a.inf b.inf }
+(* The infinitesimal component is zero for almost every value flowing
+   through simplex pivots (only strict-bound values carry one), so skip
+   the second rational operation when both sides agree it is zero. *)
+let add a b =
+  { real = Rat.add a.real b.real
+  ; inf = (if Rat.is_zero a.inf && Rat.is_zero b.inf then Rat.zero else Rat.add a.inf b.inf)
+  }
+
+let sub a b =
+  { real = Rat.sub a.real b.real
+  ; inf = (if Rat.is_zero a.inf && Rat.is_zero b.inf then Rat.zero else Rat.sub a.inf b.inf)
+  }
+
 let neg a = { real = Rat.neg a.real; inf = Rat.neg a.inf }
-let scale k a = { real = Rat.mul k a.real; inf = Rat.mul k a.inf }
+
+let scale k a =
+  { real = Rat.mul k a.real; inf = (if Rat.is_zero a.inf then Rat.zero else Rat.mul k a.inf) }
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 

@@ -21,17 +21,33 @@ let is_integer x = Bigint.equal x.den Bigint.one
 let neg x = { x with num = Bigint.neg x.num }
 let abs x = { x with num = Bigint.abs x.num }
 
-let add a b =
-  make
-    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
-    (Bigint.mul a.den b.den)
+(* Integer-by-integer operations need no gcd renormalization: the result
+   denominator is one. The solver's hot loops (pivot updates, bound
+   comparisons) run overwhelmingly on integer rationals, so these fast
+   paths bypass [make]'s gcd/division entirely. *)
+let both_int a b = Bigint.equal a.den Bigint.one && Bigint.equal b.den Bigint.one
 
-let sub a b = add a (neg b)
-let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let add a b =
+  if both_int a b then { num = Bigint.add a.num b.num; den = Bigint.one }
+  else
+    make
+      (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+      (Bigint.mul a.den b.den)
+
+let sub a b =
+  if both_int a b then { num = Bigint.sub a.num b.num; den = Bigint.one }
+  else add a (neg b)
+
+let mul a b =
+  if both_int a b then { num = Bigint.mul a.num b.num; den = Bigint.one }
+  else make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
 let div a b = make (Bigint.mul a.num b.den) (Bigint.mul a.den b.num)
 let inv a = make a.den a.num
 
-let compare a b = Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+let compare a b =
+  if both_int a b then Bigint.compare a.num b.num
+  else Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
 let equal a b = compare a b = 0
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b

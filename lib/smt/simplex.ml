@@ -1,189 +1,318 @@
 open Sia_numeric
-module IntMap = Map.Make (Int)
+
+(* Dutertre-de Moura general simplex over delta-rationals, restructured
+   around a persistent tableau shared across theory rounds and
+   branch-and-bound nodes.
+
+   The persistent part is the *structure*: external-variable interning,
+   one slack variable per distinct linear form (with its definitional row
+   kept as an immutable template), and the grown scratch arrays. Bounds
+   are per-round state: each round re-scans its atom list into
+   tightest-bound caches (cheap — the per-atom translation is memoized by
+   the caller), and branch-and-bound cuts assert and retract bounds
+   through a trail with [push]/[pop].
+
+   Every [check] starts from the canonical basis — slacks basic on their
+   template rows, all assignments zero — and runs Bland's rule through a
+   per-round priority order that reproduces the dense numbering a scratch
+   build of that round's atom list would have used. Results (verdict,
+   model, Farkas certificate reasons) are therefore a deterministic
+   function of the round's atoms alone, independent of what earlier
+   rounds or sibling branches did to the tableau: certificates stay
+   reproducible, and the solver's search trajectory is identical to
+   solving every node from scratch, at a fraction of the cost. *)
 
 type result =
   | Sat of (int * Rat.t) list
   | Unsat of int list
 
-(* Internal solver state. Variables are renumbered densely: original
-   variables first, then one slack variable per distinct linear form. *)
-type state = {
-  nvars : int;
-  rows : Linexpr.t array; (* for basic vars: var = expr over nonbasic; empty for nonbasic *)
-  basic : bool array;
-  beta : Delta.t array;
-  lower : (Delta.t * int) option array; (* bound, reason = input atom index *)
-  upper : (Delta.t * int) option array;
-}
-
 type farkas = (int * Rat.t) list
 
-(* Conflicts carry a Farkas certificate: coefficients over input-atom
-   indices whose combination cancels every variable and leaves an
-   infeasible constant (see {!Cert.farkas}). The unsat core is exactly
-   the set of indices with a non-zero coefficient. *)
-exception Conflict of farkas
+(* Bound provenance: a base-scan bound carries the round-local atom index
+   it came from; a branch-and-bound cut carries its root distance. *)
+type bref =
+  | Hyp of int
+  | Cut of int
+
+type bfarkas = (bref * Rat.t) list
+
+exception Conflict of bfarkas
 
 let core_of_farkas fk = List.sort_uniq Stdlib.compare (List.map fst fk)
 
-let build atoms =
-  (* Map original variable ids to dense indices. *)
-  let var_ids = Hashtbl.create 16 in
-  let rev_ids = ref [] in
-  let next = ref 0 in
-  let intern v =
-    match Hashtbl.find_opt var_ids v with
-    | Some i -> i
-    | None ->
-      let i = !next in
-      incr next;
-      Hashtbl.add var_ids v i;
-      rev_ids := (i, v) :: !rev_ids;
-      i
-  in
-  List.iter (fun a -> List.iter (fun v -> ignore (intern v)) (Atom.vars a)) atoms;
-  let n_orig = !next in
-  (* One slack variable per distinct linear form (constant stripped). *)
-  let module FormTbl = Hashtbl.Make (struct
-    type t = Linexpr.t
+let pivots = ref 0
+let pivot_count () = !pivots
 
-    let equal = Linexpr.equal
-    let hash = Linexpr.hash
-  end) in
-  let forms = FormTbl.create 64 in
-  let slack_rows = ref [] in
-  let slack_of form =
-    match FormTbl.find_opt forms form with
-    | Some idx -> idx
-    | None ->
-      let idx = !next in
-      incr next;
-      FormTbl.add forms form idx;
-      slack_rows := (idx, form) :: !slack_rows;
-      idx
-  in
-  (* Translate each atom to a bound on a slack variable. *)
-  let bounds = ref [] in
-  List.iteri
-    (fun i a ->
-      match a with
-      | Atom.Dvd _ -> invalid_arg "Simplex.solve: Dvd atom"
-      | Atom.Lin (rel, e) ->
-        let dense =
-          List.fold_left
-            (fun acc (v, c) -> Linexpr.add acc (Linexpr.var ~coeff:c (intern v)))
-            Linexpr.zero (Linexpr.terms e)
-        in
-        let k = Linexpr.constant e in
-        if Linexpr.is_const dense then begin
-          (* Constant atom: should have been simplified; treat directly. *)
-          let ok =
-            match rel with
-            | Atom.Le -> Rat.sign k <= 0
-            | Atom.Lt -> Rat.sign k < 0
-            | Atom.Eq -> Rat.is_zero k
-          in
-          if not ok then begin
-            (* The atom alone is its own refutation: [k (rel) 0] is false,
-               so coefficient 1 (or -1 for a negative equality) leaves a
-               positive — or zero-but-strict — constant. *)
-            let coeff =
-              match rel with
-              | Atom.Le | Atom.Lt -> Rat.one
-              | Atom.Eq -> if Rat.sign k > 0 then Rat.one else Rat.minus_one
-            in
-            raise (Conflict [ (i, coeff) ])
-          end
-        end
-        else begin
-          let s = slack_of dense in
-          let rhs = Rat.neg k in
-          match rel with
-          | Atom.Le -> bounds := (s, `Upper, Delta.of_rat rhs, i) :: !bounds
-          | Atom.Lt -> bounds := (s, `Upper, Delta.make rhs Rat.minus_one, i) :: !bounds
-          | Atom.Eq ->
-            bounds := (s, `Upper, Delta.of_rat rhs, i) :: (s, `Lower, Delta.of_rat rhs, i) :: !bounds
-        end)
-    atoms;
-  let nvars = !next in
-  let rows = Array.make nvars Linexpr.zero in
-  let basic = Array.make nvars false in
-  List.iter
-    (fun (idx, form) ->
-      rows.(idx) <- form;
-      basic.(idx) <- true)
-    !slack_rows;
-  let st =
-    {
-      nvars;
-      rows;
-      basic;
-      beta = Array.make nvars Delta.zero;
-      lower = Array.make nvars None;
-      upper = Array.make nvars None;
-    }
-  in
-  (* Record bounds, tightening and detecting immediate crossings. *)
-  List.iter
-    (fun (s, kind, v, reason) ->
-      match kind with
-      | `Upper -> begin
-        (match st.upper.(s) with
-         | Some (u, _) when Delta.compare u v <= 0 -> ()
-         | Some _ | None ->
-           (match st.lower.(s) with
-            | Some (l, rl) when Delta.compare v l < 0 ->
-              (* upper(reason) crosses an existing lower bound: lower
-                 bounds only come from equalities, so -1 on [rl] is a
-                 legal Farkas coefficient. *)
-              raise (Conflict [ (reason, Rat.one); (rl, Rat.minus_one) ])
-            | Some _ | None -> st.upper.(s) <- Some (v, reason)))
-      end
-      | `Lower -> begin
-        (match st.lower.(s) with
-         | Some (l, _) when Delta.compare l v >= 0 -> ()
-         | Some _ | None ->
-           (match st.upper.(s) with
-            | Some (u, ru) when Delta.compare v u > 0 ->
-              raise (Conflict [ (ru, Rat.one); (reason, Rat.minus_one) ])
-            | Some _ | None -> st.lower.(s) <- Some (v, reason)))
-      end)
-    (List.rev !bounds);
-  (st, List.rev !rev_ids, n_orig)
+module FormTbl = Hashtbl.Make (struct
+  type t = Linexpr.t
 
-let row_value st row =
+  let equal = Linexpr.equal
+  let hash = Linexpr.hash
+end)
+
+type bound = { value : Delta.t; bref : bref }
+
+type trail_cell = {
+  tvar : int; (* dense id of the bounded slack *)
+  tupper : bool;
+  tprev : bound option;
+  tprev_cuts : int list;
+  tactivated : bool; (* the slack joined the round by this assert *)
+}
+
+type t = {
+  (* persistent structure *)
+  var_ids : (int, int) Hashtbl.t; (* external id -> dense *)
+  forms : int FormTbl.t; (* slack form -> dense *)
+  mutable nvars : int; (* dense ids ever allocated *)
+  mutable ext_ids : int array; (* dense -> external id; -1 for slacks *)
+  mutable template : Linexpr.t array; (* slack definitional row *)
+  (* scratch, canonically restored at each check *)
+  mutable rows : Linexpr.t array;
+  mutable basic : bool array;
+  mutable beta : Delta.t array;
+  (* round state *)
+  mutable lower : bound option array;
+  mutable upper : bound option array;
+  mutable stamp : int array; (* round generation per dense var *)
+  mutable prio : int array; (* round priority (scratch-build dense id) *)
+  mutable order : int array; (* priority -> dense *)
+  mutable round : int;
+  mutable round_n : int; (* active vars this round *)
+  mutable base_n : int; (* actives before any cut *)
+  mutable cuts : int list; (* cut-slack dense ids, priority order *)
+  mutable trail : trail_cell list;
+  mutable marks : int list;
+  mutable trail_n : int;
+}
+
+let create () =
+  let n = 64 in
+  {
+    var_ids = Hashtbl.create 64;
+    forms = FormTbl.create 64;
+    nvars = 0;
+    ext_ids = Array.make n (-1);
+    template = Array.make n Linexpr.zero;
+    rows = Array.make n Linexpr.zero;
+    basic = Array.make n false;
+    beta = Array.make n Delta.zero;
+    lower = Array.make n None;
+    upper = Array.make n None;
+    stamp = Array.make n (-1);
+    prio = Array.make n (-1);
+    order = Array.make n (-1);
+    round = 0;
+    round_n = 0;
+    base_n = 0;
+    cuts = [];
+    trail = [];
+    marks = [];
+    trail_n = 0;
+  }
+
+let n_vars t = t.nvars
+
+let grow t n =
+  if n > Array.length t.ext_ids then begin
+    let cap = max n (2 * Array.length t.ext_ids) in
+    let extend a fill =
+      let a' = Array.make cap fill in
+      Array.blit a 0 a' 0 t.nvars;
+      a'
+    in
+    t.ext_ids <- extend t.ext_ids (-1);
+    t.template <- extend t.template Linexpr.zero;
+    t.rows <- extend t.rows Linexpr.zero;
+    t.basic <- extend t.basic false;
+    t.beta <- extend t.beta Delta.zero;
+    t.lower <- extend t.lower None;
+    t.upper <- extend t.upper None;
+    t.stamp <- extend t.stamp (-1);
+    t.prio <- extend t.prio (-1);
+    t.order <- extend t.order (-1)
+  end
+
+let new_dense t ext =
+  let d = t.nvars in
+  grow t (d + 1);
+  t.ext_ids.(d) <- ext;
+  t.nvars <- d + 1;
+  d
+
+let intern_var t v =
+  match Hashtbl.find_opt t.var_ids v with
+  | Some d -> d
+  | None ->
+    let d = new_dense t v in
+    Hashtbl.add t.var_ids v d;
+    d
+
+let slack_of t form =
+  match FormTbl.find_opt t.forms form with
+  | Some d -> d
+  | None ->
+    let d = new_dense t (-1) in
+    FormTbl.add t.forms form d;
+    t.template.(d) <- form;
+    d
+
+(* Translate a linear expression to a dense-variable form, interning
+   externals permanently. *)
+let dense_form t e =
   List.fold_left
-    (fun acc (x, c) -> Delta.add acc (Delta.scale c st.beta.(x)))
-    Delta.zero (Linexpr.terms row)
+    (fun acc (v, c) -> Linexpr.add acc (Linexpr.var ~coeff:c (intern_var t v)))
+    Linexpr.zero (Linexpr.terms e)
 
-let recompute_basics st =
-  for x = 0 to st.nvars - 1 do
-    if st.basic.(x) then st.beta.(x) <- row_value st st.rows.(x)
-  done
+(* {2 Round protocol} *)
 
-let violates_lower st x =
-  match st.lower.(x) with Some (l, _) -> Delta.compare st.beta.(x) l < 0 | None -> false
+let begin_round t =
+  t.round <- t.round + 1;
+  t.round_n <- 0;
+  t.base_n <- 0;
+  t.cuts <- [];
+  t.trail <- [];
+  t.marks <- [];
+  t.trail_n <- 0
 
-let violates_upper st x =
-  match st.upper.(x) with Some (u, _) -> Delta.compare st.beta.(x) u > 0 | None -> false
+(* Activate a dense var for this round, assigning the next priority (the
+   dense id a per-round scratch build would have given it). *)
+let touch t d =
+  if t.stamp.(d) <> t.round then begin
+    t.stamp.(d) <- t.round;
+    t.lower.(d) <- None;
+    t.upper.(d) <- None;
+    t.prio.(d) <- t.round_n;
+    t.order.(t.round_n) <- d;
+    t.round_n <- t.round_n + 1
+  end
 
-let below_upper st x =
-  match st.upper.(x) with Some (u, _) -> Delta.compare st.beta.(x) u < 0 | None -> true
+let seal_base t = t.base_n <- t.round_n
 
-let above_lower st x =
-  match st.lower.(x) with Some (l, _) -> Delta.compare st.beta.(x) l > 0 | None -> true
+(* Record a base bound from the round scan. Tie-breaking matches a
+   scratch build processing bounds in atom order: only a strictly tighter
+   bound replaces the cached one, and a crossing raises the same
+   certificate pair a scratch build would have raised. *)
+let scan_upper t d value bref =
+  match t.upper.(d) with
+  | Some u when Delta.compare u.value value <= 0 -> ()
+  | Some _ | None -> (
+    match t.lower.(d) with
+    | Some l when Delta.compare value l.value < 0 ->
+      raise (Conflict [ (bref, Rat.one); (l.bref, Rat.minus_one) ])
+    | Some _ | None -> t.upper.(d) <- Some { value; bref })
+
+let scan_lower t d value bref =
+  match t.lower.(d) with
+  | Some l when Delta.compare l.value value >= 0 -> ()
+  | Some _ | None -> (
+    match t.upper.(d) with
+    | Some u when Delta.compare value u.value > 0 ->
+      raise (Conflict [ (u.bref, Rat.one); (bref, Rat.minus_one) ])
+    | Some _ | None -> t.lower.(d) <- Some { value; bref })
+
+(* {2 Cuts: push / assert / pop over the trail} *)
+
+let push t = t.marks <- t.trail_n :: t.marks
+let at_base t = t.marks = []
+
+(* Re-derive the cut segment of the priority order from [t.cuts]. The
+   base prefix is static for the round; a scratch build at this node
+   would number cut slacks by first occurrence scanning the cut list
+   newest-first, which is exactly the order [t.cuts] maintains. *)
+let resync_cuts t =
+  let i = ref t.base_n in
+  List.iter
+    (fun s ->
+      t.prio.(s) <- !i;
+      t.order.(!i) <- s;
+      incr i)
+    t.cuts;
+  t.round_n <- !i
+
+let assert_cut_bound t ~upper d value ~depth =
+  let bref = Cut depth in
+  let activated = t.stamp.(d) <> t.round in
+  let prev_cuts = t.cuts in
+  if activated then begin
+    t.stamp.(d) <- t.round;
+    t.lower.(d) <- None;
+    t.upper.(d) <- None;
+    grow t (t.base_n + List.length t.cuts + 2);
+    t.cuts <- d :: t.cuts
+  end
+  else if t.prio.(d) >= t.base_n then
+    (* already a cut slack: a fresh cut moves it to the segment front,
+       mirroring first-occurrence numbering over newest-first cuts *)
+    t.cuts <- d :: List.filter (fun x -> x <> d) t.cuts;
+  resync_cuts t;
+  let prev = if upper then t.upper.(d) else t.lower.(d) in
+  t.trail <-
+    {
+      tvar = d;
+      tupper = upper;
+      tprev = prev;
+      tprev_cuts = prev_cuts;
+      tactivated = activated;
+    }
+    :: t.trail;
+  t.trail_n <- t.trail_n + 1;
+  if upper then scan_upper t d value bref else scan_lower t d value bref
+
+let pop t =
+  match t.marks with
+  | [] -> invalid_arg "Simplex.pop: at base level"
+  | mark :: rest ->
+    t.marks <- rest;
+    while t.trail_n > mark do
+      match t.trail with
+      | [] -> assert false
+      | cell :: tl ->
+        t.trail <- tl;
+        t.trail_n <- t.trail_n - 1;
+        if cell.tupper then t.upper.(cell.tvar) <- cell.tprev
+        else t.lower.(cell.tvar) <- cell.tprev;
+        t.cuts <- cell.tprev_cuts;
+        if cell.tactivated then t.stamp.(cell.tvar) <- -1
+    done;
+    resync_cuts t
+
+(* {2 Bland's algorithm from the canonical basis} *)
+
+let violates_lower t x =
+  match t.lower.(x) with
+  | Some l -> Delta.compare t.beta.(x) l.value < 0
+  | None -> false
+
+let violates_upper t x =
+  match t.upper.(x) with
+  | Some u -> Delta.compare t.beta.(x) u.value > 0
+  | None -> false
+
+let below_upper t x =
+  match t.upper.(x) with
+  | Some u -> Delta.compare t.beta.(x) u.value < 0
+  | None -> true
+
+let above_lower t x =
+  match t.lower.(x) with
+  | Some l -> Delta.compare t.beta.(x) l.value > 0
+  | None -> true
 
 (* Pivot basic xi with nonbasic xj and set beta(xi) = v. *)
-let pivot_and_update st xi xj v =
-  let row = st.rows.(xi) in
+let pivot_and_update t xi xj v =
+  incr pivots;
+  let row = t.rows.(xi) in
   let aij = Linexpr.coeff row xj in
-  let theta = Delta.scale (Rat.inv aij) (Delta.sub v st.beta.(xi)) in
-  st.beta.(xi) <- v;
-  st.beta.(xj) <- Delta.add st.beta.(xj) theta;
-  for xk = 0 to st.nvars - 1 do
-    if st.basic.(xk) && xk <> xi then begin
-      let akj = Linexpr.coeff st.rows.(xk) xj in
-      if not (Rat.is_zero akj) then st.beta.(xk) <- Delta.add st.beta.(xk) (Delta.scale akj theta)
+  let theta = Delta.scale (Rat.inv aij) (Delta.sub v t.beta.(xi)) in
+  t.beta.(xi) <- v;
+  t.beta.(xj) <- Delta.add t.beta.(xj) theta;
+  for i = 0 to t.round_n - 1 do
+    let xk = t.order.(i) in
+    if t.basic.(xk) && xk <> xi then begin
+      let akj = Linexpr.coeff t.rows.(xk) xj in
+      if not (Rat.is_zero akj) then
+        t.beta.(xk) <- Delta.add t.beta.(xk) (Delta.scale akj theta)
     end
   done;
   (* Solve row of xi for xj: xi = sum a_k x_k  ==>
@@ -194,99 +323,117 @@ let pivot_and_update st xi xj v =
       (Linexpr.var ~coeff:(Rat.inv aij) xi)
       (Linexpr.scale (Rat.neg (Rat.inv aij)) rest)
   in
-  st.basic.(xi) <- false;
-  st.rows.(xi) <- Linexpr.zero;
-  st.basic.(xj) <- true;
-  st.rows.(xj) <- xj_def;
-  (* Substitute xj in every other row. *)
-  for xk = 0 to st.nvars - 1 do
-    if st.basic.(xk) && xk <> xj then begin
-      let r = st.rows.(xk) in
-      if Linexpr.mem r xj then st.rows.(xk) <- Linexpr.subst r xj xj_def
+  t.basic.(xi) <- false;
+  t.rows.(xi) <- Linexpr.zero;
+  t.basic.(xj) <- true;
+  t.rows.(xj) <- xj_def;
+  for i = 0 to t.round_n - 1 do
+    let xk = t.order.(i) in
+    if t.basic.(xk) && xk <> xj then begin
+      let r = t.rows.(xk) in
+      if Linexpr.mem r xj then t.rows.(xk) <- Linexpr.subst r xj xj_def
     end
   done
 
-(* Farkas combination for a stuck row. The tableau keeps every row a
-   linear consequence of the original slack definitions, so combining the
-   violated bound's atom with each row term's saturated-bound atom (scaled
-   by the term coefficient) cancels all variables; the conflict order on
-   delta-rationals guarantees the remaining constant is infeasible. The
-   same atom may serve as reason for several bounds, so coefficients are
-   accumulated per atom index and zero entries dropped. *)
-let farkas_of_row st xi ~at_lower =
+(* Farkas combination for a stuck row; coefficients accumulate per bound
+   provenance (the same atom may back several bounds). *)
+let farkas_of_row t xi ~at_lower =
   let tbl = Hashtbl.create 8 in
-  let add i c =
-    let prev = try Hashtbl.find tbl i with Not_found -> Rat.zero in
-    Hashtbl.replace tbl i (Rat.add prev c)
+  let add r c =
+    let prev = try Hashtbl.find tbl r with Not_found -> Rat.zero in
+    Hashtbl.replace tbl r (Rat.add prev c)
   in
   (if at_lower then
-     (* beta(xi) < lower(xi): -1 * lower atom (an equality) plus, per row
-        term c*x, c * upper atom (c > 0) or c * lower atom (c < 0, an
-        equality, so a negative coefficient is legal). *)
-     match st.lower.(xi) with
-     | Some (_, r) -> add r Rat.minus_one
+     match t.lower.(xi) with
+     | Some l -> add l.bref Rat.minus_one
      | None -> ()
    else
-     match st.upper.(xi) with
-     | Some (_, r) -> add r Rat.one
+     match t.upper.(xi) with
+     | Some u -> add u.bref Rat.one
      | None -> ());
   List.iter
     (fun (x, c) ->
       let want_upper = if at_lower then Rat.sign c > 0 else Rat.sign c < 0 in
       let coeff = if at_lower then c else Rat.neg c in
       if want_upper then
-        match st.upper.(x) with Some (_, r) -> add r coeff | None -> ()
+        match t.upper.(x) with Some u -> add u.bref coeff | None -> ()
       else
-        match st.lower.(x) with Some (_, r) -> add r coeff | None -> ())
-    (Linexpr.terms st.rows.(xi));
+        match t.lower.(x) with Some l -> add l.bref coeff | None -> ())
+    (Linexpr.terms t.rows.(xi));
   Hashtbl.fold
-    (fun i c acc -> if Rat.is_zero c then acc else (i, c) :: acc)
+    (fun r c acc -> if Rat.is_zero c then acc else (r, c) :: acc)
     tbl []
 
-let check st =
+(* Entering variable: the suitable row term with the smallest priority —
+   the same choice a scratch build (whose row term order is ascending in
+   its own dense numbering) makes by taking the first suitable term. *)
+let entering t row ~increase =
+  let best = ref (-1) in
+  let best_p = ref max_int in
+  List.iter
+    (fun (x, c) ->
+      let suitable =
+        if increase then
+          (Rat.sign c > 0 && below_upper t x)
+          || (Rat.sign c < 0 && above_lower t x)
+        else
+          (Rat.sign c < 0 && below_upper t x)
+          || (Rat.sign c > 0 && above_lower t x)
+      in
+      if suitable && t.prio.(x) < !best_p then begin
+        best := x;
+        best_p := t.prio.(x)
+      end)
+    (Linexpr.terms row);
+  !best
+
+let check t =
+  (* canonical restore: slacks basic on their template rows, beta = 0 *)
+  for i = 0 to t.round_n - 1 do
+    let x = t.order.(i) in
+    if t.ext_ids.(x) >= 0 then begin
+      t.basic.(x) <- false;
+      t.rows.(x) <- Linexpr.zero
+    end
+    else begin
+      t.basic.(x) <- true;
+      t.rows.(x) <- t.template.(x)
+    end;
+    t.beta.(x) <- Delta.zero
+  done;
   let rec loop () =
-    (* Bland's rule: smallest violating basic variable. *)
+    (* Bland's rule: the violating basic variable of smallest priority. *)
     let xi = ref (-1) in
-    (let x = ref 0 in
-     while !xi < 0 && !x < st.nvars do
-       if st.basic.(!x) && (violates_lower st !x || violates_upper st !x) then xi := !x;
-       incr x
+    (let i = ref 0 in
+     while !xi < 0 && !i < t.round_n do
+       let x = t.order.(!i) in
+       if t.basic.(x) && (violates_lower t x || violates_upper t x) then
+         xi := x;
+       incr i
      done);
     if !xi < 0 then Ok ()
     else begin
       let xi = !xi in
-      let row = st.rows.(xi) in
-      if violates_lower st xi then begin
-        (* Need to increase beta(xi). *)
-        let xj = ref (-1) in
-        List.iter
-          (fun (x, c) ->
-            if !xj < 0 then begin
-              if Rat.sign c > 0 && below_upper st x then xj := x
-              else if Rat.sign c < 0 && above_lower st x then xj := x
-            end)
-          (Linexpr.terms row);
-        if !xj < 0 then Error (farkas_of_row st xi ~at_lower:true)
+      let row = t.rows.(xi) in
+      if violates_lower t xi then begin
+        let xj = entering t row ~increase:true in
+        if xj < 0 then Error (farkas_of_row t xi ~at_lower:true)
         else begin
-          let l = match st.lower.(xi) with Some (l, _) -> l | None -> assert false in
-          pivot_and_update st xi !xj l;
+          let l =
+            match t.lower.(xi) with Some l -> l.value | None -> assert false
+          in
+          pivot_and_update t xi xj l;
           loop ()
         end
       end
       else begin
-        (* beta(xi) > upper: need to decrease. *)
-        let xj = ref (-1) in
-        List.iter
-          (fun (x, c) ->
-            if !xj < 0 then begin
-              if Rat.sign c < 0 && below_upper st x then xj := x
-              else if Rat.sign c > 0 && above_lower st x then xj := x
-            end)
-          (Linexpr.terms row);
-        if !xj < 0 then Error (farkas_of_row st xi ~at_lower:false)
+        let xj = entering t row ~increase:false in
+        if xj < 0 then Error (farkas_of_row t xi ~at_lower:false)
         else begin
-          let u = match st.upper.(xi) with Some (u, _) -> u | None -> assert false in
-          pivot_and_update st xi !xj u;
+          let u =
+            match t.upper.(xi) with Some u -> u.value | None -> assert false
+          in
+          pivot_and_update t xi xj u;
           loop ()
         end
       end
@@ -294,34 +441,150 @@ let check st =
   in
   loop ()
 
-let solve_full atoms =
-  match build atoms with
-  | exception Conflict fk -> Error fk
-  | st, rev_ids, n_orig -> begin
-    (* Move nonbasic variables inside their bounds before checking
-       (slack variables start basic, so only original vars matter; they
-       have no bounds, but slacks can become nonbasic only during check,
-       which maintains their bounds). *)
-    recompute_basics st;
-    match check st with
-    | Error fk -> Error fk
-    | Ok () ->
-      let model =
-        List.filter_map
-          (fun (dense, orig) -> if dense < n_orig then Some (orig, st.beta.(dense)) else None)
-          rev_ids
+(* {2 Reading the state after [check] returned Ok} *)
+
+let model t =
+  let acc = ref [] in
+  for i = t.round_n - 1 downto 0 do
+    let x = t.order.(i) in
+    if t.ext_ids.(x) >= 0 then acc := (t.ext_ids.(x), t.beta.(x)) :: !acc
+  done;
+  !acc
+
+let first_frac t ~is_int =
+  let found = ref None in
+  let i = ref 0 in
+  while !found = None && !i < t.round_n do
+    let x = t.order.(!i) in
+    let v = t.ext_ids.(x) in
+    if v >= 0 && is_int v then begin
+      let d = t.beta.(x) in
+      if not (Rat.is_integer d.Delta.real && Rat.is_zero d.Delta.inf) then
+        found := Some (v, d)
+    end;
+    incr i
+  done;
+  !found
+
+let in_play t =
+  let all = ref [] in
+  for i = 0 to t.round_n - 1 do
+    let x = t.order.(i) in
+    all := t.beta.(x) :: !all;
+    (match t.lower.(x) with Some l -> all := l.value :: !all | None -> ());
+    (match t.upper.(x) with Some u -> all := u.value :: !all | None -> ())
+  done;
+  !all
+
+(* {2 Atom translation}
+
+   Shared by the one-shot interface and by [Theory]'s memoized
+   per-literal translation. An atom either is constant after translation
+   (carrying its own refutation when false) or contributes bounds on a
+   slack variable. *)
+
+type trans =
+  | TConst of {
+      ok : bool;
+      coeff : Rat.t;
+    }
+  | TBounds of {
+      svar : int;
+      bnds : (bool * Delta.t) list; (* (upper?, value), in scan order *)
+    }
+
+let translate t a =
+  match a with
+  | Atom.Dvd _ -> invalid_arg "Simplex: Dvd atom"
+  | Atom.Lin (rel, e) ->
+    let dense = dense_form t e in
+    let k = Linexpr.constant e in
+    if Linexpr.is_const dense then begin
+      let ok =
+        match rel with
+        | Atom.Le -> Rat.sign k <= 0
+        | Atom.Lt -> Rat.sign k < 0
+        | Atom.Eq -> Rat.is_zero k
       in
-      (* Comparison-preservation set for delta concretization: every
-         assignment (slacks included, since atom truth is linear in the
-         variable values) and every bound in play. *)
-      let all = ref [] in
-      for x = 0 to st.nvars - 1 do
-        all := st.beta.(x) :: !all;
-        (match st.lower.(x) with Some (l, _) -> all := l :: !all | None -> ());
-        (match st.upper.(x) with Some (u, _) -> all := u :: !all | None -> ())
-      done;
-      Ok (model, !all)
-  end
+      let coeff =
+        match rel with
+        | Atom.Le | Atom.Lt -> Rat.one
+        | Atom.Eq -> if Rat.sign k > 0 then Rat.one else Rat.minus_one
+      in
+      TConst { ok; coeff }
+    end
+    else begin
+      let svar = slack_of t dense in
+      let rhs = Rat.neg k in
+      let bnds =
+        match rel with
+        | Atom.Le -> [ (true, Delta.of_rat rhs) ]
+        | Atom.Lt -> [ (true, Delta.make rhs Rat.minus_one) ]
+        | Atom.Eq -> [ (true, Delta.of_rat rhs); (false, Delta.of_rat rhs) ]
+      in
+      TBounds { svar; bnds }
+    end
+
+(* Assert a translated cut (a single-variable branching atom) at root
+   distance [depth]. Raises [Conflict] on an immediate crossing. *)
+let assert_cut t trans ~depth =
+  match trans with
+  | TConst { ok; coeff } ->
+    if not ok then raise (Conflict [ (Cut depth, coeff) ])
+  | TBounds { svar; bnds } ->
+    List.iter
+      (fun (upper, value) -> assert_cut_bound t ~upper svar value ~depth)
+      bnds
+
+(* {2 One-shot interface (scratch build per call)} *)
+
+let farkas_of_bfarkas fk =
+  List.map
+    (function
+      | Hyp i, c -> (i, c)
+      | Cut _, _ -> assert false (* no cuts in one-shot solving *))
+    fk
+
+let solve_full atoms =
+  let t = create () in
+  begin_round t;
+  match
+    (* pass 1: intern and activate external variables in atom order *)
+    List.iter
+      (fun a -> List.iter (fun v -> touch t (intern_var t v)) (Atom.vars a))
+      atoms;
+    (* pass 2: translate, checking constant atoms at their position *)
+    let tagged =
+      List.mapi
+        (fun i a ->
+          match translate t a with
+          | TConst { ok; coeff } ->
+            if not ok then raise (Conflict [ (Hyp i, coeff) ]);
+            (i, None)
+          | TBounds { svar; bnds } ->
+            touch t svar;
+            (i, Some (svar, bnds)))
+        atoms
+    in
+    (* pass 3: scan bounds in atom order *)
+    List.iter
+      (fun (i, tr) ->
+        match tr with
+        | None -> ()
+        | Some (svar, bnds) ->
+          List.iter
+            (fun (upper, value) ->
+              if upper then scan_upper t svar value (Hyp i)
+              else scan_lower t svar value (Hyp i))
+            bnds)
+      tagged;
+    seal_base t
+  with
+  | exception Conflict fk -> Error (farkas_of_bfarkas fk)
+  | () -> (
+    match check t with
+    | Error fk -> Error (farkas_of_bfarkas fk)
+    | Ok () -> Ok (model t, in_play t))
 
 let solve_delta_cert atoms =
   match solve_full atoms with

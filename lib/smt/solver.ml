@@ -35,6 +35,9 @@ type stats = {
   conflicts : int;
   propagations : int;
   restarts : int;
+  pivots : int;
+  tableau_rebuilds : int;
+  reused_rounds : int;
   encode_time : float;
   search_time : float;
   theory_time : float;
@@ -58,6 +61,9 @@ let stats_zero =
     conflicts = 0;
     propagations = 0;
     restarts = 0;
+    pivots = 0;
+    tableau_rebuilds = 0;
+    reused_rounds = 0;
     encode_time = 0.0;
     search_time = 0.0;
     theory_time = 0.0;
@@ -85,6 +91,9 @@ let stats_add a b =
     conflicts = a.conflicts + b.conflicts;
     propagations = a.propagations + b.propagations;
     restarts = a.restarts + b.restarts;
+    pivots = a.pivots + b.pivots;
+    tableau_rebuilds = a.tableau_rebuilds + b.tableau_rebuilds;
+    reused_rounds = a.reused_rounds + b.reused_rounds;
     encode_time = a.encode_time +. b.encode_time;
     search_time = a.search_time +. b.search_time;
     theory_time = a.theory_time +. b.theory_time;
@@ -115,6 +124,9 @@ let stats_since s0 =
     conflicts = s.conflicts - s0.conflicts;
     propagations = s.propagations - s0.propagations;
     restarts = s.restarts - s0.restarts;
+    pivots = s.pivots - s0.pivots;
+    tableau_rebuilds = s.tableau_rebuilds - s0.tableau_rebuilds;
+    reused_rounds = s.reused_rounds - s0.reused_rounds;
     encode_time = s.encode_time -. s0.encode_time;
     search_time = s.search_time -. s0.search_time;
     theory_time = s.theory_time -. s0.theory_time;
@@ -128,13 +140,14 @@ let stats_since s0 =
 let pp_stats fmt s =
   Format.fprintf fmt
     "queries=%d (sat=%d unsat=%d unknown=%d cached=%d) encodings=%d \
-     instances=%d theory-rounds=%d conflicts=%d propagations=%d restarts=%d \
-     encode=%.3fs search=%.3fs (theory=%.3fs) certs=%d/%d/%d rejected=%d \
-     cert=%.3fs"
+     instances=%d theory-rounds=%d (reused=%d rebuilds=%d) conflicts=%d \
+     propagations=%d restarts=%d pivots=%d encode=%.3fs search=%.3fs \
+     (theory=%.3fs) certs=%d/%d/%d rejected=%d cert=%.3fs"
     s.queries s.sat_answers s.unsat_answers s.unknown_answers s.cache_hits
-    s.encodings s.instances s.theory_rounds s.conflicts s.propagations
-    s.restarts s.encode_time s.search_time s.theory_time s.cert_lemmas
-    s.cert_proofs s.cert_models s.cert_rejections s.cert_time
+    s.encodings s.instances s.theory_rounds s.reused_rounds s.tableau_rebuilds
+    s.conflicts s.propagations s.restarts s.pivots s.encode_time s.search_time
+    s.theory_time s.cert_lemmas s.cert_proofs s.cert_models s.cert_rejections
+    s.cert_time
 
 let bump_query () = totals := { !totals with queries = !totals.queries + 1 }
 
@@ -319,6 +332,9 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
   let c0 = Sat.n_conflicts inst.sat in
   let p0 = Sat.n_propagations inst.sat in
   let r0 = Sat.n_restarts inst.sat in
+  let pv0 = Simplex.pivot_count () in
+  let ru0 = Theory.reused_round_count () in
+  let rb0 = Theory.rebuild_count () in
   let fvars =
     match check with
     | [] -> inst.fvars
@@ -326,15 +342,24 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
       List.sort_uniq Stdlib.compare
         (List.rev_append (List.concat_map Formula.vars check) inst.fvars)
   in
+  let atoms = match theory_atoms with Some l -> l | None -> inst.atoms in
+  (* One theory session per DPLL(T) run: consecutive theory rounds share
+     the incremental tableau, diffing each round's literal set against the
+     previous one. The literal universe is fixed for the run ([atoms]), so
+     its maximum variable safely separates input ids from the session's
+     divisibility witnesses. *)
+  let max_var =
+    List.fold_left
+      (fun acc (a, _) -> List.fold_left max acc (Atom.vars a))
+      0 atoms
+  in
+  let tsession = Theory.create_session ~is_int ?node_limit ~max_var () in
   let rec loop round =
     if round > max_rounds then Unknown
     else if not (Sat.solve ~assumptions inst.sat) then Unsat
     else begin
       (* Theory literals from the boolean model: positive Lin atoms, and
          Dvd atoms under either polarity. *)
-      let atoms =
-        match theory_atoms with Some l -> l | None -> inst.atoms
-      in
       let lits =
         List.filter_map
           (fun (a, v) ->
@@ -345,7 +370,7 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
           atoms
       in
       let tt0 = Sys.time () in
-      let verdict, cert = Theory.check_cert ~is_int ?node_limit lits in
+      let verdict, cert = Theory.check_cert_session tsession lits in
       totals :=
         {
           !totals with
@@ -355,9 +380,16 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
       match verdict with
       | Theory.Unknown -> Unknown
       | Theory.Sat m ->
+        let assigned = Hashtbl.create 64 in
+        List.iter (fun (v, _) -> Hashtbl.replace assigned v ()) m;
         let m =
           List.fold_left
-            (fun acc v -> if List.mem_assoc v acc then acc else (v, Rat.zero) :: acc)
+            (fun acc v ->
+              if Hashtbl.mem assigned v then acc
+              else begin
+                Hashtbl.replace assigned v ();
+                (v, Rat.zero) :: acc
+              end)
             m fvars
         in
         (* The model is padded over every variable of the formulas below,
@@ -409,6 +441,9 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
       conflicts = !totals.conflicts + (Sat.n_conflicts inst.sat - c0);
       propagations = !totals.propagations + (Sat.n_propagations inst.sat - p0);
       restarts = !totals.restarts + (Sat.n_restarts inst.sat - r0);
+      pivots = !totals.pivots + (Simplex.pivot_count () - pv0);
+      reused_rounds = !totals.reused_rounds + (Theory.reused_round_count () - ru0);
+      tableau_rebuilds = !totals.tableau_rebuilds + (Theory.rebuild_count () - rb0);
     };
   r
 

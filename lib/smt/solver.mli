@@ -163,6 +163,9 @@ type stats = {
   conflicts : int;
   propagations : int;
   restarts : int;
+  pivots : int;  (** simplex pivot operations *)
+  tableau_rebuilds : int;  (** scratch rebuilds of a session tableau (bloat escape hatch) *)
+  reused_rounds : int;  (** theory rounds served by an already-populated tableau *)
   encode_time : float;  (** CPU seconds spent encoding *)
   search_time : float;  (** CPU seconds spent in SAT search + theory *)
   theory_time : float;  (** CPU seconds spent in theory checks (part of [search_time]) *)

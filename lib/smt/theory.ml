@@ -108,33 +108,125 @@ let rec remap_tree pos = function
   | Cert.Branch b ->
     Cert.Branch { b with le = remap_tree pos b.le; ge = remap_tree pos b.ge }
 
-let check_cert ~is_int ?(node_limit = 4000) lits =
-  let max_var =
-    List.fold_left
-      (fun acc (a, _) -> List.fold_left max acc (Atom.vars a))
-      0 lits
-  in
-  let next = ref (max_var + 1) in
-  let fresh_vars = ref [] in
-  let fresh () =
-    let v = !next in
-    incr next;
-    fresh_vars := v :: !fresh_vars;
-    v
-  in
-  let expansions = List.map (expand_lit fresh) lits in
-  let fresh_arr = Array.of_list (List.map snd expansions) in
+(* ------------------------------------------------------------------ *)
+(* Sessions: shared tableau across theory rounds                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Reuse counters, sampled as deltas by the solver's stats machinery. *)
+let reused_rounds = ref 0
+let rebuilds = ref 0
+let reused_round_count () = !reused_rounds
+let rebuild_count () = !rebuilds
+
+module LitTbl = Hashtbl.Make (struct
+  type t = lit
+
+  let equal (a1, p1) (a2, p2) = p1 = p2 && Atom.equal a1 a2
+  let hash (a, p) = Hashtbl.hash (Atom.hash a, p)
+end)
+
+(* Per-atom record of a literal's expansion, computed once per session.
+   The translation cache maps the atom onto the current tableau
+   structure (dense variable ids in [Atom.vars] order, plus the slack /
+   bound translation); it is keyed by the structure generation so a
+   scratch rebuild invalidates it wholesale. *)
+type aentry = {
+  ta : Atom.t; (* tightened atom *)
+  gcd_bad : bool;
+  mutable tcache : (int * int array * Simplex.trans) option;
+}
+
+type entry = {
+  aents : aentry array; (* in expansion order *)
+  fresh : int list; (* witness variables, allocation order *)
+}
+
+type session = {
+  is_int : int -> bool;
+  fresh_base : int; (* ids >= fresh_base are session-allocated witnesses *)
+  mutable next_fresh : int;
+  entries : entry LitTbl.t;
+  mutable simplex : Simplex.t;
+  mutable sgen : int; (* structure generation, bumped on rebuild *)
+  node_limit : int;
+}
+
+let create_session ~is_int ?(node_limit = 4000) ~max_var () =
+  {
+    is_int;
+    fresh_base = max_var + 1;
+    next_fresh = max_var + 1;
+    entries = LitTbl.create 64;
+    simplex = Simplex.create ();
+    sgen = 0;
+    node_limit;
+  }
+
+let session_is_int s v = v >= s.fresh_base || s.is_int v
+
+let entry_of_lit s lit =
+  match LitTbl.find_opt s.entries lit with
+  | Some e -> e
+  | None ->
+    let fresh () =
+      let v = s.next_fresh in
+      s.next_fresh <- v + 1;
+      v
+    in
+    let atoms, fresh_list = expand_lit fresh lit in
+    let is_int' = session_is_int s in
+    let aents =
+      Array.of_list
+        (List.map
+           (fun a ->
+             let ta = tighten_int is_int' a in
+             { ta; gcd_bad = gcd_infeasible is_int' ta; tcache = None })
+           atoms)
+    in
+    let e = { aents; fresh = fresh_list } in
+    LitTbl.add s.entries lit e;
+    e
+
+(* Scratch-rebuild escape hatch: interned variables and slack rows are
+   never garbage collected, so a session whose literal population has
+   drifted can accumulate structure far beyond what any one round
+   touches. When dead structure dominates, start over with a fresh
+   tableau — results are unaffected (every round is solved from the
+   canonical basis), only translation caches need invalidating. *)
+let maybe_rebuild s ~needed =
+  if Simplex.n_vars s.simplex > (4 * needed) + 64 then begin
+    incr rebuilds;
+    s.simplex <- Simplex.create ();
+    s.sgen <- s.sgen + 1
+  end
+
+let check_cert_session s lits =
   let lits_arr = Array.of_list lits in
-  let is_int v = is_int v || List.mem v !fresh_vars in
-  (* Flatten, tagging each atom with (input literal index, position within
-     that literal's expansion) — the [Hyp] coordinates of certificates. *)
-  let tagged =
-    List.concat
-      (List.mapi
-         (fun i (atoms, _) ->
-           List.mapi (fun j a -> (i, j, tighten_int is_int a)) atoms)
-         expansions)
+  let n_lits = Array.length lits_arr in
+  let entry_arr = Array.map (entry_of_lit s) lits_arr in
+  let max_input_var =
+    Array.fold_left
+      (fun acc (a, _) -> List.fold_left max acc (Atom.vars a))
+      (-1) lits_arr
   in
+  if max_input_var >= s.fresh_base then
+    invalid_arg "Theory.Session: literal variable clashes with session witness ids";
+  (* Flatten the expansions, tagging each atom with (input literal index,
+     position within that literal's expansion) — the [Hyp] coordinates of
+     certificates. Simplex-level [Hyp] references are indices into this
+     flattened list. *)
+  let base_ref, base_aent =
+    let refs = ref [] and aes = ref [] in
+    for i = n_lits - 1 downto 0 do
+      let aents = entry_arr.(i).aents in
+      for j = Array.length aents - 1 downto 0 do
+        refs := (i, j) :: !refs;
+        aes := aents.(j) :: !aes
+      done
+    done;
+    (Array.of_list !refs, Array.of_list !aes)
+  in
+  let n_base = Array.length base_ref in
   (* Certificate for an Unsat core: per-core-literal fresh witnesses plus
      the refutation, with [Hyp] references remapped to core positions. *)
   let cert_for core_idx refutation =
@@ -149,64 +241,115 @@ let check_cert ~is_int ?(node_limit = 4000) lits =
       | Cert.Gcd _ as g -> g
     in
     {
-      Cert.fresh = Array.of_list (List.map (fun i -> fresh_arr.(i)) core_idx);
+      Cert.fresh = Array.of_list (List.map (fun i -> entry_arr.(i).fresh) core_idx);
       refutation;
     }
   in
-  (* Fast gcd screen. *)
-  let gcd_hit =
-    List.find_opt (fun (_, _, a) -> gcd_infeasible is_int a) tagged
-  in
-  match gcd_hit with
-  | Some (i, j, _) ->
-    (Unsat [ lits_arr.(i) ], Some (cert_for [ i ] (Cert.Gcd (0, j))))
+  (* Fast gcd screen (pure; simplex untouched on a hit). *)
+  let gcd_hit = ref None in
+  (try
+     for si = 0 to n_base - 1 do
+       if base_aent.(si).gcd_bad then begin
+         gcd_hit := Some base_ref.(si);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match !gcd_hit with
+  | Some (i, j) -> (Unsat [ lits_arr.(i) ], Some (cert_for [ i ] (Cert.Gcd (0, j))))
   | None -> begin
-    let base_atoms = List.map (fun (_, _, a) -> a) tagged in
-    let base_ref = Array.of_list (List.map (fun (i, j, _) -> (i, j)) tagged) in
-    let n_base = Array.length base_ref in
     let orig_vars =
       List.sort_uniq Stdlib.compare (List.concat_map (fun (a, _) -> Atom.vars a) lits)
     in
+    maybe_rebuild s ~needed:(n_base + List.length orig_vars);
+    let sx = s.simplex in
+    let is_int' = session_is_int s in
+    (* Dense variables and bound translation of a base atom, memoized
+       against the current structure generation. *)
+    let trans_of si =
+      let ae = base_aent.(si) in
+      match ae.tcache with
+      | Some (g, dv, tr) when g = s.sgen -> (dv, tr)
+      | Some _ | None ->
+        let dv =
+          Array.of_list (List.map (Simplex.intern_var sx) (Atom.vars ae.ta))
+        in
+        let tr = Simplex.translate sx ae.ta in
+        ae.tcache <- Some (s.sgen, dv, tr);
+        (dv, tr)
+    in
+    (* Round setup, mirroring a scratch tableau build of the flattened
+       atom list: activate external variables in atom order, then slacks
+       in atom order (false constant atoms conflict at their position),
+       then scan all bounds in atom order. *)
+    let setup_base () =
+      let nv0 = Simplex.n_vars sx in
+      Simplex.begin_round sx;
+      for si = 0 to n_base - 1 do
+        let dv, _ = trans_of si in
+        Array.iter (fun d -> Simplex.touch sx d) dv
+      done;
+      for si = 0 to n_base - 1 do
+        match snd (trans_of si) with
+        | Simplex.TConst { ok; coeff } ->
+          if not ok then raise (Simplex.Conflict [ (Simplex.Hyp si, coeff) ])
+        | Simplex.TBounds { svar; _ } -> Simplex.touch sx svar
+      done;
+      for si = 0 to n_base - 1 do
+        match snd (trans_of si) with
+        | Simplex.TConst _ -> ()
+        | Simplex.TBounds { svar; bnds } ->
+          List.iter
+            (fun (upper, value) ->
+              if upper then Simplex.scan_upper sx svar value (Simplex.Hyp si)
+              else Simplex.scan_lower sx svar value (Simplex.Hyp si))
+            bnds
+      done;
+      Simplex.seal_base sx;
+      if nv0 > 0 && Simplex.n_vars sx = nv0 then incr reused_rounds
+    in
+    let cert_ref = function
+      | Simplex.Hyp si ->
+        let i, j = base_ref.(si) in
+        Cert.Hyp (i, j)
+      | Simplex.Cut d -> Cert.Cut d
+    in
+    let leaf_of_bfarkas fk = Cert.Leaf (List.map (fun (br, c) -> (cert_ref br, c)) fk) in
+    let core_of_bfarkas fk =
+      List.sort_uniq Stdlib.compare
+        (List.filter_map
+           (function
+             | Simplex.Hyp si, _ -> Some (fst base_ref.(si))
+             | Simplex.Cut _, _ -> None)
+           fk)
+    in
     let nodes = ref 0 in
-    (* Branch and bound: [extra] are internal branching atoms, newest
-       first, so simplex index [n_base + j] is the cut at root distance
-       [length extra - 1 - j]. Returns a model, or a core in input-literal
-       space plus the refutation subtree, or raises on exhausted budget. *)
     let exception Out_of_budget in
-    let rec bb extra =
+    (* Branch and bound over the shared tableau. Each node first performs
+       its setup — the root builds the round's bound caches, an inner
+       node asserts its branching cut (a pair of single-variable bounds,
+       no new rows) — then pivots from the canonical basis. Setup runs
+       after the budget gate so crossing conflicts are accounted to the
+       node that discovered them, exactly as when each node is solved
+       from scratch. [depth] is the number of cuts on the current path; a
+       cut asserted here is [Cut depth] in certificate references,
+       matching the branch tree's root distance. *)
+    let rec bb ~depth ~setup =
       incr nodes;
-      if !nodes > node_limit then raise Out_of_budget;
-      let atoms = base_atoms @ extra in
-      match Simplex.solve_delta_cert atoms with
-      | Error (core, fk) ->
-        let depth = List.length extra in
-        let leaf =
-          Cert.Leaf
-            (List.map
-               (fun (si, c) ->
-                 if si < n_base then
-                   let i, j = base_ref.(si) in
-                   (Cert.Hyp (i, j), c)
-                 else (Cert.Cut (depth - 1 - (si - n_base)), c))
-               fk)
-        in
-        let input_core =
-          List.filter_map
-            (fun si -> if si < n_base then Some (fst base_ref.(si)) else None)
-            core
-        in
-        Error (List.sort_uniq Stdlib.compare input_core, leaf)
-      | Ok ((dmodel, _) as leaf) -> begin
-        (* Find an integer variable with a non-integral value. *)
-        let frac =
-          List.find_opt
-            (fun (v, d) ->
-              is_int v
-              && not (Rat.is_integer d.Delta.real && Rat.is_zero d.Delta.inf))
-            dmodel
-        in
-        match frac with
-        | None -> Ok leaf
+      if !nodes > s.node_limit then raise Out_of_budget;
+      match
+        setup ();
+        Simplex.check sx
+      with
+      | exception Simplex.Conflict fk ->
+        Error (core_of_bfarkas fk, leaf_of_bfarkas fk)
+      | Error fk -> Error (core_of_bfarkas fk, leaf_of_bfarkas fk)
+      | Ok () -> begin
+        match Simplex.first_frac sx ~is_int:is_int' with
+        | None ->
+          (* Leaf model: read assignments and in-play values before any
+             backtracking pops the cut bounds they satisfy. *)
+          Ok (Simplex.model sx, Simplex.in_play sx)
         | Some (v, d) ->
           let fl = delta_floor d in
           let le = Atom.mk_le (Linexpr.var v) (Linexpr.const (Rat.of_bigint fl)) in
@@ -214,10 +357,20 @@ let check_cert ~is_int ?(node_limit = 4000) lits =
             Atom.mk_ge (Linexpr.var v)
               (Linexpr.const (Rat.of_bigint (Bigint.add fl Bigint.one)))
           in
-          (match bb (le :: extra) with
+          let branch cut =
+            Simplex.push sx;
+            let tr = Simplex.translate sx cut in
+            let r =
+              bb ~depth:(depth + 1)
+                ~setup:(fun () -> Simplex.assert_cut sx tr ~depth)
+            in
+            Simplex.pop sx;
+            r
+          in
+          (match branch le with
            | Ok m -> Ok m
            | Error (c1, t1) -> begin
-             match bb (ge :: extra) with
+             match branch ge with
              | Ok m -> Ok m
              | Error (c2, t2) ->
                Error
@@ -226,15 +379,14 @@ let check_cert ~is_int ?(node_limit = 4000) lits =
            end)
       end
     in
-    match bb [] with
+    match bb ~depth:0 ~setup:setup_base with
     | exception Out_of_budget -> (Unknown, None)
     | Error (core_idx, tree) ->
       (* A branch-derived core can be empty only if infeasibility came
          entirely from internal atoms, which cannot happen since branches
          partition integer space; fall back to the full literal set. *)
       let core_idx =
-        if core_idx = [] then List.init (Array.length lits_arr) (fun i -> i)
-        else core_idx
+        if core_idx = [] then List.init n_lits (fun i -> i) else core_idx
       in
       ( Unsat (List.map (fun i -> lits_arr.(i)) core_idx),
         Some (cert_for core_idx (Cert.Tree tree)) )
@@ -247,20 +399,40 @@ let check_cert ~is_int ?(node_limit = 4000) lits =
          (slack rows included) and bounds, exactly what choose_delta
          needs. *)
       let delta0 = Delta.choose_delta in_play in
+      let in_orig = Hashtbl.create 64 in
+      List.iter (fun v -> Hashtbl.replace in_orig v ()) orig_vars;
       let model =
         List.filter_map
           (fun (v, d) ->
-            if List.mem v orig_vars then Some (v, Delta.apply delta0 d) else None)
+            if Hashtbl.mem in_orig v then Some (v, Delta.apply delta0 d) else None)
           dmodel
       in
       (* Variables mentioned in the input but absent from the simplex
          (eliminated constants etc.) default to zero. *)
+      let present = Hashtbl.create 64 in
+      List.iter (fun (v, _) -> Hashtbl.replace present v ()) model;
       let model =
         List.fold_left
-          (fun acc v -> if List.mem_assoc v acc then acc else (v, Rat.zero) :: acc)
+          (fun acc v ->
+            if Hashtbl.mem present v then acc
+            else begin
+              Hashtbl.replace present v ();
+              (v, Rat.zero) :: acc
+            end)
           model orig_vars
       in
       (Sat model, None)
   end
+
+(* ------------------------------------------------------------------ *)
+(* One-shot interface                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_cert ~is_int ?(node_limit = 4000) lits =
+  let max_var =
+    List.fold_left (fun acc (a, _) -> List.fold_left max acc (Atom.vars a)) 0 lits
+  in
+  let s = create_session ~is_int ~node_limit ~max_var () in
+  check_cert_session s lits
 
 let check ~is_int ?node_limit lits = fst (check_cert ~is_int ?node_limit lits)

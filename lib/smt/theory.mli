@@ -28,3 +28,36 @@ val check_cert :
     that {!Cert} consumers can replay independently. [Sat] and [Unknown]
     verdicts carry no certificate — a model is its own certificate, and is
     audited separately against the full formula. *)
+
+(** {1 Sessions}
+
+    A session keeps one incremental {!Simplex.t} alive across consecutive
+    theory rounds of a single SAT search. Each round's literal set is
+    diffed against the tableau's asserted bounds — unchanged literals cost
+    nothing, and branch-and-bound works by push/pop of cut bounds instead
+    of rebuilding the tableau per node. Literal expansions (fresh
+    divisibility witnesses) and bound tokens are allocated once per
+    distinct literal and stay stable for the session's lifetime. *)
+
+type session
+
+val create_session :
+  is_int:(int -> bool) -> ?node_limit:int -> max_var:int -> unit -> session
+(** [max_var] must dominate every variable id in literals later passed to
+    {!check_cert_session}; ids above it are reserved for divisibility
+    witnesses. *)
+
+val check_cert_session : session -> lit list -> verdict * Cert.theory_cert option
+(** Same contract as {!check_cert}, reusing the session's tableau.
+    Certificates are phrased over the given round's literal positions,
+    exactly as in the one-shot interface.
+    @raise Invalid_argument if a literal mentions a variable above the
+    session's [max_var]. *)
+
+val reused_round_count : unit -> int
+(** Cumulative rounds served by an already-populated tableau (monotone,
+    process-wide); callers sample deltas. *)
+
+val rebuild_count : unit -> int
+(** Cumulative scratch rebuilds triggered by the tableau-bloat escape
+    hatch. *)

@@ -1,0 +1,234 @@
+(* Randomized cross-checks of the numeric fast paths: [Bigint] keeps
+   machine-int values in an unboxed [Small] representation with checked
+   arithmetic that falls back to limb arrays, and [Rat]/[Delta] layer
+   their own both-int shortcuts on top. Every operation here is computed
+   twice — once directly (taking whatever fast path applies) and once
+   transported through a huge offset or scale K so the same value runs
+   the multi-limb slow path — and the results must agree exactly. The
+   generators concentrate on the hairy boundary: around [max_int],
+   [min_int] (whose negation overflows a machine int), and decimal limb
+   multiples. *)
+
+open Sia_numeric
+
+let bigint = Alcotest.testable Bigint.pp Bigint.equal
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+(* The transport constant: far beyond the int range, so any value
+   shifted or scaled by it is forced onto the slow representation. *)
+let k_big = Bigint.of_string "1000000000000000000000000000000"
+
+(* --- Generators: ints hugging the representation boundaries ----------- *)
+
+let gen_boundary_int =
+  QCheck.Gen.(
+    oneof
+      [
+        int_range (-100) 100;
+        (* around max_int / min_int *)
+        map (fun d -> max_int - d) (int_range 0 100);
+        map (fun d -> min_int + d) (int_range 0 100);
+        (* around +-2^31 and +-2^62 halves *)
+        map (fun d -> (1 lsl 31) + d) (int_range (-100) 100);
+        map (fun d -> -(1 lsl 31) + d) (int_range (-100) 100);
+        map (fun d -> (1 lsl 61) + d) (int_range (-100) 100);
+        map (fun d -> -(1 lsl 61) + d) (int_range (-100) 100);
+        (* around decimal limb multiples *)
+        map (fun d -> 1_000_000_000 + d) (int_range (-100) 100);
+        map (fun d -> 1_000_000_000_000_000_000 + d) (int_range (-100) 100);
+        map (fun d -> -1_000_000_000_000_000_000 + d) (int_range (-100) 100);
+      ])
+
+let gen_pair = QCheck.Gen.pair gen_boundary_int gen_boundary_int
+
+let print_pair (a, b) = Printf.sprintf "(%d, %d)" a b
+
+(* --- Bigint: fast vs transported slow --------------------------------- *)
+
+(* add/sub via shift: (a + K) + b - K runs multi-limb additions on the
+   same values the direct call handles in the int fast path. *)
+let prop_add_sub =
+  QCheck.Test.make ~name:"bigint add/sub fast = slow" ~count:2000
+    (QCheck.make gen_pair ~print:print_pair)
+    (fun (ai, bi_) ->
+      let a = Bigint.of_int ai and b = Bigint.of_int bi_ in
+      let fast = Bigint.add a b in
+      let slow = Bigint.sub (Bigint.add (Bigint.add a k_big) b) k_big in
+      Alcotest.check bigint "add" fast slow;
+      let fast = Bigint.sub a b in
+      let slow = Bigint.sub (Bigint.sub (Bigint.add a k_big) b) k_big in
+      Alcotest.check bigint "sub" fast slow;
+      (* neg through sub, catching the -min_int overflow class *)
+      Alcotest.check bigint "neg" (Bigint.neg a) (Bigint.sub Bigint.zero a);
+      true)
+
+(* mul via scale: (aK)b / K is an exact division of slow-path products. *)
+let prop_mul =
+  QCheck.Test.make ~name:"bigint mul fast = slow" ~count:2000
+    (QCheck.make gen_pair ~print:print_pair)
+    (fun (ai, bi_) ->
+      let a = Bigint.of_int ai and b = Bigint.of_int bi_ in
+      let fast = Bigint.mul a b in
+      let slow = Bigint.div (Bigint.mul (Bigint.mul a k_big) b) k_big in
+      Alcotest.check bigint "mul" fast slow;
+      true)
+
+(* divmod via scale: truncated division is scale-invariant, so
+   divmod (aK) (bK) must give the same quotient and a K-scaled rest. *)
+let prop_divmod =
+  QCheck.Test.make ~name:"bigint divmod fast = slow" ~count:2000
+    (QCheck.make gen_pair ~print:print_pair)
+    (fun (ai, bi_) ->
+      QCheck.assume (bi_ <> 0);
+      let a = Bigint.of_int ai and b = Bigint.of_int bi_ in
+      let q, r = Bigint.divmod a b in
+      (* truncated-division contract on the fast path itself *)
+      Alcotest.check bigint "a = q*b + r" a (Bigint.add (Bigint.mul q b) r);
+      Alcotest.(check bool)
+        "|r| < |b|" true
+        (Bigint.compare (Bigint.abs r) (Bigint.abs b) < 0);
+      Alcotest.(check bool)
+        "sign r" true
+        (Bigint.is_zero r || Bigint.sign r = Bigint.sign a);
+      let q', r' = Bigint.divmod (Bigint.mul a k_big) (Bigint.mul b k_big) in
+      Alcotest.check bigint "quotient" q q';
+      Alcotest.check bigint "rest" (Bigint.mul r k_big) r';
+      true)
+
+(* gcd via scale: gcd(aK, bK) = gcd(a, b) * K. *)
+let prop_gcd =
+  QCheck.Test.make ~name:"bigint gcd fast = slow" ~count:2000
+    (QCheck.make gen_pair ~print:print_pair)
+    (fun (ai, bi_) ->
+      let a = Bigint.of_int ai and b = Bigint.of_int bi_ in
+      let g = Bigint.gcd a b in
+      Alcotest.check bigint "gcd scaled"
+        (Bigint.mul g k_big)
+        (Bigint.gcd (Bigint.mul a k_big) (Bigint.mul b k_big));
+      if ai <> 0 || bi_ <> 0 then begin
+        Alcotest.(check bool) "gcd positive" true (Bigint.sign g > 0);
+        Alcotest.check bigint "gcd divides a" Bigint.zero (Bigint.rem a g);
+        Alcotest.check bigint "gcd divides b" Bigint.zero (Bigint.rem b g)
+      end;
+      true)
+
+(* compare via shift, plus string round-trips (the decimal printer and
+   parser are representation-independent witnesses). *)
+let prop_compare_roundtrip =
+  QCheck.Test.make ~name:"bigint compare/to_string fast = slow" ~count:2000
+    (QCheck.make gen_pair ~print:print_pair)
+    (fun (ai, bi_) ->
+      let a = Bigint.of_int ai and b = Bigint.of_int bi_ in
+      Alcotest.(check int)
+        "compare shifted" (Bigint.compare a b)
+        (Bigint.compare (Bigint.add a k_big) (Bigint.add b k_big));
+      Alcotest.(check int) "compare = int compare" (compare ai bi_) (Bigint.compare a b);
+      Alcotest.check bigint "of_string . to_string" a (Bigint.of_string (Bigint.to_string a));
+      Alcotest.(check (option int)) "to_int round trip" (Some ai) (Bigint.to_int a);
+      Alcotest.(check int)
+        "hash agrees with slow route" (Bigint.hash a)
+        (Bigint.hash (Bigint.sub (Bigint.add a k_big) k_big));
+      true)
+
+(* min_int corners, deterministically: every unary/binary op where the
+   int fast path can overflow silently. *)
+let test_min_int_corners () =
+  let mi = Bigint.of_int min_int in
+  let mx = Bigint.of_int max_int in
+  Alcotest.check bigint "neg min_int" (Bigint.add mx Bigint.one) (Bigint.neg mi);
+  Alcotest.check bigint "abs min_int" (Bigint.add mx Bigint.one) (Bigint.abs mi);
+  Alcotest.(check string)
+    "to_string min_int" (string_of_int min_int) (Bigint.to_string mi);
+  Alcotest.check bigint "min_int - 1"
+    (Bigint.sub (Bigint.neg mx) Bigint.two)
+    (Bigint.sub mi Bigint.one);
+  Alcotest.check bigint "min_int * -1" (Bigint.add mx Bigint.one)
+    (Bigint.mul mi (Bigint.of_int (-1)));
+  Alcotest.check bigint "min_int / -1" (Bigint.add mx Bigint.one)
+    (Bigint.div mi (Bigint.of_int (-1)));
+  Alcotest.check bigint "max_int + 1 - 1" mx
+    (Bigint.sub (Bigint.add mx Bigint.one) Bigint.one);
+  Alcotest.(check (option int)) "max_int+1 overflows to_int" None
+    (Bigint.to_int (Bigint.add mx Bigint.one))
+
+(* --- Rat: both-int fast paths vs Bigint reference ---------------------- *)
+
+let gen_rat_case =
+  QCheck.Gen.(
+    let* a = gen_boundary_int in
+    let* b = gen_boundary_int in
+    let* c = gen_boundary_int in
+    let* d = gen_boundary_int in
+    return (a, b, c, d))
+
+let prop_rat_ops =
+  QCheck.Test.make ~name:"rat fast = bigint reference" ~count:2000
+    (QCheck.make gen_rat_case ~print:(fun (a, b, c, d) ->
+         Printf.sprintf "%d/%d, %d/%d" a b c d))
+    (fun (ai, bi_, ci, di) ->
+      QCheck.assume (bi_ <> 0 && di <> 0);
+      let big = Bigint.of_int in
+      let mk n d = Rat.make (big n) (big d) in
+      let x = mk ai bi_ and y = mk ci di in
+      (* the same values built through slow-path components *)
+      let slow n d =
+        Rat.make (Bigint.mul (big n) k_big) (Bigint.mul (big d) k_big)
+      in
+      let x' = slow ai bi_ and y' = slow ci di in
+      Alcotest.check rat "normalization" x x';
+      Alcotest.check rat "add" (Rat.add x y) (Rat.add x' y');
+      Alcotest.check rat "sub" (Rat.sub x y) (Rat.sub x' y');
+      Alcotest.check rat "mul" (Rat.mul x y) (Rat.mul x' y');
+      Alcotest.(check int) "compare" (Rat.compare x y) (Rat.compare x' y');
+      if ci <> 0 then Alcotest.check rat "div" (Rat.div x y) (Rat.div x' y');
+      (* textbook formula through Bigint only *)
+      Alcotest.check rat "add formula"
+        (Rat.add x y)
+        (Rat.make
+           (Bigint.add
+              (Bigint.mul (big ai) (big di))
+              (Bigint.mul (big ci) (big bi_)))
+           (Bigint.mul (big bi_) (big di)));
+      (* denominator sign normalization *)
+      Alcotest.check rat "make sign" (mk ai bi_)
+        (Rat.make (Bigint.neg (big ai)) (Bigint.neg (big bi_)));
+      true)
+
+(* Delta fast paths: arithmetic on the (real, inf) pairs must match
+   componentwise Rat arithmetic. *)
+let prop_delta_ops =
+  QCheck.Test.make ~name:"delta componentwise reference" ~count:1000
+    (QCheck.make gen_rat_case ~print:(fun (a, b, c, d) ->
+         Printf.sprintf "%d+%de, %d+%de" a b c d))
+    (fun (ar, ai, br, bi_) ->
+      let q = Rat.of_int in
+      let x = Delta.make (q ar) (q ai) and y = Delta.make (q br) (q bi_) in
+      let sum = Delta.add x y in
+      Alcotest.check rat "real sum" (Rat.add (q ar) (q br)) sum.Delta.real;
+      Alcotest.check rat "inf sum" (Rat.add (q ai) (q bi_)) sum.Delta.inf;
+      let diff = Delta.sub x y in
+      Alcotest.check rat "real diff" (Rat.sub (q ar) (q br)) diff.Delta.real;
+      Alcotest.check rat "inf diff" (Rat.sub (q ai) (q bi_)) diff.Delta.inf;
+      let scaled = Delta.scale (q br) x in
+      Alcotest.check rat "real scale" (Rat.mul (q br) (q ar)) scaled.Delta.real;
+      Alcotest.check rat "inf scale" (Rat.mul (q br) (q ai)) scaled.Delta.inf;
+      let expect =
+        let c = Rat.compare (q ar) (q br) in
+        if c <> 0 then c else Rat.compare (q ai) (q bi_)
+      in
+      let sign c = if c < 0 then -1 else if c > 0 then 1 else 0 in
+      Alcotest.(check int)
+        "compare lexicographic" (sign expect)
+        (sign (Delta.compare x y));
+      true)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "numeric-diff"
+    [
+      ( "bigint",
+        qsuite [ prop_add_sub; prop_mul; prop_divmod; prop_gcd; prop_compare_roundtrip ]
+        @ [ Alcotest.test_case "min_int corners" `Quick test_min_int_corners ] );
+      ("rat", qsuite [ prop_rat_ops ]);
+      ("delta", qsuite [ prop_delta_ops ]);
+    ]
