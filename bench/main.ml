@@ -5,7 +5,7 @@
    Usage:  main.exe [motivating|fig6|table2|table3|fig7|fig8|fig9|limits|
                      ablation|bench|numeric|micro|all]
                     [--paranoid] [--jobs N] [--smoke] [--numeric]
-                    [--baseline FILE]
+                    [--baseline FILE] [--trace FILE] [--metrics]
    --paranoid audits every solver verdict through the independent
    certificate checker and re-derives each synthesized rewrite; the
    "bench" JSON then also reports the checking overhead.
@@ -13,6 +13,9 @@
    and again sequentially, checks the outputs are identical, and reports
    both JSON rows with the speedup; --smoke shrinks the workload for CI
    (exit 1 on any parallel/sequential mismatch either way).
+   --trace FILE writes a Chrome trace-event JSON of the whole run
+   (chrome://tracing / ui.perfetto.dev; SIA_TRACE_DETAIL=1 adds per-node
+   simplex events); --metrics prints the aggregated span/counter table.
    Environment:
      SIA_BENCH_QUERIES   number of generated queries   (default 200)
      SIA_CASE_QUERIES    case-study log size           (default 1000)
@@ -497,6 +500,8 @@ let jobs_n = ref 1
 let smoke = ref false
 let baseline_file = ref None
 let numeric_flag = ref false
+let trace_file = ref None
+let metrics = ref false
 
 (* Extract an integer field from a JSON row without a JSON dependency:
    the bench rows are flat objects we printed ourselves. *)
@@ -579,6 +584,7 @@ let run_perf () =
       Config.default with
       Config.time_budget = (if jobs > 1 then None else budget);
       Config.paranoid = !paranoid;
+      Config.trace = Config.default.Config.trace || !trace_file <> None || !metrics;
     }
   in
   let tagged =
@@ -646,12 +652,36 @@ let run_perf () =
       match seq_wall with
       | None -> Printf.sprintf ",\"jobs\":%d" b.Synthesize.jobs
       | Some sw ->
+        (* Per-worker attribution, aligned by index across the three
+           arrays: the retained epilogue summaries say which worker did
+           how much of the batch. *)
         Printf.sprintf
-          ",\"jobs\":%d,\"worker_tasks\":[%s],\"seq_wall_s\":%.3f,\"speedup\":%.2f"
+          ",\"jobs\":%d,\"worker_tasks\":[%s],\"worker_wall_s\":[%s],\"worker_queries\":[%s],\"worker_pivots\":[%s],\"seq_wall_s\":%.3f,\"speedup\":%.2f"
           b.Synthesize.jobs
           (String.concat "," (List.map string_of_int b.Synthesize.worker_tasks))
+          (String.concat ","
+             (List.map (Printf.sprintf "%.3f") b.Synthesize.worker_wall))
+          (String.concat ","
+             (List.map
+                (fun (s : Solver.stats) -> string_of_int s.Solver.queries)
+                b.Synthesize.worker_solver))
+          (String.concat ","
+             (List.map
+                (fun (s : Solver.stats) -> string_of_int s.Solver.pivots)
+                b.Synthesize.worker_solver))
           sw (sw /. Float.max 1e-9 wall)
     in
+    (match seq_wall with
+     | None -> ()
+     | Some _ ->
+       List.iteri
+         (fun i ((tasks, wall_s), (s : Solver.stats)) ->
+           Printf.printf
+             "  worker %d: %d tasks, %.2f s, %d queries, %d cache hits, %d pivots\n"
+             i tasks wall_s s.Solver.queries s.Solver.cache_hits s.Solver.pivots)
+         (List.combine
+            (List.combine b.Synthesize.worker_tasks b.Synthesize.worker_wall)
+            b.Synthesize.worker_solver));
     let valid = count Synthesize.is_valid_outcome in
     let optimal = count Synthesize.is_optimal_outcome in
     (* Per-phase times are summed over attempts, which at jobs > 1 means
@@ -988,10 +1018,21 @@ let () =
     | "--numeric" :: rest ->
       numeric_flag := true;
       parse rest
+    | "--trace" :: f :: rest ->
+      trace_file := Some f;
+      parse rest
+    | "--trace" :: [] ->
+      Printf.eprintf "--trace expects an output file\n";
+      exit 1
+    | "--metrics" :: rest ->
+      metrics := true;
+      parse rest
     | a :: rest -> a :: parse rest
   in
   let positional = parse (List.tl (Array.to_list Sys.argv)) in
   if !paranoid then Sia_check.Check.enable ();
+  if !trace_file <> None || !metrics then
+    Sia_trace.Trace.enable ~detail:(Sys.getenv_opt "SIA_TRACE_DETAIL" <> None) ();
   let cmd = match positional with c :: _ -> c | [] -> "all" in
   Printf.printf
     "sia bench: %s%s%s%s (SIA_BENCH_QUERIES=%d SIA_CASE_QUERIES=%d SIA_SF_ONE=%.3f SIA_SF_TEN=%.3f)\n%!"
@@ -1030,4 +1071,13 @@ let () =
        "unknown experiment %s (expected motivating|fig6|table2|table3|fig7|fig8|fig9|limits|ablation|bench|numeric|micro|all)\n"
        other;
      exit 1);
+  (match !trace_file with
+   | Some file ->
+     let oc = open_out file in
+     Sia_trace.Trace.write_chrome oc;
+     close_out oc;
+     Printf.printf "trace written to %s (%d events)\n" file
+       (List.length (Sia_trace.Trace.events ()))
+   | None -> ());
+  if !metrics then print_string (Sia_trace.Trace.metrics_string ());
   Printf.printf "\n[%s done in %.1f s]\n" cmd (Unix.gettimeofday () -. t0)

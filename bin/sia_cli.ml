@@ -34,11 +34,33 @@ let report show_plans result =
     | None -> ()
   end
 
-let run_synthesize query cols_groups table iterations jobs show_plans =
+let run_synthesize query cols_groups table iterations jobs show_plans trace_file
+    metrics =
   let q = Parser.parse_query query in
+  let tracing = trace_file <> None || metrics in
+  if tracing then
+    Sia_trace.Trace.enable ~detail:(Sys.getenv_opt "SIA_TRACE_DETAIL" <> None) ();
   let cfg =
-    { Config.default with Config.max_iterations = iterations; Config.jobs = jobs }
+    {
+      Config.default with
+      Config.max_iterations = iterations;
+      Config.jobs = jobs;
+      Config.trace = Config.default.Config.trace || tracing;
+    }
   in
+  let finish () =
+    (match trace_file with
+     | Some file ->
+       let oc = open_out file in
+       Sia_trace.Trace.write_chrome oc;
+       close_out oc;
+       Printf.printf "trace:        %s (%d events)\n" file
+         (List.length (Sia_trace.Trace.events ()))
+     | None -> ());
+    if metrics then print_string (Sia_trace.Trace.metrics_string ())
+  in
+  Fun.protect ~finally:finish
+  @@ fun () ->
   match cols_groups with
   | [] -> begin
     match table with
@@ -88,11 +110,22 @@ let jobs_arg =
 let plans_arg =
   Arg.(value & flag & info [ "p"; "plans" ] ~doc:"Print optimized plans for both queries.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace-event JSON of the run to $(docv) \
+               (open in chrome://tracing or ui.perfetto.dev). Set \
+               SIA_TRACE_DETAIL=1 to include per-node simplex events.")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print a per-run metrics summary (span counts and durations, \
+               memo hits, per-worker counters).")
+
 let cmd =
   let doc = "Synthesize valid predicates over a column subset (Sia, SIGMOD 2021)" in
   Cmd.v
     (Cmd.info "sia_cli" ~doc)
     Term.(const run_synthesize $ query_arg $ cols_arg $ table_arg $ iters_arg
-          $ jobs_arg $ plans_arg)
+          $ jobs_arg $ plans_arg $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

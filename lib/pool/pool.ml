@@ -1,3 +1,5 @@
+module Trace = Sia_trace.Trace
+
 exception Worker_error of string
 
 type 'c summary = {
@@ -14,7 +16,8 @@ type 'c summary = {
 type ('b, 'c) frame =
   | Result of int * 'b (* submission index, task result *)
   | Failed of int * string (* submission index, exception text *)
-  | Done of int * float * 'c option (* tasks completed, wall seconds, epilogue *)
+  | Done of int * float * 'c option * Trace.event list
+    (* tasks completed, wall seconds, epilogue, the worker's trace *)
 
 let write_all fd bytes =
   let n = Bytes.length bytes in
@@ -38,14 +41,22 @@ let send_frame fd v =
    can distinguish "task raised" from "worker crashed". *)
 let worker_main fd ~init ~epilogue ~f tasks =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* Shed the trace events inherited from the parent's buffer at fork:
+     everything this worker ships back must be its own. The enabled flag
+     and the trace epoch are inherited deliberately, so worker timestamps
+     live on the parent's timeline. *)
+  Trace.reset ();
   (match init with Some g -> g () | None -> ());
   let t0 = Unix.gettimeofday () in
   let completed = ref 0 in
   (try
      List.iter
        (fun (idx, item) ->
+         if Trace.enabled () then
+           Trace.begin_span "pool.task" ~args:[ ("idx", Trace.Int idx) ];
          match f item with
          | r ->
+           if Trace.enabled () then Trace.end_span "pool.task";
            (try send_frame fd (Result (idx, r))
             with e ->
               send_frame fd
@@ -53,6 +64,9 @@ let worker_main fd ~init ~epilogue ~f tasks =
               raise Exit);
            incr completed
          | exception e ->
+           if Trace.enabled () then
+             Trace.end_span "pool.task"
+               ~args:[ ("exn", Trace.String (Printexc.to_string e)) ];
            send_frame fd (Failed (idx, Printexc.to_string e));
            raise Exit)
        tasks
@@ -62,8 +76,9 @@ let worker_main fd ~init ~epilogue ~f tasks =
     | Some g -> ( try Some (g ()) with _ -> None)
     | None -> None
   in
-  (try send_frame fd (Done (!completed, Unix.gettimeofday () -. t0, ep))
-   with _ -> send_frame fd (Done (!completed, Unix.gettimeofday () -. t0, None)))
+  let evs = Trace.drain () in
+  (try send_frame fd (Done (!completed, Unix.gettimeofday () -. t0, ep, evs))
+   with _ -> send_frame fd (Done (!completed, Unix.gettimeofday () -. t0, None, [])))
 
 (* Per-worker parent-side state: accumulated raw bytes, decoded frames. *)
 type ('b, 'c) worker = {
@@ -72,7 +87,8 @@ type ('b, 'c) worker = {
   assigned : int; (* tasks in this worker's shard *)
   buf : Buffer.t;
   mutable received : int; (* Result/Failed frames decoded *)
-  mutable fin : (int * float * 'c option) option; (* the Done frame *)
+  mutable fin : (int * float * 'c option * Trace.event list) option;
+    (* the Done frame *)
   mutable failed : (int * string) option; (* first Failed frame *)
   mutable eof : bool;
 }
@@ -99,7 +115,7 @@ let drain_frames w ~on_result =
         | Failed (idx, msg) ->
           w.received <- w.received + 1;
           if w.failed = None then w.failed <- Some (idx, msg)
-        | Done (n, wall, ep) -> w.fin <- Some (n, wall, ep)
+        | Done (n, wall, ep, evs) -> w.fin <- Some (n, wall, ep, evs)
       end
       else continue := false
     end
@@ -115,6 +131,8 @@ let map ?(jobs = 1) ?(shard = fun idx _ -> idx) ?init ?epilogue f items =
     ([], { jobs = 0; per_worker_tasks = []; per_worker_wall = []; epilogues = [] })
   else begin
     let jobs = max 1 (min jobs n) in
+    Trace.span "pool.map" ~args:[ ("items", Trace.Int n); ("jobs", Trace.Int jobs) ]
+    @@ fun () ->
     (* Shards: submission order within each worker. *)
     let shards = Array.make jobs [] in
     for idx = n - 1 downto 0 do
@@ -195,7 +213,7 @@ let map ?(jobs = 1) ?(shard = fun idx _ -> idx) ?init ?epilogue f items =
            errors := Printf.sprintf "task %d raised: %s" idx msg :: !errors
          | None -> ());
         match (status, w.fin) with
-        | Unix.WEXITED 0, Some (completed, _, _) ->
+        | Unix.WEXITED 0, Some (completed, _, _, _) ->
           if completed < w.assigned && w.failed = None then
             errors :=
               Printf.sprintf "worker %d completed %d of %d tasks" i completed
@@ -213,6 +231,24 @@ let map ?(jobs = 1) ?(shard = fun idx _ -> idx) ?init ?epilogue f items =
     (match List.rev !errors with
      | [] -> ()
      | es -> raise (Worker_error (String.concat "; " es)));
+    (* Reassemble the worker traces under the parent timeline: worker i's
+       events land on lane i+1 (lane 0 is this process), named so the
+       Chrome trace shows one track per worker. *)
+    Array.iteri
+      (fun i w ->
+        match w.fin with
+        | Some (n_done, wall, _, evs) when evs <> [] && Trace.enabled () ->
+          Trace.set_lane_name (i + 1) (Printf.sprintf "worker %d" i);
+          Trace.absorb ~lane:(i + 1) evs;
+          Trace.instant "pool.worker_done"
+            ~args:
+              [
+                ("worker", Trace.Int i);
+                ("tasks", Trace.Int n_done);
+                ("wall_s", Trace.Float wall);
+              ]
+        | _ -> ())
+      workers;
     let out =
       Array.to_list
         (Array.mapi
@@ -227,8 +263,8 @@ let map ?(jobs = 1) ?(shard = fun idx _ -> idx) ?init ?epilogue f items =
     ( out,
       {
         jobs;
-        per_worker_tasks = List.map (fun (c, _, _) -> c) fins;
-        per_worker_wall = List.map (fun (_, t, _) -> t) fins;
-        epilogues = List.filter_map (fun (_, _, ep) -> ep) fins;
+        per_worker_tasks = List.map (fun (c, _, _, _) -> c) fins;
+        per_worker_wall = List.map (fun (_, t, _, _) -> t) fins;
+        epilogues = List.filter_map (fun (_, _, ep, _) -> ep) fins;
       } )
   end

@@ -12,6 +12,7 @@ type t = {
   seed : int;
   paranoid : bool;
   jobs : int;
+  trace : bool;
 }
 
 (* Paranoid certificate checking defaults on when the environment asks
@@ -31,6 +32,14 @@ let env_jobs =
     | Some _ | None -> 1)
   | None -> 1
 
+(* Structured tracing (lib/trace). The CLI and bench turn it on via
+   --trace/--metrics; the environment switch covers test runs and any
+   entry point without a flag of its own. *)
+let env_trace =
+  match Sys.getenv_opt "SIA_TRACE" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some _ | None -> false
+
 let default =
   {
     max_iterations = 41;
@@ -46,6 +55,7 @@ let default =
     seed = 2021;
     paranoid = env_paranoid;
     jobs = env_jobs;
+    trace = env_trace;
   }
 
 let sia_v1 = { default with max_iterations = 1; initial_true = 110; initial_false = 110 }

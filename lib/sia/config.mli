@@ -30,6 +30,13 @@ type t = {
           forked workers. [1] (the default, or the [SIA_JOBS] environment
           variable) runs in-process with no fork. Parallel runs emit
           byte-identical results to sequential ones — see [lib/pool]. *)
+  trace : bool;
+      (** emit structured trace events ([lib/trace]) for this run:
+          {!Synthesize.synthesize} enables the global trace sink when set.
+          Defaults to the [SIA_TRACE] environment variable; the CLI and
+          bench set it from their [--trace]/[--metrics] flags. Export is
+          the caller's job ([Sia_trace.Trace.write_chrome] /
+          [metrics_string]). *)
 }
 
 val default : t

@@ -3,6 +3,7 @@ open Sia_smt
 module Ast = Sia_sql.Ast
 module Svm = Sia_svm.Svm
 module Rationalize = Sia_svm.Rationalize
+module Trace = Sia_trace.Trace
 
 type learned = {
   pred : Ast.pred;
@@ -130,8 +131,15 @@ let learn ?cache ?p1_formula cfg env ~p_formula ~cols ~ts ~fs =
     let to_floats = List.map (Array.map Rat.to_float) in
     let model =
       timed "svm" (fun () ->
-          Svm.train ~epochs:cfg.Config.svm_epochs ~seed:cfg.Config.seed
-            ~pos:(to_floats ts) ~neg:(to_floats fs) ())
+          Trace.span "svm.train"
+            ~args:
+              [
+                ("pos", Trace.Int (List.length ts));
+                ("neg", Trace.Int (List.length fs));
+              ]
+            (fun () ->
+              Svm.train ~epochs:cfg.Config.svm_epochs ~seed:cfg.Config.seed
+                ~pos:(to_floats ts) ~neg:(to_floats fs) ()))
     in
     (* Tighten each rounded direction against p: valid by construction and
        the strongest halfspace in that direction. Pick the one rejecting

@@ -2,6 +2,7 @@ open Sia_smt
 module Ast = Sia_sql.Ast
 module Schema = Sia_relalg.Schema
 module Planner = Sia_relalg.Planner
+module Trace = Sia_trace.Trace
 
 type audit_result =
   | Audit_passed
@@ -43,6 +44,8 @@ let non_join_pred cat (q : Ast.query) =
    synthesis pipeline (stale cache entry, unsound Verify shortcut) thus
    cannot survive into an emitted rewrite. *)
 let audit cat ~from ~p ~p1 =
+  Trace.span "rewrite.audit"
+  @@ fun () ->
   let was = Solver.paranoid () in
   Fun.protect
     ~finally:(fun () -> Solver.set_paranoid was)
@@ -149,6 +152,9 @@ let plans cat r =
    into this process's totals. *)
 let rewrite_all ?cfg cat tasks =
   let cfg = Option.value cfg ~default:Config.default in
+  (* See [Synthesize.synthesize_batch]: the parent must be enabled for
+     the pool to absorb the forked workers' trace events. *)
+  if cfg.Config.trace then Trace.enable ();
   let run (q, target_cols) = rewrite_for_columns ~cfg cat q ~target_cols in
   if cfg.Config.jobs <= 1 then List.map run tasks
   else begin
@@ -173,5 +179,16 @@ let rewrite_all ?cfg cat tasks =
         run tasks
     in
     List.iter Solver.absorb_stats summary.Sia_pool.Pool.epilogues;
+    if Trace.enabled () then
+      List.iteri
+        (fun i (s : Solver.stats) ->
+          Trace.counter ~tid:(i + 1) "worker.solver"
+            [
+              ("queries", float_of_int s.Solver.queries);
+              ("cache_hits", float_of_int s.Solver.cache_hits);
+              ("theory_rounds", float_of_int s.Solver.theory_rounds);
+              ("pivots", float_of_int s.Solver.pivots);
+            ])
+        summary.Sia_pool.Pool.epilogues;
     results
   end

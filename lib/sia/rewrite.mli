@@ -47,6 +47,8 @@ val rewrite_for_columns :
   Sia_sql.Ast.query ->
   target_cols:string list ->
   rewrite_result
+(** Like {!rewrite_for_table}, but over an explicit column subset instead
+    of every predicate column of one table. *)
 
 val plans :
   Sia_relalg.Schema.catalog ->

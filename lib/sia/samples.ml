@@ -1,5 +1,6 @@
 
 open Sia_smt
+module Trace = Sia_trace.Trace
 
 type gen_state = {
   env : Encode.env;
@@ -89,6 +90,8 @@ let hints st =
 let chunk_size = 12
 
 let gen_models st ~base ~count ~existing =
+  Trace.span "samples.gen" ~args:[ ("count", Trace.Int count) ]
+  @@ fun () ->
   let sess = Lazy.force st.session in
   let box = bounds st in
   let excludes = ref (List.map (not_sample st) existing) in
@@ -131,6 +134,8 @@ let gen_models st ~base ~count ~existing =
    must be exact, not box-relative). Runs on the shared session so the
    encodings and learnts from sample generation carry over. *)
 let solve_residual st ~base ~existing =
+  Trace.span "samples.residual"
+  @@ fun () ->
   let sess = Lazy.force st.session in
   Solver.Session.solve_under sess ~node_limit:800
     ~assumptions:(base :: List.map (not_sample st) existing)
@@ -140,4 +145,8 @@ let project_away_others st p_formula =
     List.filter (fun v -> not (List.mem v st.target_vars)) (Formula.vars p_formula)
   in
   if others = [] then Some p_formula
-  else Qe.project ~method_:st.cfg.Config.qe_method ~eliminate:others p_formula
+  else
+    Trace.span "qe.project"
+      ~args:[ ("eliminate", Trace.Int (List.length others)) ]
+      (fun () ->
+        Qe.project ~method_:st.cfg.Config.qe_method ~eliminate:others p_formula)

@@ -21,6 +21,9 @@ type gen_state = {
 }
 
 val make_state : Config.t -> Encode.env -> target_cols:string list -> gen_state
+(** Sampling state for one synthesis attempt: target-variable order fixed
+    by [target_cols], RNG seeded from {!Config.t.seed} (same config, same
+    samples), solver session created lazily on first use. *)
 
 val not_old : gen_state -> Rat.t array list -> Formula.t
 (** Conjunction of "differs from this sample" constraints over the target

@@ -3,6 +3,7 @@ open Sia_smt
 module Ast = Sia_sql.Ast
 module Schema = Sia_relalg.Schema
 module Pool = Sia_pool.Pool
+module Trace = Sia_trace.Trace
 
 type outcome =
   | Optimal of Ast.pred
@@ -42,6 +43,12 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
      solver verdict below (Samples, Tighten, Verify, prune_redundant) is
      audited as it is produced. *)
   if cfg.Config.paranoid then Sia_check.Check.enable ();
+  (* Tracing is a global sink; enabling is idempotent, so each attempt in
+     a batch can ask without fighting over the switch. *)
+  if cfg.Config.trace then Trace.enable ();
+  Trace.span "synthesize"
+    ~args:[ ("cols", Trace.String (String.concat "," target_cols)) ]
+  @@ fun () ->
   let start_time = Unix.gettimeofday () in
   let solver0 = Solver.stats () in
   let over_budget () =
@@ -56,6 +63,8 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
     acc := !acc +. (Unix.gettimeofday () -. t0);
     r
   in
+  (* A timed CEGIS phase is also a trace span of the same extent. *)
+  let phase name acc f = timed acc (fun () -> Trace.span name f) in
   let fail ?(iterations = 0) ?(n_true = 0) ?(n_false = 0) outcome =
     {
       outcome;
@@ -81,13 +90,13 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
       let p_formula = Encode.encode_bool env pred in
       let st = Samples.make_state cfg env ~target_cols in
       (* psi = exists other-columns. p : satisfaction region over Cols'. *)
-      match timed gen_time (fun () -> Samples.project_away_others st p_formula) with
+      match phase "gen" gen_time (fun () -> Samples.project_away_others st p_formula) with
       | None -> fail (Failed "quantifier elimination blow-up")
       | Some psi -> begin
         let not_psi = Formula.not_ psi in
         (* Initial TRUE samples. *)
         let ts, ts_exhausted =
-          timed gen_time (fun () ->
+          phase "gen" gen_time (fun () ->
               Samples.gen_models st ~base:p_formula ~count:cfg.Config.initial_true
                 ~existing:[])
         in
@@ -100,7 +109,7 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
         end
         else begin
           let fs, fs_exhausted =
-            timed gen_time (fun () ->
+            phase "gen" gen_time (fun () ->
                 Samples.gen_models st ~base:not_psi ~count:cfg.Config.initial_false
                   ~existing:[])
           in
@@ -126,6 +135,8 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
                n^2 implication checks run as assumption queries on one
                shared session; each conjunct is encoded once. *)
             let prune_redundant pred0 =
+              Trace.span "prune"
+              @@ fun () ->
               match Ast.conjuncts pred0 with
               | ([] | [ _ ]) as cs -> (match cs with [] -> Ast.Ptrue | _ -> pred0)
               | conjuncts ->
@@ -181,106 +192,122 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
                 | p -> finish (Valid p)
               end
               else begin
-                let learned =
-                  timed learn_time (fun () -> Learn.learn ~cache ~p1_formula cfg env ~p_formula ~cols:target_cols ~ts ~fs)
-                in
-                let verdict, countermodel =
-                  timed verify_time (fun () ->
-                      Verify.implies_ce_session (Lazy.force vsession)
-                        ~p1:learned.Learn.pred)
-                in
-                match verdict with
-                | Verify.Valid -> begin
-                  let already_conjunct =
-                    List.exists
-                      (Ast.pred_equal learned.Learn.pred)
-                      (Ast.conjuncts p1)
+                (* The iteration body runs inside a span that must close
+                   before the next iteration opens, so it returns a step
+                   value and the recursion happens outside. *)
+                let step =
+                  Trace.span "cegis.iteration" ~args:[ ("i", Trace.Int i) ]
+                  @@ fun () ->
+                  let learned =
+                    phase "learn" learn_time (fun () -> Learn.learn ~cache ~p1_formula cfg env ~p_formula ~cols:target_cols ~ts ~fs)
                   in
-                  let p3, p3_formula =
-                    match (p1, learned.Learn.pred) with
-                    | p, _ when already_conjunct -> (p, p1_formula)
-                    | Ast.Ptrue, q -> (q, learned.Learn.formula)
-                    | p, Ast.Ptrue -> (p, p1_formula)
-                    | p, q -> (Ast.And (p, q), Formula.and_ [ p1_formula; learned.Learn.formula ])
+                  let verdict, countermodel =
+                    phase "verify" verify_time (fun () ->
+                        Verify.implies_ce_session (Lazy.force vsession)
+                          ~p1:learned.Learn.pred)
                   in
-                  (* FALSE counter-examples: unsatisfaction tuples that p3
-                     still accepts. *)
-                  let fs1, _ =
-                    timed gen_time (fun () ->
-                        Samples.gen_models st
-                          ~base:(Formula.and_ [ p3_formula; not_psi ])
-                          ~count:cfg.Config.per_iteration ~existing:fs)
-                  in
-                  if fs1 = [] then begin
-                    (* Exhausted within the bounded domain; confirm over the
-                       unbounded one before declaring optimality. *)
-                    let unbounded =
-                      timed verify_time (fun () ->
-                          Samples.solve_residual st
-                            ~base:(Formula.and_ [ p3_formula; not_psi ])
-                            ~existing:fs)
+                  match verdict with
+                  | Verify.Valid -> begin
+                    let already_conjunct =
+                      List.exists
+                        (Ast.pred_equal learned.Learn.pred)
+                        (Ast.conjuncts p1)
                     in
-                    match unbounded with
-                    | Solver.Unsat -> finish ~iters:(i + 1) (Optimal p3)
-                    (* Unknown downgrades Optimal to Valid: without an
-                       Unsat certificate the residual region may be
-                       nonempty, so optimality is never claimed on a
-                       resource limit. *)
-                    | Solver.Unknown -> finish ~iters:(i + 1) (Valid p3)
-                    | Solver.Sat m ->
-                      let sample =
-                        Array.of_list
-                          (List.map
-                             (fun v -> Solver.model_value_strict m v)
-                             st.Samples.target_vars)
+                    let p3, p3_formula =
+                      match (p1, learned.Learn.pred) with
+                      | p, _ when already_conjunct -> (p, p1_formula)
+                      | Ast.Ptrue, q -> (q, learned.Learn.formula)
+                      | p, Ast.Ptrue -> (p, p1_formula)
+                      | p, q -> (Ast.And (p, q), Formula.and_ [ p1_formula; learned.Learn.formula ])
+                    in
+                    (* FALSE counter-examples: unsatisfaction tuples that p3
+                       still accepts. *)
+                    let fs1, _ =
+                      phase "gen" gen_time (fun () ->
+                          Samples.gen_models st
+                            ~base:(Formula.and_ [ p3_formula; not_psi ])
+                            ~count:cfg.Config.per_iteration ~existing:fs)
+                    in
+                    if fs1 = [] then begin
+                      (* Exhausted within the bounded domain; confirm over the
+                         unbounded one before declaring optimality. *)
+                      let unbounded =
+                        phase "verify" verify_time (fun () ->
+                            Samples.solve_residual st
+                              ~base:(Formula.and_ [ p3_formula; not_psi ])
+                              ~existing:fs)
                       in
-                      loop (i + 1) p3 p3_formula ts (sample :: fs) ~n_ts
-                        ~n_fs:(n_fs + 1)
+                      match unbounded with
+                      | Solver.Unsat -> `Stop (finish ~iters:(i + 1) (Optimal p3))
+                      (* Unknown downgrades Optimal to Valid: without an
+                         Unsat certificate the residual region may be
+                         nonempty, so optimality is never claimed on a
+                         resource limit. *)
+                      | Solver.Unknown -> `Stop (finish ~iters:(i + 1) (Valid p3))
+                      | Solver.Sat m ->
+                        let sample =
+                          Array.of_list
+                            (List.map
+                               (fun v -> Solver.model_value_strict m v)
+                               st.Samples.target_vars)
+                        in
+                        `Next (p3, p3_formula, ts, sample :: fs, n_ts, n_fs + 1)
+                    end
+                    else
+                      `Next
+                        (p3, p3_formula, ts, fs1 @ fs, n_ts, n_fs + List.length fs1)
                   end
-                  else
-                    loop (i + 1) p3 p3_formula ts (fs1 @ fs) ~n_ts
-                      ~n_fs:(n_fs + List.length fs1)
-                end
-                | Verify.Invalid | Verify.Unknown -> begin
-                  (* TRUE counter-examples: tuples satisfying p that the
-                     learned predicate rejects. *)
-                  let ts1, _ =
-                    timed gen_time (fun () ->
-                        Samples.gen_models st
-                          ~base:
-                            (Formula.and_
-                               [ p_formula; Formula.not_ learned.Learn.formula ])
-                          ~count:cfg.Config.per_iteration ~existing:ts)
-                  in
-                  (* The sampling box can miss the countermodel Verify
-                     found; fall back to that model directly (the paper's
-                     CounterT has no box). *)
-                  let ts1 =
-                    match (ts1, countermodel) with
-                    | [], Some m ->
-                      let sample =
-                        Array.of_list
-                          (List.map
-                             (fun v -> Solver.model_value_strict m v)
-                             st.Samples.target_vars)
-                      in
-                      let dup =
-                        List.exists (fun t -> Array.for_all2 Rat.equal t sample) ts
-                      in
-                      if dup then [] else [ sample ]
-                    | ts1, _ -> ts1
-                  in
-                  if ts1 = [] then begin
-                    (* No fresh counter-example at all: the learner cannot
-                       be repaired with more data here. *)
-                    match p1 with
-                    | Ast.Ptrue -> finish ~iters:(i + 1) (Failed "no fresh TRUE counter-examples")
-                    | p -> finish ~iters:(i + 1) (Valid p)
+                  | Verify.Invalid | Verify.Unknown -> begin
+                    (* TRUE counter-examples: tuples satisfying p that the
+                       learned predicate rejects. *)
+                    let ts1, _ =
+                      phase "gen" gen_time (fun () ->
+                          Samples.gen_models st
+                            ~base:
+                              (Formula.and_
+                                 [ p_formula; Formula.not_ learned.Learn.formula ])
+                            ~count:cfg.Config.per_iteration ~existing:ts)
+                    in
+                    (* The sampling box can miss the countermodel Verify
+                       found; fall back to that model directly (the paper's
+                       CounterT has no box). *)
+                    let ts1 =
+                      match (ts1, countermodel) with
+                      | [], Some m ->
+                        let sample =
+                          Array.of_list
+                            (List.map
+                               (fun v -> Solver.model_value_strict m v)
+                               st.Samples.target_vars)
+                        in
+                        let dup =
+                          List.exists (fun t -> Array.for_all2 Rat.equal t sample) ts
+                        in
+                        if dup then [] else [ sample ]
+                      | ts1, _ -> ts1
+                    in
+                    if ts1 = [] then begin
+                      (* No fresh counter-example at all: the learner cannot
+                         be repaired with more data here. *)
+                      match p1 with
+                      | Ast.Ptrue ->
+                        `Stop (finish ~iters:(i + 1) (Failed "no fresh TRUE counter-examples"))
+                      | p -> `Stop (finish ~iters:(i + 1) (Valid p))
+                    end
+                    else
+                      `Next
+                        ( p1,
+                          p1_formula,
+                          ts1 @ ts,
+                          fs,
+                          n_ts + List.length ts1,
+                          n_fs )
                   end
-                  else
-                    loop (i + 1) p1 p1_formula (ts1 @ ts) fs
-                      ~n_ts:(n_ts + List.length ts1) ~n_fs
-                end
+                in
+                match step with
+                | `Stop st -> st
+                | `Next (p1, p1_formula, ts, fs, n_ts, n_fs) ->
+                  loop (i + 1) p1 p1_formula ts fs ~n_ts ~n_fs
               end
             in
             loop 0 Ast.Ptrue Formula.tru ts fs ~n_ts:(List.length ts)
@@ -309,6 +336,10 @@ type batch = {
 }
 
 let synthesize_batch ?(cfg = Config.default) catalog attempts =
+  (* Enable tracing in this process too, not only inside the attempts:
+     forked workers inherit the flag (so they collect events at all), and
+     the parent must be enabled for [Pool] to absorb them back. *)
+  if cfg.Config.trace then Trace.enable ();
   let run a =
     synthesize ~cfg catalog ~from:a.from ~pred:a.pred ~target_cols:a.target_cols
   in
@@ -355,6 +386,20 @@ let synthesize_batch ?(cfg = Config.default) catalog attempts =
         run attempts
     in
     List.iter Solver.absorb_stats summary.Pool.epilogues;
+    (* Per-worker attribution: a counter sample on each worker's trace
+       lane, so the trace (and the bench row built from [batch]) can say
+       which worker did how much solver work. *)
+    if Trace.enabled () then
+      List.iteri
+        (fun i (s : Solver.stats) ->
+          Trace.counter ~tid:(i + 1) "worker.solver"
+            [
+              ("queries", float_of_int s.Solver.queries);
+              ("cache_hits", float_of_int s.Solver.cache_hits);
+              ("theory_rounds", float_of_int s.Solver.theory_rounds);
+              ("pivots", float_of_int s.Solver.pivots);
+            ])
+        summary.Pool.epilogues;
     {
       results;
       jobs = summary.Pool.jobs;

@@ -38,7 +38,12 @@ val predicate : stats -> Sia_sql.Ast.pred option
 (** The synthesized predicate of an [Optimal] or [Valid] outcome. *)
 
 val is_valid_outcome : stats -> bool
+(** Whether the outcome carries a predicate at all ([Optimal] or
+    [Valid]). *)
+
 val is_optimal_outcome : stats -> bool
+(** Whether the outcome is [Optimal]: the predicate provably rejects
+    every unsatisfaction tuple, not just some. *)
 
 (** {2 Batched synthesis}
 

@@ -111,6 +111,9 @@ let strongest_threshold ?cache env ~p_formula ~cols ~w =
   match lookup with
   | Some hit -> hit
   | None ->
+    (* Only cache misses pay the bisection, so only they get a span. *)
+    Sia_trace.Trace.span "tighten.threshold"
+    @@ fun () ->
     let session = session_for cache env p_formula in
     let result = compute_threshold session env ~cols ~w in
     (match cache with

@@ -14,6 +14,8 @@ type cache
 (** Memoizes thresholds per (cols, w); share one across a synthesis run. *)
 
 val make_cache : unit -> cache
+(** A fresh, empty threshold cache (with its lazily-created solver
+    session). The CEGIS loop makes one per synthesis attempt. *)
 
 val strongest_threshold :
   ?cache:cache ->

@@ -33,6 +33,8 @@ let make_session env ~p =
   { env; sess = Solver.Session.create ~is_int:(Encode.is_int_var env) base }
 
 let implies_ce_session ?(node_limit = 800) s ~p1 =
+  Sia_trace.Trace.span "verify.implies"
+  @@ fun () ->
   let t_p1 = Encode.encode_is_true s.env p1 in
   match
     (* Candidate predicates are unbounded (no domain box), so one unlucky

@@ -27,6 +27,9 @@ type session
     candidates. *)
 
 val make_session : Encode.env -> p:Sia_sql.Ast.pred -> session
+(** Build the session for original predicate [p] (encoded once, together
+    with [env]'s NULL domain). Reuse it for every candidate of the
+    synthesis attempt. *)
 
 val implies_ce_session :
   ?node_limit:int ->

@@ -1,4 +1,5 @@
 open Sia_numeric
+module Trace = Sia_trace.Trace
 
 (* Dutertre-de Moura general simplex over delta-rationals, restructured
    around a persistent tableau shared across theory rounds and
@@ -213,7 +214,17 @@ let scan_lower t d value bref =
 
 (* {2 Cuts: push / assert / pop over the trail} *)
 
-let push t = t.marks <- t.trail_n :: t.marks
+(* Per-node trail events fire ~100k times on the full workload, so they
+   hide behind the trace detail level, not just the enabled flag. *)
+let trace_node name t =
+  if Trace.detail () then
+    Trace.instant name
+      ~cat:"simplex"
+      ~args:[ ("depth", Trace.Int (List.length t.marks)) ]
+
+let push t =
+  trace_node "simplex.push" t;
+  t.marks <- t.trail_n :: t.marks
 let at_base t = t.marks = []
 
 (* Re-derive the cut segment of the priority order from [t.cuts]. The
@@ -260,6 +271,7 @@ let assert_cut_bound t ~upper d value ~depth =
   if upper then scan_upper t d value bref else scan_lower t d value bref
 
 let pop t =
+  trace_node "simplex.pop" t;
   match t.marks with
   | [] -> invalid_arg "Simplex.pop: at base level"
   | mark :: rest ->
@@ -528,6 +540,7 @@ let translate t a =
 (* Assert a translated cut (a single-variable branching atom) at root
    distance [depth]. Raises [Conflict] on an immediate crossing. *)
 let assert_cut t trans ~depth =
+  trace_node "simplex.cut" t;
   match trans with
   | TConst { ok; coeff } ->
     if not ok then raise (Conflict [ (Cut depth, coeff) ])

@@ -1,4 +1,5 @@
 open Sia_numeric
+module Trace = Sia_trace.Trace
 
 type model = (int * Rat.t) list
 
@@ -6,6 +7,11 @@ type result =
   | Sat of model
   | Unsat
   | Unknown
+
+let result_label = function
+  | Sat _ -> "sat"
+  | Unsat -> "unsat"
+  | Unknown -> "unknown"
 
 let model_value m v = match List.assoc_opt v m with Some r -> r | None -> Rat.zero
 
@@ -277,6 +283,8 @@ type instance = {
 }
 
 let make_instance f =
+  Trace.span "smt.encode"
+  @@ fun () ->
   let t0 = Sys.time () in
   let sat = Sat.create () in
   (* The tracer must be live before the first clause of the encoding, or
@@ -328,6 +336,13 @@ let atom_var inst a =
    against the full formulas below. *)
 let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
     ?(check = []) ?theory_atoms ~is_int inst =
+  if Trace.enabled () then
+    Trace.begin_span "smt.solve"
+      ~args:
+        [
+          ("atoms", Trace.Int (List.length inst.atoms));
+          ("assumptions", Trace.Int (List.length assumptions));
+        ];
   let t0 = Sys.time () in
   let c0 = Sat.n_conflicts inst.sat in
   let p0 = Sat.n_propagations inst.sat in
@@ -356,7 +371,8 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
   let tsession = Theory.create_session ~is_int ?node_limit ~max_var () in
   let rec loop round =
     if round > max_rounds then Unknown
-    else if not (Sat.solve ~assumptions inst.sat) then Unsat
+    else if not (Trace.span "sat.search" (fun () -> Sat.solve ~assumptions inst.sat))
+    then Unsat
     else begin
       (* Theory literals from the boolean model: positive Lin atoms, and
          Dvd atoms under either polarity. *)
@@ -370,7 +386,30 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
           atoms
       in
       let tt0 = Sys.time () in
-      let verdict, cert = Theory.check_cert_session tsession lits in
+      if Trace.enabled () then
+        Trace.begin_span "theory.check"
+          ~args:
+            [ ("round", Trace.Int round); ("lits", Trace.Int (List.length lits)) ];
+      let verdict, cert =
+        match Theory.check_cert_session tsession lits with
+        | vc -> vc
+        | exception e ->
+          if Trace.enabled () then
+            Trace.end_span "theory.check"
+              ~args:[ ("exn", Trace.String (Printexc.to_string e)) ];
+          raise e
+      in
+      if Trace.enabled () then
+        Trace.end_span "theory.check"
+          ~args:
+            [
+              ( "verdict",
+                Trace.String
+                  (match verdict with
+                   | Theory.Sat _ -> "sat"
+                   | Theory.Unsat _ -> "unsat"
+                   | Theory.Unknown -> "unknown") );
+            ];
       totals :=
         {
           !totals with
@@ -433,7 +472,15 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
         loop (round + 1)
     end
   in
-  let r = loop 0 in
+  let r =
+    match loop 0 with
+    | r -> r
+    | exception e ->
+      if Trace.enabled () then
+        Trace.end_span "smt.solve"
+          ~args:[ ("exn", Trace.String (Printexc.to_string e)) ];
+      raise e
+  in
   totals :=
     {
       !totals with
@@ -445,6 +492,14 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
       reused_rounds = !totals.reused_rounds + (Theory.reused_round_count () - ru0);
       tableau_rebuilds = !totals.tableau_rebuilds + (Theory.rebuild_count () - rb0);
     };
+  if Trace.enabled () then
+    Trace.end_span "smt.solve"
+      ~args:
+        [
+          ("result", Trace.String (result_label r));
+          ("conflicts", Trace.Int (Sat.n_conflicts inst.sat - c0));
+          ("pivots", Trace.Int (Simplex.pivot_count () - pv0));
+        ];
   r
 
 (* ------------------------------------------------------------------ *)
@@ -559,8 +614,12 @@ let solve ?(max_rounds = default_max_rounds) ~is_int f =
     match memo_find k with
     | Some r ->
       bump_cache_hit ();
+      if Trace.enabled () then
+        Trace.instant "memo.hit" ~args:[ ("key", Trace.Int (Hashtbl.hash k.key)) ];
       count_answer r
     | None ->
+      if Trace.enabled () then
+        Trace.instant "memo.miss" ~args:[ ("key", Trace.Int (Hashtbl.hash k.key)) ];
       let r = run_instance ~max_rounds ~is_int (make_instance f) in
       memo_store k r;
       count_answer r)
@@ -679,7 +738,7 @@ module Session = struct
     | Some entry -> entry
     | None ->
       let t0 = Sys.time () in
-      let l = encode t.inst.sat (atom_var t.inst) f in
+      let l = Trace.span "smt.encode" (fun () -> encode t.inst.sat (atom_var t.inst) f) in
       bump_encoding (Sys.time () -. t0);
       let entry =
         (l, List.map (fun a -> (a, atom_var t.inst a)) (Formula.atoms f))
@@ -735,8 +794,20 @@ module Session = struct
     match Option.bind memo_k memo_find with
     | Some r ->
       bump_cache_hit ();
+      (if Trace.enabled () then
+         match memo_k with
+         | Some k ->
+           Trace.instant "memo.hit"
+             ~args:[ ("key", Trace.Int (Hashtbl.hash k.key)) ]
+         | None -> ());
       count_answer r
     | None ->
+      (if Trace.enabled () then
+         match memo_k with
+         | Some k ->
+           Trace.instant "memo.miss"
+             ~args:[ ("key", Trace.Int (Hashtbl.hash k.key)) ]
+         | None -> ());
       let encoded = List.map (lit t) assumptions in
       let r =
         run_instance ~max_rounds ?node_limit

@@ -196,6 +196,13 @@ let entry_of_lit s lit =
 let maybe_rebuild s ~needed =
   if Simplex.n_vars s.simplex > (4 * needed) + 64 then begin
     incr rebuilds;
+    if Sia_trace.Trace.enabled () then
+      Sia_trace.Trace.instant "simplex.rebuild"
+        ~args:
+          [
+            ("vars", Sia_trace.Trace.Int (Simplex.n_vars s.simplex));
+            ("needed", Sia_trace.Trace.Int needed);
+          ];
     s.simplex <- Simplex.create ();
     s.sgen <- s.sgen + 1
   end
