@@ -502,6 +502,7 @@ let baseline_file = ref None
 let numeric_flag = ref false
 let trace_file = ref None
 let metrics = ref false
+let dump_sql = ref None
 
 (* Extract an integer field from a JSON row without a JSON dependency:
    the bench rows are flat objects we printed ourselves. *)
@@ -532,8 +533,12 @@ let json_int_field row name =
       int_of_string_opt (String.sub row start (!stop - start)))
 
 (* --baseline FILE: fail the run if efficacy regressed against the
-   committed reference row (the last JSON object line of FILE). *)
-let check_baseline ~valid ~optimal file =
+   committed reference row (the last JSON object line of FILE). Beyond
+   valid/optimal, the gate also holds two solver-health lines when the
+   baseline row carries them: shared-context clustering must keep
+   engaging (solver_shared_hits, checked only while sharing is on), and
+   certificate rejections must not appear (cert_rejections). *)
+let check_baseline ~valid ~optimal ~(sv : Solver.stats) file =
   let last_row =
     let ic = open_in file in
     let rec go acc =
@@ -558,10 +563,25 @@ let check_baseline ~valid ~optimal file =
           "!! efficacy regression vs %s: valid %d (baseline %d), optimal %d (baseline %d)\n"
           file valid bv optimal bo;
         exit 1
-      end
-      else
-        Printf.printf "baseline %s: ok (valid %d >= %d, optimal %d >= %d)\n" file
-          valid bv optimal bo
+      end;
+      (match json_int_field row "solver_shared_hits" with
+       | Some bh when Solver.sharing () && sv.Solver.shared_hits < bh ->
+         Printf.eprintf
+           "!! sharing regression vs %s: solver_shared_hits %d (baseline %d)\n"
+           file sv.Solver.shared_hits bh;
+         exit 1
+       | _ -> ());
+      (match json_int_field row "cert_rejections" with
+       | Some br when sv.Solver.cert_rejections > br ->
+         Printf.eprintf
+           "!! certificate regression vs %s: cert_rejections %d (baseline %d)\n"
+           file sv.Solver.cert_rejections br;
+         exit 1
+       | _ -> ());
+      Printf.printf
+        "baseline %s: ok (valid %d >= %d, optimal %d >= %d, shared_hits %d, cert_rejections %d)\n"
+        file valid bv optimal bo sv.Solver.shared_hits
+        sv.Solver.cert_rejections
     | _ ->
       Printf.eprintf "baseline %s: row lacks valid/optimal fields\n" file;
       exit 1)
@@ -650,14 +670,16 @@ let run_perf () =
     in
     let pool_fields =
       match seq_wall with
-      | None -> Printf.sprintf ",\"jobs\":%d" b.Synthesize.jobs
+      | None ->
+        Printf.sprintf ",\"jobs\":%d,\"jobs_requested\":%d" b.Synthesize.jobs
+          b.Synthesize.jobs_requested
       | Some sw ->
         (* Per-worker attribution, aligned by index across the three
            arrays: the retained epilogue summaries say which worker did
            how much of the batch. *)
         Printf.sprintf
-          ",\"jobs\":%d,\"worker_tasks\":[%s],\"worker_wall_s\":[%s],\"worker_queries\":[%s],\"worker_pivots\":[%s],\"seq_wall_s\":%.3f,\"speedup\":%.2f"
-          b.Synthesize.jobs
+          ",\"jobs\":%d,\"jobs_requested\":%d,\"worker_tasks\":[%s],\"worker_wall_s\":[%s],\"worker_queries\":[%s],\"worker_pivots\":[%s],\"seq_wall_s\":%.3f,\"speedup\":%.2f"
+          b.Synthesize.jobs b.Synthesize.jobs_requested
           (String.concat "," (List.map string_of_int b.Synthesize.worker_tasks))
           (String.concat ","
              (List.map (Printf.sprintf "%.3f") b.Synthesize.worker_wall))
@@ -691,7 +713,7 @@ let run_perf () =
        contradictory. *)
     let json =
       Printf.sprintf
-        "{\"bench\":\"synthesis\",\"queries\":%d,\"attempts\":%d,\"valid\":%d,\"optimal\":%d,\"wall_s\":%.3f,\"gen_cpu_s\":%.3f,\"learn_cpu_s\":%.3f,\"verify_cpu_s\":%.3f,\"solver_queries\":%d,\"solver_cache_hits\":%d,\"solver_encodings\":%d,\"solver_instances\":%d,\"solver_theory_rounds\":%d,\"solver_reused_rounds\":%d,\"solver_rebuilds\":%d,\"solver_conflicts\":%d,\"solver_propagations\":%d,\"solver_restarts\":%d,\"solver_pivots\":%d,\"solver_encode_s\":%.3f,\"solver_search_s\":%.3f,\"solver_theory_s\":%.3f,\"paranoid\":%b,\"cert_lemmas\":%d,\"cert_proofs\":%d,\"cert_models\":%d,\"cert_rejections\":%d,\"cert_s\":%.3f,\"audit_passed\":%d,\"audit_failed\":%d,\"audit_s\":%.3f,\"cert_overhead\":%.3f%s}"
+        "{\"bench\":\"synthesis\",\"queries\":%d,\"attempts\":%d,\"valid\":%d,\"optimal\":%d,\"wall_s\":%.3f,\"gen_cpu_s\":%.3f,\"learn_cpu_s\":%.3f,\"verify_cpu_s\":%.3f,\"solver_queries\":%d,\"solver_cache_hits\":%d,\"solver_encodings\":%d,\"solver_instances\":%d,\"solver_theory_rounds\":%d,\"solver_reused_rounds\":%d,\"solver_rebuilds\":%d,\"solver_conflicts\":%d,\"solver_propagations\":%d,\"solver_restarts\":%d,\"solver_pivots\":%d,\"share\":%b,\"solver_clusters\":%d,\"solver_shared_hits\":%d,\"solver_shared_misses\":%d,\"solver_shared_lemmas\":%d,\"solver_encode_s\":%.3f,\"solver_search_s\":%.3f,\"solver_theory_s\":%.3f,\"paranoid\":%b,\"cert_lemmas\":%d,\"cert_proofs\":%d,\"cert_models\":%d,\"cert_rejections\":%d,\"cert_s\":%.3f,\"audit_passed\":%d,\"audit_failed\":%d,\"audit_s\":%.3f,\"cert_overhead\":%.3f%s}"
         n (List.length stats) valid optimal wall
         (sum (fun s -> s.Synthesize.gen_time))
         (sum (fun s -> s.Synthesize.learn_time))
@@ -700,6 +722,8 @@ let run_perf () =
         sv.Solver.instances sv.Solver.theory_rounds sv.Solver.reused_rounds
         sv.Solver.tableau_rebuilds sv.Solver.conflicts
         sv.Solver.propagations sv.Solver.restarts sv.Solver.pivots
+        (Solver.sharing ()) sv.Solver.clusters sv.Solver.shared_hits
+        sv.Solver.shared_misses sv.Solver.shared_lemmas
         sv.Solver.encode_time
         sv.Solver.search_time sv.Solver.theory_time !paranoid sv.Solver.cert_lemmas
         sv.Solver.cert_proofs sv.Solver.cert_models sv.Solver.cert_rejections
@@ -713,12 +737,35 @@ let run_perf () =
         sv.Solver.cert_lemmas sv.Solver.cert_proofs sv.Solver.cert_models
         sv.Solver.cert_rejections !audit_passed !audit_failed cert_overhead;
     print_endline json;
-    (valid, optimal)
+    (valid, optimal, sv)
+  in
+  let render st =
+    match Synthesize.predicate st with
+    | Some p -> Printer.string_of_pred p
+    | None -> "-"
+  in
+  (* --dump-sql FILE: one rendered predicate per attempt, in attempt
+     order, from the sequential (canonical) batch — the byte-diff anchor
+     for the SIA_SHARE on/off CI comparison. *)
+  let dump_rendered (b : Synthesize.batch) =
+    Option.iter
+      (fun file ->
+        let oc = open_out file in
+        List.iter
+          (fun st ->
+            output_string oc (render st);
+            output_char oc '\n')
+          b.Synthesize.results;
+        close_out oc;
+        Printf.printf "rewritten SQL dumped to %s (%d attempts)\n" file
+          (List.length b.Synthesize.results))
+      !dump_sql
   in
   if jobs <= 1 then begin
     let b, wall = run_batch 1 in
-    let valid, optimal = emit ~audit:true ~wall b in
-    Option.iter (check_baseline ~valid ~optimal) !baseline_file
+    let valid, optimal, sv = emit ~audit:true ~wall b in
+    dump_rendered b;
+    Option.iter (check_baseline ~valid ~optimal ~sv) !baseline_file
   end
   else begin
     (* Parallel first: the forked workers must not inherit a memo cache
@@ -727,11 +774,6 @@ let run_perf () =
        workers, so the sequential run that follows starts equally cold.) *)
     let pb, pwall = run_batch jobs in
     let sb, swall = run_batch 1 in
-    let render st =
-      match Synthesize.predicate st with
-      | Some p -> Printer.string_of_pred p
-      | None -> "-"
-    in
     let preds_p = List.map render pb.Synthesize.results in
     let preds_s = List.map render sb.Synthesize.results in
     let flags b =
@@ -740,9 +782,12 @@ let run_perf () =
           (Synthesize.is_valid_outcome st, Synthesize.is_optimal_outcome st))
         b.Synthesize.results
     in
-    let valid, optimal = emit ~wall:swall sb in
-    let (_ : int * int) = emit ~audit:true ~seq_wall:swall ~wall:pwall pb in
-    Option.iter (check_baseline ~valid ~optimal) !baseline_file;
+    let valid, optimal, sv = emit ~wall:swall sb in
+    let (_ : int * int * Solver.stats) =
+      emit ~audit:true ~seq_wall:swall ~wall:pwall pb
+    in
+    dump_rendered sb;
+    Option.iter (check_baseline ~valid ~optimal ~sv) !baseline_file;
     if preds_p = preds_s && flags pb = flags sb then
       Printf.printf
         "differential: %d-worker output identical to sequential (%d attempts, %.2fx)\n"
@@ -1014,6 +1059,12 @@ let () =
       parse rest
     | "--baseline" :: [] ->
       Printf.eprintf "--baseline expects a JSON file\n";
+      exit 1
+    | "--dump-sql" :: f :: rest ->
+      dump_sql := Some f;
+      parse rest
+    | "--dump-sql" :: [] ->
+      Printf.eprintf "--dump-sql expects an output file\n";
       exit 1
     | "--numeric" :: rest ->
       numeric_flag := true;

@@ -2,6 +2,20 @@ module Trace = Sia_trace.Trace
 
 exception Worker_error of string
 
+(* Cores the scheduler will actually run concurrently; callers cap their
+   fork width with it so an over-asked [jobs] cannot silently regress
+   into context-switch thrash (the observed jobs=4-on-1-core 0.86x).
+   SIA_ONLINE_CORES overrides detection — tests force forking on 1-core
+   boxes with it, and benchmarks can use it to measure oversubscription
+   deliberately. *)
+let online_cores () =
+  match Sys.getenv_opt "SIA_ONLINE_CORES" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
 type 'c summary = {
   jobs : int;
   per_worker_tasks : int list;

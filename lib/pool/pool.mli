@@ -52,3 +52,11 @@ val map :
 
     Raises {!Worker_error} if any task raises (the exception text is
     forwarded) or any worker dies without completing its shard. *)
+
+val online_cores : unit -> int
+(** Number of cores the OS reports as available to this process
+    ([Domain.recommended_domain_count]). Callers cap fork width with it
+    so asking for more workers than cores degrades to the core count
+    instead of thrashing. The [SIA_ONLINE_CORES] environment variable
+    overrides detection (tests force forking on single-core boxes;
+    benchmarks measure oversubscription deliberately). *)

@@ -12,6 +12,7 @@ type t = {
   seed : int;
   paranoid : bool;
   jobs : int;
+  share : bool;
   trace : bool;
 }
 
@@ -31,6 +32,14 @@ let env_jobs =
     | Some n when n >= 1 -> n
     | Some _ | None -> 1)
   | None -> 1
+
+(* Shared-context clustering (Solver skeleton clusters). On by default —
+   sharing never changes observable answers — with SIA_SHARE=0 as the
+   escape hatch for A/B runs and the CI byte-equality diff. *)
+let env_share =
+  match Sys.getenv_opt "SIA_SHARE" with
+  | Some ("0" | "false" | "no" | "off") -> false
+  | Some _ | None -> true
 
 (* Structured tracing (lib/trace). The CLI and bench turn it on via
    --trace/--metrics; the environment switch covers test runs and any
@@ -55,6 +64,7 @@ let default =
     seed = 2021;
     paranoid = env_paranoid;
     jobs = env_jobs;
+    share = env_share;
     trace = env_trace;
   }
 

@@ -30,6 +30,12 @@ type t = {
           forked workers. [1] (the default, or the [SIA_JOBS] environment
           variable) runs in-process with no fork. Parallel runs emit
           byte-identical results to sequential ones — see [lib/pool]. *)
+  share : bool;
+      (** shared-context clustering: solve same-skeleton queries in one
+          persistent cluster session ({!Sia_smt.Solver.set_sharing}).
+          Observable results are bit-identical either way — only cost
+          changes. Defaults to the [SIA_SHARE] environment variable
+          (on unless set to ["0"]). *)
   trace : bool;
       (** emit structured trace events ([lib/trace]) for this run:
           {!Synthesize.synthesize} enables the global trace sink when set.

@@ -156,24 +156,20 @@ let rewrite_all ?cfg cat tasks =
      the pool to absorb the forked workers' trace events. *)
   if cfg.Config.trace then Trace.enable ();
   let run (q, target_cols) = rewrite_for_columns ~cfg cat q ~target_cols in
-  if cfg.Config.jobs <= 1 then List.map run tasks
+  (* Shard by query template (see [Synthesize.pred_skeleton]): constant
+     variants of one query keep their solver clusters on one worker. Cap
+     the fork width like [synthesize_batch] does. *)
+  let group_of, jobs =
+    Synthesize.plan_shards ~requested:cfg.Config.jobs tasks (fun (q, _) ->
+        ( q.Ast.from,
+          q.Ast.select,
+          Option.map Synthesize.pred_skeleton q.Ast.where ))
+  in
+  if jobs <= 1 then List.map run tasks
   else begin
-    let groups = Hashtbl.create 16 in
-    let group_of =
-      Array.of_list
-        (List.map
-           (fun (q, _) ->
-             match Hashtbl.find_opt groups q with
-             | Some g -> g
-             | None ->
-               let g = Hashtbl.length groups in
-               Hashtbl.add groups q g;
-               g)
-           tasks)
-    in
     let baseline = Solver.stats () in
     let results, summary =
-      Sia_pool.Pool.map ~jobs:cfg.Config.jobs
+      Sia_pool.Pool.map ~jobs
         ~shard:(fun i _ -> group_of.(i))
         ~epilogue:(fun () -> Solver.stats_since baseline)
         run tasks
@@ -186,6 +182,7 @@ let rewrite_all ?cfg cat tasks =
             [
               ("queries", float_of_int s.Solver.queries);
               ("cache_hits", float_of_int s.Solver.cache_hits);
+              ("shared_hits", float_of_int s.Solver.shared_hits);
               ("theory_rounds", float_of_int s.Solver.theory_rounds);
               ("pivots", float_of_int s.Solver.pivots);
             ])

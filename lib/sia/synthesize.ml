@@ -43,6 +43,7 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
      solver verdict below (Samples, Tighten, Verify, prune_redundant) is
      audited as it is produced. *)
   if cfg.Config.paranoid then Sia_check.Check.enable ();
+  Solver.set_sharing cfg.Config.share;
   (* Tracing is a global sink; enabling is idempotent, so each attempt in
      a batch can ask without fighting over the switch. *)
   if cfg.Config.trace then Trace.enable ();
@@ -330,10 +331,59 @@ type attempt = {
 type batch = {
   results : stats list;
   jobs : int;
+  jobs_requested : int;
   worker_tasks : int list;
   worker_wall : float list;
   worker_solver : Solver.stats list;
 }
+
+(* Query-template skeleton at the AST level: every constant collapses to
+   a placeholder, mirroring the solver's skeleton keys ({!Sia_smt.Key})
+   one layer up. Attempts whose queries differ only in constants get the
+   same skeleton, hence the same worker — which is where the solver's
+   shared-context clusters live, so cluster locality survives the fork
+   boundary. *)
+let pred_skeleton p =
+  let rec expr = function
+    | Ast.Col _ as e -> e
+    | Ast.Const _ -> Ast.Const (Ast.Cint 0)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, expr a, expr b)
+  in
+  let rec pred = function
+    | Ast.Cmp (c, a, b) -> Ast.Cmp (c, expr a, expr b)
+    | Ast.And (a, b) -> Ast.And (pred a, pred b)
+    | Ast.Or (a, b) -> Ast.Or (pred a, pred b)
+    | Ast.Not a -> Ast.Not (pred a)
+    | (Ast.Ptrue | Ast.Pfalse) as p -> p
+  in
+  pred p
+
+(* Shard assignment and effective worker count for a batch. Tasks whose
+   queries share a template land on one worker (see [pred_skeleton]);
+   since same-(from, pred) attempts share a template a fortiori, each
+   worker's memo cache still sees exactly the query sequence the
+   sequential run would have fed it. The effective job count is capped by
+   the group count (idle forks are pure overhead) and by the detected
+   online cores (over-forking a small box was measured at 0.86x). *)
+let plan_shards ~requested attempts keys =
+  let groups = Hashtbl.create 16 in
+  let group_of =
+    Array.of_list
+      (List.map
+         (fun a ->
+           let key = keys a in
+           match Hashtbl.find_opt groups key with
+           | Some g -> g
+           | None ->
+             let g = Hashtbl.length groups in
+             Hashtbl.add groups key g;
+             g)
+         attempts)
+  in
+  let jobs =
+    max 1 (min requested (min (Pool.online_cores ()) (Hashtbl.length groups)))
+  in
+  (group_of, jobs)
 
 let synthesize_batch ?(cfg = Config.default) catalog attempts =
   (* Enable tracing in this process too, not only inside the attempts:
@@ -343,44 +393,30 @@ let synthesize_batch ?(cfg = Config.default) catalog attempts =
   let run a =
     synthesize ~cfg catalog ~from:a.from ~pred:a.pred ~target_cols:a.target_cols
   in
-  if cfg.Config.jobs <= 1 then begin
+  let requested = cfg.Config.jobs in
+  let group_of, jobs =
+    plan_shards ~requested attempts (fun a -> (a.from, pred_skeleton a.pred))
+  in
+  if jobs <= 1 then begin
     let solver0 = Solver.stats () in
     let t0 = Unix.gettimeofday () in
     let results = List.map run attempts in
     {
       results;
       jobs = 1;
+      jobs_requested = requested;
       worker_tasks = [ List.length attempts ];
       worker_wall = [ Unix.gettimeofday () -. t0 ];
       worker_solver = [ Solver.stats_since solver0 ];
     }
   end
   else begin
-    (* Shard by query: attempts that share (from, pred) — the column
-       subsets of one query — land on the same worker in submission
-       order, so each worker's memo cache sees exactly the query sequence
-       the sequential run would have fed it. Whole query groups are dealt
-       round-robin across workers in first-occurrence order. *)
-    let groups = Hashtbl.create 16 in
-    let group_of =
-      Array.of_list
-        (List.map
-           (fun a ->
-             let key = (a.from, a.pred) in
-             match Hashtbl.find_opt groups key with
-             | Some g -> g
-             | None ->
-               let g = Hashtbl.length groups in
-               Hashtbl.add groups key g;
-               g)
-           attempts)
-    in
     (* The epilogue ships each worker's solver-stats delta back; absorbing
        the deltas keeps the parent's global counters truthful about work
        done on its behalf. *)
     let baseline = Solver.stats () in
     let results, summary =
-      Pool.map ~jobs:cfg.Config.jobs
+      Pool.map ~jobs
         ~shard:(fun i _ -> group_of.(i))
         ~epilogue:(fun () -> Solver.stats_since baseline)
         run attempts
@@ -396,6 +432,7 @@ let synthesize_batch ?(cfg = Config.default) catalog attempts =
             [
               ("queries", float_of_int s.Solver.queries);
               ("cache_hits", float_of_int s.Solver.cache_hits);
+              ("shared_hits", float_of_int s.Solver.shared_hits);
               ("theory_rounds", float_of_int s.Solver.theory_rounds);
               ("pivots", float_of_int s.Solver.pivots);
             ])
@@ -403,6 +440,7 @@ let synthesize_batch ?(cfg = Config.default) catalog attempts =
     {
       results;
       jobs = summary.Pool.jobs;
+      jobs_requested = requested;
       worker_tasks = summary.Pool.per_worker_tasks;
       worker_wall = summary.Pool.per_worker_wall;
       worker_solver = summary.Pool.epilogues;

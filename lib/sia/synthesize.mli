@@ -63,9 +63,27 @@ type attempt = {
 }
 (** One synthesis task, mirroring {!synthesize}'s labelled arguments. *)
 
+val pred_skeleton : Sia_sql.Ast.pred -> Sia_sql.Ast.pred
+(** The predicate with every constant collapsed to a placeholder — the
+    AST-level counterpart of the solver's skeleton keys. Batch sharding
+    groups attempts by [(from, pred_skeleton pred)] so constant-variant
+    queries keep their shared-context clusters on one worker. *)
+
+val plan_shards :
+  requested:int -> 'a list -> ('a -> 'b) -> int array * int
+(** [plan_shards ~requested tasks key] numbers each task's shard group
+    (same [key] → same group, first-occurrence order) and returns the
+    effective worker count: [requested] capped by the number of groups
+    and by {!Sia_pool.Pool.online_cores}. Shared with
+    {!Rewrite.rewrite_all}. *)
+
 type batch = {
   results : stats list;  (** per-attempt stats, in submission order *)
-  jobs : int;  (** workers used (1 = in-process, no fork) *)
+  jobs : int;
+      (** workers actually used (1 = in-process, no fork): the requested
+          width capped by the detected online cores and by the number of
+          shard groups in the batch *)
+  jobs_requested : int;  (** {!Config.t.jobs} as asked for *)
   worker_tasks : int list;  (** attempts completed per worker *)
   worker_wall : float list;  (** wall-clock seconds per worker *)
   worker_solver : Sia_smt.Solver.stats list;

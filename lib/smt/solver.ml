@@ -44,6 +44,10 @@ type stats = {
   pivots : int;
   tableau_rebuilds : int;
   reused_rounds : int;
+  clusters : int;
+  shared_hits : int;
+  shared_misses : int;
+  shared_lemmas : int;
   encode_time : float;
   search_time : float;
   theory_time : float;
@@ -70,6 +74,10 @@ let stats_zero =
     pivots = 0;
     tableau_rebuilds = 0;
     reused_rounds = 0;
+    clusters = 0;
+    shared_hits = 0;
+    shared_misses = 0;
+    shared_lemmas = 0;
     encode_time = 0.0;
     search_time = 0.0;
     theory_time = 0.0;
@@ -100,6 +108,10 @@ let stats_add a b =
     pivots = a.pivots + b.pivots;
     tableau_rebuilds = a.tableau_rebuilds + b.tableau_rebuilds;
     reused_rounds = a.reused_rounds + b.reused_rounds;
+    clusters = a.clusters + b.clusters;
+    shared_hits = a.shared_hits + b.shared_hits;
+    shared_misses = a.shared_misses + b.shared_misses;
+    shared_lemmas = a.shared_lemmas + b.shared_lemmas;
     encode_time = a.encode_time +. b.encode_time;
     search_time = a.search_time +. b.search_time;
     theory_time = a.theory_time +. b.theory_time;
@@ -133,6 +145,10 @@ let stats_since s0 =
     pivots = s.pivots - s0.pivots;
     tableau_rebuilds = s.tableau_rebuilds - s0.tableau_rebuilds;
     reused_rounds = s.reused_rounds - s0.reused_rounds;
+    clusters = s.clusters - s0.clusters;
+    shared_hits = s.shared_hits - s0.shared_hits;
+    shared_misses = s.shared_misses - s0.shared_misses;
+    shared_lemmas = s.shared_lemmas - s0.shared_lemmas;
     encode_time = s.encode_time -. s0.encode_time;
     search_time = s.search_time -. s0.search_time;
     theory_time = s.theory_time -. s0.theory_time;
@@ -146,12 +162,14 @@ let stats_since s0 =
 let pp_stats fmt s =
   Format.fprintf fmt
     "queries=%d (sat=%d unsat=%d unknown=%d cached=%d) encodings=%d \
-     instances=%d theory-rounds=%d (reused=%d rebuilds=%d) conflicts=%d \
-     propagations=%d restarts=%d pivots=%d encode=%.3fs search=%.3fs \
-     (theory=%.3fs) certs=%d/%d/%d rejected=%d cert=%.3fs"
+     instances=%d theory-rounds=%d (reused=%d rebuilds=%d) clusters=%d \
+     shared=%d/%d (lemmas=%d) conflicts=%d propagations=%d restarts=%d \
+     pivots=%d encode=%.3fs search=%.3fs (theory=%.3fs) certs=%d/%d/%d \
+     rejected=%d cert=%.3fs"
     s.queries s.sat_answers s.unsat_answers s.unknown_answers s.cache_hits
     s.encodings s.instances s.theory_rounds s.reused_rounds s.tableau_rebuilds
-    s.conflicts s.propagations s.restarts s.pivots s.encode_time s.search_time
+    s.clusters s.shared_hits s.shared_misses s.shared_lemmas s.conflicts
+    s.propagations s.restarts s.pivots s.encode_time s.search_time
     s.theory_time s.cert_lemmas s.cert_proofs s.cert_models s.cert_rejections
     s.cert_time
 
@@ -277,9 +295,16 @@ type instance = {
   sat : Sat.t;
   atom_tbl : (Atom.t, int) Hashtbl.t;
   mutable atoms : (Atom.t * int) list;
+  mutable max_atom_var : int; (* max theory var over [atoms]; -1 if none *)
   fvars : int list;
   formula : Formula.t; (* NNF *)
   aud : auditor option;
+  (* Theory session kept across runs on this instance. The simplex layer
+     guarantees every check is bit-identical to one-shot solving
+     regardless of tableau history, so reuse only changes cost, never
+     answers. Recreated when a new atom's variable reaches the session's
+     witness range. *)
+  mutable tsess : Theory.session option;
 }
 
 let make_instance f =
@@ -293,7 +318,16 @@ let make_instance f =
   (match aud with Some a -> Sat.set_tracer sat (traced a) | None -> ());
   let atom_tbl = Hashtbl.create 64 in
   let inst =
-    { sat; atom_tbl; atoms = []; fvars = Formula.vars f; formula = f; aud }
+    {
+      sat;
+      atom_tbl;
+      atoms = [];
+      max_atom_var = -1;
+      fvars = Formula.vars f;
+      formula = f;
+      aud;
+      tsess = None;
+    }
   in
   let atom_var a =
     match Hashtbl.find_opt atom_tbl a with
@@ -302,6 +336,7 @@ let make_instance f =
       let v = Sat.new_var sat in
       Hashtbl.add atom_tbl a v;
       inst.atoms <- (a, v) :: inst.atoms;
+      inst.max_atom_var <- List.fold_left max inst.max_atom_var (Atom.vars a);
       v
   in
   let root = encode sat atom_var f in
@@ -317,7 +352,16 @@ let atom_var inst a =
     let v = Sat.new_var inst.sat in
     Hashtbl.add inst.atom_tbl a v;
     inst.atoms <- (a, v) :: inst.atoms;
+    inst.max_atom_var <- List.fold_left max inst.max_atom_var (Atom.vars a);
     v
+
+let default_max_rounds = 50_000
+let default_node_limit = 4000 (* Theory.check_cert's default *)
+
+(* Theory lemmas (blocking clauses) learned so far, process-wide; the
+   shared-context layer samples deltas around cluster runs to attribute
+   lemmas to shared sessions. *)
+let theory_lemma_count = ref 0
 
 (* One DPLL(T) run on the current clause set, optionally under assumption
    literals. [check] lists extra formulas (beyond [inst.formula]) that the
@@ -333,9 +377,27 @@ let atom_var inst a =
    their values are free as far as this query's formulas are concerned.
    Soundness is unchanged: the encoding is monotone NNF, so root truth
    only rests on the checked atoms, and the model is still validated
-   against the full formulas below. *)
+   against the full formulas below.
+
+   The shared-context cluster layer reinterprets an instance's atom
+   variables per run: [theory_atoms] may map a variable to a *different*
+   atom than the one encoded (the skeleton atom with its hole replaced by
+   this member's constant), so theory conflicts — and the blocking
+   clauses built from them — are resolved through that per-run mapping,
+   never through [inst.atom_tbl]. Two per-run hooks support the reuse:
+
+   - [model_formula] replaces [inst.formula] for final model validation
+     (the instance encodes the skeleton, but a Sat model must satisfy the
+     member's instantiated formula);
+   - [lemma_guard], when present, receives each theory conflict core as
+     [(atom_var, polarity)] pairs and returns a fresh guard variable; the
+     blocking clause is emitted as [¬guard ∨ clause] and the guard is
+     assumed for the rest of this run only. Clauses learnt by the SAT
+     core from guarded clauses keep their [¬guard] literals (guards are
+     never resolvable), so everything a run learns stays vacuous for
+     members that do not re-validate and re-assume the guard. *)
 let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
-    ?(check = []) ?theory_atoms ~is_int inst =
+    ?(check = []) ?theory_atoms ?model_formula ?lemma_guard ~is_int inst =
   if Trace.enabled () then
     Trace.begin_span "smt.solve"
       ~args:
@@ -358,20 +420,51 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
         (List.rev_append (List.concat_map Formula.vars check) inst.fvars)
   in
   let atoms = match theory_atoms with Some l -> l | None -> inst.atoms in
-  (* One theory session per DPLL(T) run: consecutive theory rounds share
-     the incremental tableau, diffing each round's literal set against the
-     previous one. The literal universe is fixed for the run ([atoms]), so
-     its maximum variable safely separates input ids from the session's
-     divisibility witnesses. *)
-  let max_var =
-    List.fold_left
-      (fun acc (a, _) -> List.fold_left max acc (Atom.vars a))
-      0 atoms
+  (* Conflict cores come back as atoms; resolve them to SAT variables
+     through the same per-run mapping the theory literals were built
+     from — under a cluster consult the effective atoms are not the
+     encoded ones. *)
+  let var_of_atom =
+    match theory_atoms with
+    | None -> fun a -> Hashtbl.find inst.atom_tbl a
+    | Some l ->
+      let tbl = Hashtbl.create (2 * List.length l) in
+      List.iter (fun (a, v) -> Hashtbl.replace tbl a v) l;
+      fun a -> Hashtbl.find tbl a
   in
-  let tsession = Theory.create_session ~is_int ?node_limit ~max_var () in
+  (* Guard literals created by [lemma_guard] mid-run; assumed alongside
+     the caller's assumptions for the remainder of this run. *)
+  let guard_assumptions = ref [] in
+  (* The theory session lives on the instance and is shared across runs:
+     consecutive theory rounds — and consecutive runs of a long-lived
+     session or cluster — share the incremental tableau, diffing each
+     round's literal set against the previous one. The session's witness
+     range starts above every atom variable of the instance (a superset
+     of any run's [atoms]); when a later query encodes an atom whose
+     variable reaches that range, the session is recreated one size up.
+     Witness ids shift across recreations, which is unobservable: models
+     are filtered to input variables and certificates are phrased over
+     literal positions. *)
+  let max_var = max 0 inst.max_atom_var in
+  let tsession =
+    match inst.tsess with
+    | Some ts when Theory.session_fresh_base ts > max_var ->
+      Theory.set_session_node_limit ts
+        (Option.value node_limit ~default:default_node_limit);
+      ts
+    | _ ->
+      let ts = Theory.create_session ~is_int ?node_limit ~max_var () in
+      inst.tsess <- Some ts;
+      ts
+  in
   let rec loop round =
     if round > max_rounds then Unknown
-    else if not (Trace.span "sat.search" (fun () -> Sat.solve ~assumptions inst.sat))
+    else if
+      not
+        (Trace.span "sat.search" (fun () ->
+             Sat.solve
+               ~assumptions:(List.rev_append !guard_assumptions assumptions)
+               inst.sat))
     then Unsat
     else begin
       (* Theory literals from the boolean model: positive Lin atoms, and
@@ -436,17 +529,19 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
            model that misses one of their variables is exactly the bug the
            strict lookup exists to expose. *)
         let lookup = model_value_strict m in
+        let vformulas =
+          match model_formula with
+          | Some f -> f :: check
+          | None -> inst.formula :: check
+        in
         (match inst.aud with
          | Some a ->
            (* Paranoid: the independent evaluator replaces the inline
               backstop (it checks the same formulas with its own atom
               semantics and raises {!Cert.Certificate_error}). *)
-           audited `Model (fun () -> a.on_model lookup (inst.formula :: check))
+           audited `Model (fun () -> a.on_model lookup vformulas)
          | None ->
-           if
-             not
-               (Formula.eval inst.formula lookup
-               && List.for_all (fun f -> Formula.eval f lookup) check)
+           if not (List.for_all (fun f -> Formula.eval f lookup) vformulas)
            then
              failwith "Solver.solve: internal error, model does not satisfy formula");
         Sat m
@@ -464,11 +559,19 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
         let blocking =
           List.map
             (fun (a, polarity) ->
-              let v = Hashtbl.find inst.atom_tbl a in
+              let v = var_of_atom a in
               if polarity then Sat.neg_lit v else Sat.pos v)
             core
         in
-        Sat.add_clause inst.sat blocking;
+        (match lemma_guard with
+         | None -> Sat.add_clause inst.sat blocking
+         | Some guard ->
+           let g =
+             guard (List.map (fun (a, p) -> (var_of_atom a, p)) core)
+           in
+           guard_assumptions := Sat.pos g :: !guard_assumptions;
+           Sat.add_clause inst.sat (Sat.neg_lit g :: blocking));
+        incr theory_lemma_count;
         loop (round + 1)
     end
   in
@@ -545,41 +648,19 @@ let memo : result Memo.t = Memo.create 1024
    and is plenty for the CEGIS workloads (a run rarely exceeds a few
    thousand distinct formulas). *)
 let memo_limit = 16_384
-let default_max_rounds = 50_000
-let default_node_limit = 4000 (* Theory.check_cert's default *)
 
-type memo_key = {
-  key : Formula.t * bool list * int * int;
-  fwd : (int, int) Hashtbl.t; (* original var -> canonical var *)
-  back : int array; (* canonical var -> original var *)
-}
+(* Canonical-key construction lives in {!Key}, shared with the skeleton
+   clustering below — both must agree on the alpha-renaming for cluster
+   answers to be storable under memo keys. *)
+let memo_key = Key.canonical
 
-let memo_key ~is_int ~max_rounds ~node_limit f =
-  let f = Formula.canon f in
-  let fwd = Hashtbl.create 16 in
-  let order = ref [] in
-  List.iter
-    (fun a ->
-      List.iter
-        (fun v ->
-          if not (Hashtbl.mem fwd v) then begin
-            Hashtbl.add fwd v (Hashtbl.length fwd);
-            order := v :: !order
-          end)
-        (Atom.vars a))
-    (Formula.atoms f);
-  let back = Array.of_list (List.rev !order) in
-  let kf = Formula.map_vars (Hashtbl.find fwd) f in
-  let bits = Array.to_list (Array.map is_int back) in
-  { key = (kf, bits, max_rounds, node_limit); fwd; back }
-
-let memo_find k =
-  match Memo.find_opt memo k.key with
+let memo_find (k : Key.canonical) =
+  match Memo.find_opt memo k.Key.id with
   | None | Some Unknown -> None
   | Some Unsat -> Some Unsat
-  | Some (Sat m) -> Some (Sat (List.map (fun (cv, r) -> (k.back.(cv), r)) m))
+  | Some (Sat m) -> Some (Sat (List.map (fun (cv, r) -> (k.Key.back.(cv), r)) m))
 
-let memo_store k r =
+let memo_store (k : Key.canonical) r =
   match r with
   | Unknown -> ()
   | Unsat | Sat _ ->
@@ -593,14 +674,311 @@ let memo_store k r =
         Sat
           (List.filter_map
              (fun (v, value) ->
-               match Hashtbl.find_opt k.fwd v with
+               match Hashtbl.find_opt k.Key.fwd v with
                | Some cv -> Some (cv, value)
                | None -> None)
              m)
       | r -> r
     in
     if Memo.length memo >= memo_limit then Memo.reset memo;
-    Memo.replace memo k.key r
+    Memo.replace memo k.Key.id r
+
+module FTbl = Hashtbl.Make (Formula)
+
+(* ------------------------------------------------------------------ *)
+(* Shared-context clusters                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Cross-query sharing, the batched-solving idea of the shared-context
+   SAT literature: the CEGIS workload asks thousands of queries that are
+   the same formula up to constants (threshold probes over a handful of
+   predicate shapes), so the propositional structure, the SAT core's
+   learnt clauses, and the Farkas combinations behind theory conflicts
+   proved while refuting one of them are mostly reusable for its
+   skeleton-mates. Each skeleton (see {!Key.skeletonize}) owns one
+   persistent SAT instance encoding the constant-abstracted formula —
+   every member shares that boolean structure verbatim, so CDCL learning
+   accumulates across the batch.
+
+   Theory reasoning, by contrast, is always done in the consulting
+   member's own concrete space: for each run the instance's atom
+   variables are reinterpreted as the skeleton atoms with this member's
+   constants substituted for the holes, so a theory check costs what a
+   fresh solve's would (constants stay constants; the tableau never
+   grows extra hole columns). The bridge between members is per-lemma
+   and certificate-shaped: each theory conflict's blocking clause is
+   guarded by a fresh literal and its core is remembered over the
+   symbolic skeleton atoms; a later member re-instantiates the core with
+   its own constants and asks the theory to re-refute it (replaying the
+   constant-independent Farkas combination as a bounded check, audited
+   under paranoid mode like any other lemma) before assuming the guard.
+   Guards are plain assumption literals, never resolvable, so clauses
+   the SAT core learns downstream of a guarded clause inherit the guard
+   and stay vacuous for members whose replay fails — the soundness
+   filter that lets one clause database serve every member.
+
+   Answer transfer is deliberately one-sided. An Unsat under the
+   member's concrete atoms, its encoding clauses, and lemmas re-proved
+   for its constants is exactly what a fresh solve concludes. A Sat or
+   Unknown cluster verdict is discarded and the member re-solved fresh:
+   a warm instance's model or budget artifact could differ bit-for-bit
+   from the fresh answer, and hit ≡ recompute is what the memo cache and
+   the parallel pool rely on. Consultation is further gated by the
+   cluster's last fresh verdict ([last_unsat]): Unsat streaks — exactly
+   the threshold-probe pattern that dominates the workload — pay one
+   warm check (propositional once the lemma set covers the streak)
+   instead of a cold solve, while Sat streaks skip the cluster entirely
+   instead of paying twice. *)
+module Shared = struct
+  let enabled_flag =
+    ref
+      (match Sys.getenv_opt "SIA_SHARE" with
+       | Some ("0" | "false" | "no" | "off") -> false
+       | Some _ | None -> true)
+
+  module CTbl = Hashtbl.Make (struct
+    type t = Formula.t * bool list * int * int
+
+    let equal (f1, b1, r1, n1) (f2, b2, r2, n2) =
+      r1 = r2 && n1 = n2 && b1 = b2 && Formula.equal f1 f2
+
+    let hash (f, b, r, n) = Hashtbl.hash (Formula.hash f, b, r, n)
+  end)
+
+  (* A shared lemma: a theory conflict core learnt while solving one
+     member, stored over the *skeleton* atoms (holes still symbolic) with
+     the guard variable protecting its clause in the shared SAT instance.
+     For a new member the core is re-instantiated with that member's
+     constants and re-proved by the theory — the Farkas combination that
+     refuted it is constant-independent, so the replay is a small
+     bounded check, not a search — and only then is the guard assumed. *)
+  type lemma = { score : (Atom.t * bool) list; guard : int }
+
+  type csession = {
+    c_inst : instance; (* encodes the skeleton formula, holes symbolic *)
+    c_is_int : int -> bool;
+    c_base_atoms : (Atom.t * int) list;
+    c_atom_of_var : (int, Atom.t) Hashtbl.t; (* skeleton atom by SAT var *)
+    mutable c_lemmas : lemma list; (* newest first *)
+    mutable c_n_lemmas : int;
+  }
+
+  type cluster = {
+    sk : Key.skeleton; (* representative; members differ in [holes] only *)
+    mutable sess : csession option; (* created on first consultation *)
+    mutable last_unsat : bool; (* last fresh same-skeleton verdict *)
+  }
+
+  type ticket = cluster option
+
+  let clusters : cluster CTbl.t = CTbl.create 64
+
+  (* Wholesale reset on overflow, like the memo cache; a lemma cap stops
+     the shared clause database from growing past usefulness (beyond it,
+     new conflicts still get throwaway guards, they are just no longer
+     replayed for later members). *)
+  let cluster_limit = 2_048
+  let lemma_limit = 256
+  let reset () = CTbl.reset clusters
+
+  (* Hole variables are rational: they are pinned to integer constants by
+     the member equalities, so branch and bound never needs to round
+     them, and keeping them out of the integer layer avoids spurious
+     Unknowns. *)
+  let is_int_of sk =
+    let bits = Array.of_list sk.Key.sbits in
+    fun v -> v < Array.length bits && bits.(v)
+
+  let session_of c =
+    match c.sess with
+    | Some s -> s
+    | None ->
+      let inst = make_instance c.sk.Key.sf in
+      let atom_of_var = Hashtbl.create 64 in
+      List.iter (fun (a, v) -> Hashtbl.replace atom_of_var v a) inst.atoms;
+      let cs =
+        {
+          c_inst = inst;
+          c_is_int = is_int_of c.sk;
+          c_base_atoms = inst.atoms;
+          c_atom_of_var = atom_of_var;
+          c_lemmas = [];
+          c_n_lemmas = 0;
+        }
+      in
+      c.sess <- Some cs;
+      totals := { !totals with clusters = !totals.clusters + 1 };
+      cs
+
+  (* Replace a skeleton atom's hole variables by this member's constants.
+     The variable list is computed before the first substitution, so
+     later substitutions cannot hide holes from the walk. *)
+  let instantiate n_vars holes a =
+    List.fold_left
+      (fun a v ->
+        if v >= n_vars then
+          Atom.subst a v (Linexpr.const holes.(v - n_vars))
+        else a)
+      a (Atom.vars a)
+
+  (* Try to answer a canonical query from its cluster. Returns the
+     cluster ticket (for [observe]) and [Some Unsat] on a transferable
+     verdict. The caller counted the query already; the cluster run's
+     search cost lands in the usual counters.
+
+     The consult run solves in *concrete* space: the shared instance's
+     atom variables are reinterpreted as this member's instantiated
+     atoms, so each theory check costs what a fresh solve's would — while
+     the propositional structure, the SAT core's learnt clauses, and
+     every guarded lemma whose replay succeeds carry over from earlier
+     members. After a warm-up member, an Unsat streak over one skeleton
+     is decided propositionally, with no theory rounds at all. Only
+     Unsat transfers: it is a consequence of the member's own clauses
+     plus lemmas re-proved for the member's constants, so it coincides
+     with what a fresh solve concludes; Sat models and Unknowns are
+     discarded and re-derived fresh, keeping observable answers
+     bit-identical to sharing-off runs. *)
+  let consult (k : Key.canonical) : ticket * result option =
+    if not !enabled_flag then (None, None)
+    else
+      match Key.skeletonize k with
+      | None -> (None, None)
+      | Some sk -> (
+        let ck = Key.skeleton_id sk in
+        let c =
+          match CTbl.find_opt clusters ck with
+          | Some c -> c
+          | None ->
+            if CTbl.length clusters >= cluster_limit then CTbl.reset clusters;
+            let c = { sk; sess = None; last_unsat = false } in
+            CTbl.add clusters ck c;
+            c
+        in
+        if not c.last_unsat then (Some c, None)
+        else
+          match
+            let cs = session_of c in
+            let n_vars = sk.Key.n_vars and holes = sk.Key.holes in
+            let inst_atom a = instantiate n_vars holes a in
+            let atoms =
+              List.map (fun (a, v) -> (inst_atom a, v)) cs.c_base_atoms
+            in
+            (* Two skeleton atoms can collapse onto one concrete atom when
+               a member repeats a constant; the atom -> variable mapping
+               would then be ambiguous. Rare: skip the consult. *)
+            let seen = Hashtbl.create 64 in
+            let collision =
+              List.exists
+                (fun (a, _) ->
+                  Hashtbl.mem seen a
+                  ||
+                  (Hashtbl.add seen a ();
+                   false))
+                atoms
+            in
+            if collision then None
+            else begin
+              let is_int = cs.c_is_int in
+              (* Farkas replay: a stored lemma is valid for this member
+                 iff its re-instantiated core is still theory-infeasible.
+                 Under paranoid auditing the replay's certificate goes
+                 through the same independent checker as any other lemma,
+                 so a guard is never assumed on an unaudited proof. *)
+              let live =
+                List.filter_map
+                  (fun { score; guard } ->
+                    let core =
+                      List.map (fun (a, p) -> (inst_atom a, p)) score
+                    in
+                    match
+                      Theory.check_cert ~is_int
+                        ~node_limit:sk.Key.s_node_limit core
+                    with
+                    | Theory.Unsat _, cert ->
+                      (match cs.c_inst.aud with
+                       | Some a ->
+                         let cert =
+                           match cert with
+                           | Some cert -> cert
+                           | None ->
+                             raise
+                               (Cert.Certificate_error
+                                  "shared lemma replay without certificate")
+                         in
+                         audited `Lemma (fun () -> a.on_lemma ~is_int core cert)
+                       | None -> ());
+                      Some (Sat.pos guard)
+                    | (Theory.Sat _ | Theory.Unknown), _ -> None)
+                  cs.c_lemmas
+              in
+              let lemma_guard core_vars =
+                let g = Sat.new_var cs.c_inst.sat in
+                (if cs.c_n_lemmas < lemma_limit then
+                   match
+                     List.map
+                       (fun (v, p) -> (Hashtbl.find cs.c_atom_of_var v, p))
+                       core_vars
+                   with
+                   | score ->
+                     cs.c_lemmas <- { score; guard = g } :: cs.c_lemmas;
+                     cs.c_n_lemmas <- cs.c_n_lemmas + 1
+                   | exception Not_found -> ());
+                g
+              in
+              let kf, _, _, _ = k.Key.id in
+              let lemmas0 = !theory_lemma_count in
+              let r =
+                run_instance ~max_rounds:sk.Key.s_max_rounds
+                  ~node_limit:sk.Key.s_node_limit ~assumptions:live
+                  ~theory_atoms:atoms ~model_formula:kf ~lemma_guard
+                  ~is_int cs.c_inst
+              in
+              totals :=
+                {
+                  !totals with
+                  shared_lemmas =
+                    !totals.shared_lemmas + (!theory_lemma_count - lemmas0);
+                };
+              match r with
+              | Unsat ->
+                totals := { !totals with shared_hits = !totals.shared_hits + 1 };
+                if Trace.enabled () then
+                  Trace.instant "share.hit"
+                    ~args:[ ("key", Trace.Int (Hashtbl.hash ck)) ];
+                Some Unsat
+              | Sat _ | Unknown ->
+                totals :=
+                  { !totals with shared_misses = !totals.shared_misses + 1 };
+                if Trace.enabled () then
+                  Trace.instant "share.miss"
+                    ~args:[ ("key", Trace.Int (Hashtbl.hash ck)) ];
+                None
+            end
+          with
+          | r -> (Some c, r)
+          | exception Cert.Certificate_error _ ->
+            (* A certificate failed its audit inside the shared session:
+               retire the session and fall back to fresh solving for this
+               and subsequent members (the rejection was already counted
+               by [audited]). *)
+            c.sess <- None;
+            c.last_unsat <- false;
+            (Some c, None))
+
+  (* Record the fresh verdict of a consulted-or-registered query so the
+     next same-skeleton member knows whether consultation is worthwhile. *)
+  let observe (t : ticket) r =
+    match t with
+    | None -> ()
+    | Some c -> c.last_unsat <- (match r with Unsat -> true | _ -> false)
+end
+
+let set_sharing b = Shared.enabled_flag := b
+let sharing () = !Shared.enabled_flag
+
+let reset_caches () =
+  Memo.reset memo;
+  Shared.reset ()
 
 let solve ?(max_rounds = default_max_rounds) ~is_int f =
   let f = Formula.nnf f in
@@ -615,14 +993,22 @@ let solve ?(max_rounds = default_max_rounds) ~is_int f =
     | Some r ->
       bump_cache_hit ();
       if Trace.enabled () then
-        Trace.instant "memo.hit" ~args:[ ("key", Trace.Int (Hashtbl.hash k.key)) ];
+        Trace.instant "memo.hit"
+          ~args:[ ("key", Trace.Int (Hashtbl.hash k.Key.id)) ];
       count_answer r
-    | None ->
+    | None -> (
       if Trace.enabled () then
-        Trace.instant "memo.miss" ~args:[ ("key", Trace.Int (Hashtbl.hash k.key)) ];
-      let r = run_instance ~max_rounds ~is_int (make_instance f) in
-      memo_store k r;
-      count_answer r)
+        Trace.instant "memo.miss"
+          ~args:[ ("key", Trace.Int (Hashtbl.hash k.Key.id)) ];
+      match Shared.consult k with
+      | _, Some r ->
+        memo_store k r;
+        count_answer r
+      | ticket, None ->
+        let r = run_instance ~max_rounds ~is_int (make_instance f) in
+        Shared.observe ticket r;
+        memo_store k r;
+        count_answer r))
 
 (* Unmemoized one-shot solve: in paranoid mode a memo hit replays the
    answer of an earlier (audited) computation without re-auditing, so
@@ -698,8 +1084,6 @@ let entails ~is_int p q =
 (* ------------------------------------------------------------------ *)
 (* Persistent sessions                                                 *)
 (* ------------------------------------------------------------------ *)
-
-module FTbl = Hashtbl.Make (Formula)
 
 module Session = struct
   type session = {
@@ -798,27 +1182,38 @@ module Session = struct
          match memo_k with
          | Some k ->
            Trace.instant "memo.hit"
-             ~args:[ ("key", Trace.Int (Hashtbl.hash k.key)) ]
+             ~args:[ ("key", Trace.Int (Hashtbl.hash k.Key.id)) ]
          | None -> ());
       count_answer r
-    | None ->
+    | None -> (
       (if Trace.enabled () then
          match memo_k with
          | Some k ->
            Trace.instant "memo.miss"
-             ~args:[ ("key", Trace.Int (Hashtbl.hash k.key)) ]
+             ~args:[ ("key", Trace.Int (Hashtbl.hash k.Key.id)) ]
          | None -> ());
-      let encoded = List.map (lit t) assumptions in
-      let r =
-        run_instance ~max_rounds ?node_limit
-          ~assumptions:(extra_lits @ List.map fst encoded)
-          ~check:(t.asserted @ assumptions)
-          ~theory_atoms:
-            (relevant_atoms t (extra_atoms @ List.concat_map snd encoded))
-          ~is_int:t.is_int t.inst
+      let ticket, shared =
+        match memo_k with
+        | Some k -> Shared.consult k
+        | None -> (None, None)
       in
-      (match memo_k with Some k -> memo_store k r | None -> ());
-      count_answer r
+      match shared with
+      | Some r ->
+        (match memo_k with Some k -> memo_store k r | None -> ());
+        count_answer r
+      | None ->
+        let encoded = List.map (lit t) assumptions in
+        let r =
+          run_instance ~max_rounds ?node_limit
+            ~assumptions:(extra_lits @ List.map fst encoded)
+            ~check:(t.asserted @ assumptions)
+            ~theory_atoms:
+              (relevant_atoms t (extra_atoms @ List.concat_map snd encoded))
+            ~is_int:t.is_int t.inst
+        in
+        Shared.observe ticket r;
+        (match memo_k with Some k -> memo_store k r | None -> ());
+        count_answer r)
 
   let solve_under ?max_rounds ?node_limit ?(assumptions = []) t =
     run ?max_rounds ?node_limit t assumptions

@@ -87,6 +87,36 @@ val set_paranoid : bool -> unit
 
 val paranoid : unit -> bool
 
+(** {2 Shared-context clustering}
+
+    Queries whose canonical formulas coincide up to constants share a
+    {e skeleton} (see {!Key}). Each skeleton owns one persistent SAT
+    instance encoding the constant-abstracted formula, so the boolean
+    structure and the SAT core's learnt clauses accumulate across the
+    batch, while theory checks always run over the consulting member's
+    concrete atoms (holes substituted by its constants). Theory lemmas
+    bridge members through guarded clauses: each conflict core is stored
+    over the symbolic skeleton atoms, and a later member assumes the
+    clause's guard literal only after the theory re-refutes the core
+    under its own constants — a bounded replay of the
+    constant-independent Farkas argument, audited like any other lemma
+    under paranoid mode. Only [Unsat] cluster verdicts are transferred
+    (they are exactly what a fresh solve concludes from the member's own
+    clauses plus member-validated lemmas); [Sat]/[Unknown] consultations
+    fall back to fresh solving so observable answers are bit-identical
+    with sharing on or off. *)
+
+val set_sharing : bool -> unit
+(** Enable/disable cluster consultation (also controlled by the
+    [SIA_SHARE] environment variable at startup; ["0"] disables).
+    {!solve_fresh} always bypasses clusters, like the memo cache. *)
+
+val sharing : unit -> bool
+
+val reset_caches : unit -> unit
+(** Drop the memo cache and all cluster sessions — differential test
+    harnesses use this to compare genuinely cold runs. *)
+
 (** {2 Persistent sessions}
 
     A session keeps one solver instance — atom table, Tseitin encoding,
@@ -166,6 +196,10 @@ type stats = {
   pivots : int;  (** simplex pivot operations *)
   tableau_rebuilds : int;  (** scratch rebuilds of a session tableau (bloat escape hatch) *)
   reused_rounds : int;  (** theory rounds served by an already-populated tableau *)
+  clusters : int;  (** shared-context cluster sessions materialized *)
+  shared_hits : int;  (** queries answered Unsat by their cluster session *)
+  shared_misses : int;  (** cluster consultations whose verdict was discarded *)
+  shared_lemmas : int;  (** theory lemmas learned inside cluster sessions *)
   encode_time : float;  (** CPU seconds spent encoding *)
   search_time : float;  (** CPU seconds spent in SAT search + theory *)
   theory_time : float;  (** CPU seconds spent in theory checks (part of [search_time]) *)

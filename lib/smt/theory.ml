@@ -148,7 +148,7 @@ type session = {
   entries : entry LitTbl.t;
   mutable simplex : Simplex.t;
   mutable sgen : int; (* structure generation, bumped on rebuild *)
-  node_limit : int;
+  mutable node_limit : int;
 }
 
 let create_session ~is_int ?(node_limit = 4000) ~max_var () =
@@ -162,6 +162,8 @@ let create_session ~is_int ?(node_limit = 4000) ~max_var () =
     node_limit;
   }
 
+let session_fresh_base s = s.fresh_base
+let set_session_node_limit s n = s.node_limit <- n
 let session_is_int s v = v >= s.fresh_base || s.is_int v
 
 let entry_of_lit s lit =

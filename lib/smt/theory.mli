@@ -47,6 +47,17 @@ val create_session :
     {!check_cert_session}; ids above it are reserved for divisibility
     witnesses. *)
 
+val session_fresh_base : session -> int
+(** First variable id reserved for session witnesses ([max_var + 1]).
+    Callers reusing a session across searches check that new atoms stay
+    below it and recreate the session otherwise. *)
+
+val set_session_node_limit : session -> int -> unit
+(** Adjust the branch-and-bound budget for subsequent
+    {!check_cert_session} calls. Verdicts remain a function of the
+    round's literals and the budget alone, so retargeting a live session
+    is equivalent to creating a fresh one with the new limit. *)
+
 val check_cert_session : session -> lit list -> verdict * Cert.theory_cert option
 (** Same contract as {!check_cert}, reusing the session's tableau.
     Certificates are phrased over the given round's literal positions,

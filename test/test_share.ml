@@ -1,0 +1,252 @@
+(* Shared-context clustering (Solver.Shared): sharing must change cost,
+   never answers. The differential property here is the strongest form:
+   solving a family of constant-variant formulas with sharing on yields
+   bit-identical verdicts and models to solving them with sharing off on
+   an equally cold cache — and the end-to-end synthesized SQL is byte
+   identical. Both run under paranoid auditing too (the certificate
+   checker sees every cluster-session lemma). *)
+
+open Sia_numeric
+module Atom = Sia_smt.Atom
+module Formula = Sia_smt.Formula
+module Linexpr = Sia_smt.Linexpr
+module Solver = Sia_smt.Solver
+module Parser = Sia_sql.Parser
+module Printer = Sia_sql.Printer
+module Schema = Sia_relalg.Schema
+open Sia_core
+
+let all_int _ = true
+
+let with_sharing flag f =
+  let was = Solver.sharing () in
+  Solver.reset_caches ();
+  Solver.set_sharing flag;
+  Fun.protect ~finally:(fun () -> Solver.set_sharing was) f
+
+let with_paranoid flag f =
+  let was = Solver.paranoid () in
+  Solver.set_paranoid flag;
+  Fun.protect ~finally:(fun () -> Solver.set_paranoid was) f
+
+let result_equal r1 r2 =
+  match (r1, r2) with
+  | Solver.Unsat, Solver.Unsat | Solver.Unknown, Solver.Unknown -> true
+  | Solver.Sat m1, Solver.Sat m2 ->
+    List.length m1 = List.length m2
+    && List.for_all2
+         (fun (v1, x1) (v2, x2) -> v1 = v2 && Rat.equal x1 x2)
+         m1 m2
+  | _ -> false
+
+let result_str = function
+  | Solver.Unsat -> "unsat"
+  | Solver.Unknown -> "unknown"
+  | Solver.Sat m ->
+    "sat:"
+    ^ String.concat ","
+        (List.map (fun (v, x) -> Printf.sprintf "%d=%s" v (Rat.to_string x)) m)
+
+(* ------------------------------------------------------------------ *)
+(* Unit: an Unsat streak over one skeleton hits the cluster            *)
+(* ------------------------------------------------------------------ *)
+
+let test_unsat_streak () =
+  with_sharing true @@ fun () ->
+  (* x <= c and x >= c+1: unsatisfiable for every c, same skeleton. *)
+  let mk c =
+    Formula.and_
+      [
+        Formula.atom (Atom.mk_le (Linexpr.var 1) (Linexpr.const (Rat.of_int c)));
+        Formula.atom
+          (Atom.mk_ge (Linexpr.var 1) (Linexpr.const (Rat.of_int (c + 1))));
+      ]
+  in
+  let s0 = Solver.stats () in
+  for c = 0 to 9 do
+    match Solver.solve ~is_int:all_int (mk c) with
+    | Solver.Unsat -> ()
+    | r -> Alcotest.failf "expected Unsat for c=%d, got %s" c (result_str r)
+  done;
+  let d = Solver.stats_since s0 in
+  Alcotest.(check bool) "cluster answered the streak's tail" true
+    (d.Solver.shared_hits >= 8);
+  Alcotest.(check bool) "a cluster session materialized" true
+    (d.Solver.clusters >= 1)
+
+let test_sat_members_fall_back () =
+  with_sharing true @@ fun () ->
+  (* An Unsat member arms the cluster; a Sat sibling must be re-solved
+     fresh (its model is the observable answer) and must flip the
+     consultation policy off again. *)
+  let le v c =
+    Formula.atom (Atom.mk_le (Linexpr.var v) (Linexpr.const (Rat.of_int c)))
+  in
+  let ge v c =
+    Formula.atom (Atom.mk_ge (Linexpr.var v) (Linexpr.const (Rat.of_int c)))
+  in
+  let mk lo hi = Formula.and_ [ ge 1 lo; le 1 hi ] in
+  (match Solver.solve ~is_int:all_int (mk 5 3) with
+   | Solver.Unsat -> ()
+   | r -> Alcotest.failf "expected Unsat, got %s" (result_str r));
+  let s0 = Solver.stats () in
+  (match Solver.solve ~is_int:all_int (mk 2 8) with
+   | Solver.Sat m ->
+     let x = Solver.model_value m 1 in
+     Alcotest.(check bool) "model in range" true
+       (Rat.compare x (Rat.of_int 2) >= 0 && Rat.compare x (Rat.of_int 8) <= 0)
+   | r -> Alcotest.failf "expected Sat, got %s" (result_str r));
+  let d = Solver.stats_since s0 in
+  Alcotest.(check int) "the Sat verdict was not a shared hit" 0
+    d.Solver.shared_hits
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: sharing on/off is bit-identical on random families          *)
+(* ------------------------------------------------------------------ *)
+
+(* A family is one random template (atom shapes and formula structure)
+   instantiated with several random constant vectors — exactly the
+   cluster-mate pattern. Coefficients and constants stay small so branch
+   and bound always terminates; variables are bounded below and above
+   often enough to make both Sat and Unsat members common. *)
+type family = {
+  structure : [ `Conj | `ConjOr ];
+  shapes : ([ `Le | `Ge | `Eq ] * (int * int) list) list;
+      (* relation, (var, coeff) terms *)
+  members : int list list; (* one constants vector per member *)
+}
+
+let build_member { structure; shapes; _ } consts =
+  let atoms =
+    List.map2
+      (fun (rel, terms) c ->
+        let e =
+          List.fold_left
+            (fun acc (v, k) ->
+              Linexpr.add acc (Linexpr.var ~coeff:(Rat.of_int k) v))
+            (Linexpr.const (Rat.of_int c))
+            terms
+        in
+        Formula.atom
+          (match rel with
+           | `Le -> Atom.mk_le e Linexpr.zero
+           | `Ge -> Atom.mk_ge e Linexpr.zero
+           | `Eq -> Atom.mk_eq e Linexpr.zero))
+      shapes consts
+  in
+  match (structure, atoms) with
+  | `Conj, _ -> Formula.and_ atoms
+  | `ConjOr, a :: (_ :: _ as rest) -> Formula.and_ [ a; Formula.or_ rest ]
+  | `ConjOr, atoms -> Formula.and_ atoms
+
+let family_formulas fam = List.map (build_member fam) fam.members
+
+let gen_family =
+  let open QCheck.Gen in
+  let shape =
+    pair
+      (oneofl [ `Le; `Ge; `Le; `Ge; `Eq ])
+      (list_size (int_range 1 2)
+         (pair (int_range 1 3) (int_range 1 3)))
+    >|= fun (rel, terms) ->
+    (* Signed coefficients, deduplicated variables (repeat vars are fine
+       for Linexpr but make templates degenerate more often). *)
+    (rel, List.mapi (fun i (v, k) -> (v, if i mod 2 = 0 then k else -k)) terms)
+  in
+  let* n_atoms = int_range 2 4 in
+  let* shapes = list_repeat n_atoms shape in
+  let* structure = oneofl [ `Conj; `Conj; `ConjOr ] in
+  let* n_members = int_range 2 4 in
+  let* members =
+    list_repeat n_members (list_repeat n_atoms (int_range (-8) 8))
+  in
+  return { structure; shapes; members }
+
+let print_family fam =
+  String.concat " | "
+    (List.map (Format.asprintf "%a" (Formula.pp ?name:None)) (family_formulas fam))
+
+let arb_family = QCheck.make ~print:print_family gen_family
+
+let solve_family fam =
+  List.map (Solver.solve ~is_int:all_int) (family_formulas fam)
+
+let sharing_differential fam =
+  let off = with_sharing false (fun () -> solve_family fam) in
+  let on = with_sharing true (fun () -> solve_family fam) in
+  if not (List.for_all2 result_equal off on) then
+    QCheck.Test.fail_reportf "sharing changed answers:@.off: %s@.on:  %s"
+      (String.concat "; " (List.map result_str off))
+      (String.concat "; " (List.map result_str on))
+  else true
+
+let prop_differential =
+  QCheck.Test.make ~name:"sharing on/off verdicts and models bit-identical"
+    ~count:80 arb_family
+    (fun fam -> with_paranoid false (fun () -> sharing_differential fam))
+
+let prop_differential_paranoid =
+  QCheck.Test.make
+    ~name:"sharing on/off bit-identical under paranoid auditing" ~count:40
+    arb_family
+    (fun fam -> with_paranoid true (fun () -> sharing_differential fam))
+
+(* ------------------------------------------------------------------ *)
+(* End to end: synthesized SQL is byte-identical, and sharing engages  *)
+(* ------------------------------------------------------------------ *)
+
+let cat = Schema.tpch
+let from2 = [ "lineitem"; "orders" ]
+
+let motivating_pred =
+  Parser.parse_predicate
+    "l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01' AND \
+     l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10"
+
+let attempts =
+  List.map
+    (fun cols ->
+      { Synthesize.from = from2; pred = motivating_pred; target_cols = cols })
+    [ [ "l_shipdate" ]; [ "o_orderdate" ]; [ "l_shipdate"; "l_commitdate" ] ]
+
+let run_batch share =
+  Solver.reset_caches ();
+  let cfg = { Config.default with Config.share } in
+  let b = Synthesize.synthesize_batch ~cfg cat attempts in
+  List.map
+    (fun st ->
+      match Synthesize.predicate st with
+      | Some p -> Printer.string_of_pred p
+      | None -> "-")
+    b.Synthesize.results
+
+let test_sql_identical () =
+  let off = run_batch false in
+  let s0 = Solver.stats () in
+  let on = run_batch true in
+  let d = Solver.stats_since s0 in
+  Alcotest.(check (list string)) "synthesized SQL byte-identical" off on;
+  Alcotest.(check bool) "sharing engaged (shared_hits > 0)" true
+    (d.Solver.shared_hits > 0);
+  (* Restore the environment default for any later test. *)
+  Solver.set_sharing Config.default.Config.share
+
+let () =
+  Sia_check.Check.enable ();
+  Alcotest.run "share"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "unsat streak hits cluster" `Quick
+            test_unsat_streak;
+          Alcotest.test_case "sat members fall back" `Quick
+            test_sat_members_fall_back;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_differential;
+          QCheck_alcotest.to_alcotest prop_differential_paranoid;
+        ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "sql byte-identical" `Quick test_sql_identical ] );
+    ]

@@ -109,14 +109,24 @@ let test_disabled_noop () =
 
 let test_jobs2_merged_trace () =
   fresh ();
+  (* Two structurally different queries: the batch must contain at least
+     two shard groups, or the effective-jobs cap (fewer groups than
+     workers) would correctly refuse to fork. The cap also consults the
+     detected core count, so force it to 2 for this single-core-safe
+     test. *)
+  Unix.putenv "SIA_ONLINE_CORES" "2";
+  let second_pred =
+    Parser.parse_predicate
+      "l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'"
+  in
   let attempts =
     List.map
-      (fun cols -> { Synthesize.from = from2; pred = motivating_pred; target_cols = cols })
+      (fun (pred, cols) -> { Synthesize.from = from2; pred; target_cols = cols })
       [
-        [ "l_shipdate" ];
-        [ "l_commitdate" ];
-        [ "l_shipdate"; "l_commitdate" ];
-        [ "o_orderdate" ];
+        (motivating_pred, [ "l_shipdate" ]);
+        (motivating_pred, [ "l_commitdate" ]);
+        (second_pred, [ "l_shipdate"; "l_commitdate" ]);
+        (second_pred, [ "o_orderdate" ]);
       ]
   in
   let cfg2 = { Config.default with Config.jobs = 2; Config.trace = true } in
