@@ -171,17 +171,25 @@ let mul_mag a b =
 (* Comparison                                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* Canonicality carries the cross-constructor cases: a [Big] magnitude
-   always exceeds every [Small] magnitude, so only its sign matters. *)
+(* Representation-independent: the mixed cases go through [repr] and
+   magnitude comparison instead of trusting that a [Big] always exceeds
+   a [Small]. Canonical values never hit the slow path in a surprising
+   way (mixed comparisons are decided by sign or a short compare_mag),
+   and a denormalized [Big] — possible only through the testing hook
+   [denormalized_of_int] or a future representation bug — still orders
+   by value. *)
 let compare a b =
   match (a, b) with
-  | Small x, Small y -> Stdlib.compare x y
-  | Small _, Big b -> if b.sign > 0 then -1 else 1
-  | Big a, Small _ -> if a.sign > 0 then 1 else -1
+  | Small x, Small y -> Int.compare x y
   | Big a, Big b ->
-    if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+    if a.sign <> b.sign then Int.compare a.sign b.sign
     else if a.sign >= 0 then compare_mag a.mag b.mag
     else compare_mag b.mag a.mag
+  | (Small _, Big _ | Big _, Small _) ->
+    let sa, ma = repr a and sb, mb = repr b in
+    if sa <> sb then Int.compare sa sb
+    else if sa >= 0 then compare_mag ma mb
+    else compare_mag mb ma
 
 let equal a b = compare a b = 0
 
@@ -413,10 +421,32 @@ let to_float = function
     done;
     if x.sign < 0 then -. !f else !f
 
-(* Equal values share a constructor (canonical representation), so the
-   two hash branches never have to agree with each other. *)
-let hash = function
-  | Small n -> Hashtbl.hash n
-  | Big x -> Hashtbl.hash (x.sign, x.mag)
+(* Representation-independent: both branches fold the same base-10^9
+   limb sequence (lowest limb first, trailing zeros trimmed) plus the
+   sign, so equal values hash equal even across [Small]/[Big]
+   representations of the same integer. The [Small] branch decomposes on
+   the negative side to survive [min_int]. *)
+let hash x =
+  let mix h limb = (h * 1000003) + limb in
+  match x with
+  | Small n ->
+    let s = if n > 0 then 1 else if n < 0 then -1 else 0 in
+    let rec go h m = if m = 0 then h else go (mix h (-(m mod base))) (m / base) in
+    (go 17 (if n > 0 then -n else n) * 31) + s
+  | Big b ->
+    let n = effective_length b.mag in
+    let h = ref 17 in
+    for i = 0 to n - 1 do
+      h := mix !h b.mag.(i)
+    done;
+    (!h * 31) + b.sign
 
 let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+(* Testing hook: the same value in the non-canonical [Big] form, limbs
+   zero-padded. compare/equal/hash must treat it exactly like [of_int n];
+   the representation-robustness properties in the test suite feed these
+   to every structural operation. *)
+let denormalized_of_int n =
+  let s = if n > 0 then 1 else if n < 0 then -1 else 0 in
+  Big { sign = s; mag = Array.append (mag_of_int n) [| 0; 0 |] }

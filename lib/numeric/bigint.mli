@@ -56,5 +56,19 @@ val min : t -> t -> t
 val max : t -> t -> t
 val pow : t -> int -> t
 val to_float : t -> float
+
 val hash : t -> int
+(** Representation-independent structural hash: agrees with {!equal}
+    even across the internal small/large representation split (see
+    {!denormalized_of_int}). Never use the polymorphic [Hashtbl.hash] on
+    values of this type. *)
+
 val pp : Format.formatter -> t -> unit
+
+val denormalized_of_int : int -> t
+(** Testing hook: the value [n] in a deliberately non-canonical internal
+    representation (the arbitrary-precision form, zero-padded, even when
+    [n] fits the native fast path). Observationally equal to
+    [of_int n] — [compare], [equal] and [hash] must not distinguish the
+    two — but structurally distinct, which is what the representation
+    robustness properties in the test suite exercise. *)

@@ -49,6 +49,13 @@ let compare a b =
   if both_int a b then Bigint.compare a.num b.num
   else Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
 let equal a b = compare a b = 0
+
+(* Rationals are kept in lowest terms with positive denominator, so
+   num/den are a hashing identity; mixing their representation-
+   independent Bigint hashes keeps [hash] consistent with [equal]
+   without rendering to a string. *)
+let hash x = (Bigint.hash x.num * 1000003) + Bigint.hash x.den
+
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 let floor x = Bigint.fdiv x.num x.den

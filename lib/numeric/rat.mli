@@ -24,6 +24,12 @@ val of_string : string -> t
 val to_string : t -> string
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash consistent with {!equal}; built on {!Bigint.hash},
+    so it is independent of the numerator/denominator representation
+    and allocation-free. Never use the polymorphic [Hashtbl.hash]. *)
+
 val sign : t -> int
 val is_zero : t -> bool
 val is_integer : t -> bool

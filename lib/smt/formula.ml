@@ -97,14 +97,19 @@ let rec hash = function
   | And fs -> Hashtbl.hash (11, List.map hash fs)
   | Or fs -> Hashtbl.hash (13, List.map hash fs)
 
+(* Dedup through Atom's structural hash/equality, not the polymorphic
+   hash: atoms embed Rat coefficients whose physical representation is
+   not a hashing identity. *)
+module AtomTbl = Hashtbl.Make (Atom)
+
 let atoms f =
-  let seen = Hashtbl.create 16 in
+  let seen = AtomTbl.create 16 in
   let acc = ref [] in
   let rec go = function
     | True | False -> ()
     | Atom a ->
-      if not (Hashtbl.mem seen a) then begin
-        Hashtbl.add seen a ();
+      if not (AtomTbl.mem seen a) then begin
+        AtomTbl.add seen a ();
         acc := a :: !acc
       end
     | Not g -> go g

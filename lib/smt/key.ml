@@ -6,6 +6,13 @@ type canonical = {
   back : int array; (* canonical var -> original var *)
 }
 
+(* The one sanctioned hash over a key identity: the formula goes through
+   Formula.hash (structural), never the polymorphic hash — formulas
+   carry Bigint/Rat values whose physical representation is not a valid
+   hashing identity. Shared by the memo/cluster tables and trace ids. *)
+let id_hash (f, bits, max_rounds, node_limit) =
+  Hashtbl.hash (Formula.hash f, bits, max_rounds, node_limit)
+
 let canonical ~is_int ~max_rounds ~node_limit f =
   let f = Formula.canon f in
   let fwd = Hashtbl.create 16 in

@@ -25,6 +25,12 @@ type canonical = {
   back : int array;  (** canonical var -> original var *)
 }
 
+val id_hash : Formula.t * bool list * int * int -> int
+(** Hash of a key identity ({!canonical} [id] or {!skeleton_id}),
+    routing the formula through the structural {!Formula.hash}. Always
+    use this instead of the polymorphic [Hashtbl.hash]: formulas carry
+    numeric values whose physical representation is not canonical. *)
+
 val canonical :
   is_int:(int -> bool) -> max_rounds:int -> node_limit:int -> Formula.t -> canonical
 (** Build the canonical key of a formula (expected in NNF). Stable

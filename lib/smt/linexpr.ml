@@ -76,8 +76,13 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* Allocation-free: Rat.hash is representation-independent, so the old
+   detour through Rat.to_string (one string per coefficient per hash)
+   is unnecessary. *)
 let hash a =
-  IntMap.fold (fun x c acc -> Hashtbl.hash (acc, x, Rat.to_string c)) a.tm (Hashtbl.hash (Rat.to_string a.k))
+  IntMap.fold
+    (fun x c acc -> (((acc * 1000003) + x) * 1000003) + Rat.hash c)
+    a.tm (Rat.hash a.k)
 
 let pp ?(name = fun i -> Printf.sprintf "x%d" i) fmt a =
   let first = ref true in

@@ -39,7 +39,10 @@ type bfarkas = (bref * Rat.t) list
 
 exception Conflict of bfarkas
 
-let core_of_farkas fk = List.sort_uniq Stdlib.compare (List.map fst fk)
+(* Atom ids are plain ints; comparing them with the dedicated int
+   comparator keeps the core extraction monomorphic (and safe if the id
+   representation ever grows structure). *)
+let core_of_farkas fk = List.sort_uniq Int.compare (List.map fst fk)
 
 let pivots = ref 0
 let pivot_count () = !pivots

@@ -1,6 +1,11 @@
 open Sia_numeric
 module Trace = Sia_trace.Trace
 
+(* Atom-keyed tables must hash/compare through Atom's own functions:
+   atoms embed Rat coefficients, and the polymorphic hash would key on
+   their physical representation. *)
+module AtomTbl = Hashtbl.Make (Atom)
+
 type model = (int * Rat.t) list
 
 type result =
@@ -293,7 +298,7 @@ let encode sat atom_var f =
 
 type instance = {
   sat : Sat.t;
-  atom_tbl : (Atom.t, int) Hashtbl.t;
+  atom_tbl : int AtomTbl.t;
   mutable atoms : (Atom.t * int) list;
   mutable max_atom_var : int; (* max theory var over [atoms]; -1 if none *)
   fvars : int list;
@@ -316,7 +321,7 @@ let make_instance f =
      the replayed clause set would be incomplete. *)
   let aud = new_auditor () in
   (match aud with Some a -> Sat.set_tracer sat (traced a) | None -> ());
-  let atom_tbl = Hashtbl.create 64 in
+  let atom_tbl = AtomTbl.create 64 in
   let inst =
     {
       sat;
@@ -330,11 +335,11 @@ let make_instance f =
     }
   in
   let atom_var a =
-    match Hashtbl.find_opt atom_tbl a with
+    match AtomTbl.find_opt atom_tbl a with
     | Some v -> v
     | None ->
       let v = Sat.new_var sat in
-      Hashtbl.add atom_tbl a v;
+      AtomTbl.add atom_tbl a v;
       inst.atoms <- (a, v) :: inst.atoms;
       inst.max_atom_var <- List.fold_left max inst.max_atom_var (Atom.vars a);
       v
@@ -346,11 +351,11 @@ let make_instance f =
   inst
 
 let atom_var inst a =
-  match Hashtbl.find_opt inst.atom_tbl a with
+  match AtomTbl.find_opt inst.atom_tbl a with
   | Some v -> v
   | None ->
     let v = Sat.new_var inst.sat in
-    Hashtbl.add inst.atom_tbl a v;
+    AtomTbl.add inst.atom_tbl a v;
     inst.atoms <- (a, v) :: inst.atoms;
     inst.max_atom_var <- List.fold_left max inst.max_atom_var (Atom.vars a);
     v
@@ -426,11 +431,11 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
      encoded ones. *)
   let var_of_atom =
     match theory_atoms with
-    | None -> fun a -> Hashtbl.find inst.atom_tbl a
+    | None -> fun a -> AtomTbl.find inst.atom_tbl a
     | Some l ->
-      let tbl = Hashtbl.create (2 * List.length l) in
-      List.iter (fun (a, v) -> Hashtbl.replace tbl a v) l;
-      fun a -> Hashtbl.find tbl a
+      let tbl = AtomTbl.create (2 * List.length l) in
+      List.iter (fun (a, v) -> AtomTbl.replace tbl a v) l;
+      fun a -> AtomTbl.find tbl a
   in
   (* Guard literals created by [lemma_guard] mid-run; assumed alongside
      the caller's assumptions for the remainder of this run. *)
@@ -639,7 +644,7 @@ module Memo = Hashtbl.Make (struct
   let equal (f1, b1, r1, n1) (f2, b2, r2, n2) =
     r1 = r2 && n1 = n2 && b1 = b2 && Formula.equal f1 f2
 
-  let hash (f, b, r, n) = Hashtbl.hash (Formula.hash f, b, r, n)
+  let hash = Key.id_hash
 end)
 
 let memo : result Memo.t = Memo.create 1024
@@ -742,7 +747,7 @@ module Shared = struct
     let equal (f1, b1, r1, n1) (f2, b2, r2, n2) =
       r1 = r2 && n1 = n2 && b1 = b2 && Formula.equal f1 f2
 
-    let hash (f, b, r, n) = Hashtbl.hash (Formula.hash f, b, r, n)
+    let hash = Key.id_hash
   end)
 
   (* A shared lemma: a theory conflict core learnt while solving one
@@ -866,13 +871,13 @@ module Shared = struct
             (* Two skeleton atoms can collapse onto one concrete atom when
                a member repeats a constant; the atom -> variable mapping
                would then be ambiguous. Rare: skip the consult. *)
-            let seen = Hashtbl.create 64 in
+            let seen = AtomTbl.create 64 in
             let collision =
               List.exists
                 (fun (a, _) ->
-                  Hashtbl.mem seen a
+                  AtomTbl.mem seen a
                   ||
-                  (Hashtbl.add seen a ();
+                  (AtomTbl.add seen a ();
                    false))
                 atoms
             in
@@ -944,14 +949,14 @@ module Shared = struct
                 totals := { !totals with shared_hits = !totals.shared_hits + 1 };
                 if Trace.enabled () then
                   Trace.instant "share.hit"
-                    ~args:[ ("key", Trace.Int (Hashtbl.hash ck)) ];
+                    ~args:[ ("key", Trace.Int (Key.id_hash ck)) ];
                 Some Unsat
               | Sat _ | Unknown ->
                 totals :=
                   { !totals with shared_misses = !totals.shared_misses + 1 };
                 if Trace.enabled () then
                   Trace.instant "share.miss"
-                    ~args:[ ("key", Trace.Int (Hashtbl.hash ck)) ];
+                    ~args:[ ("key", Trace.Int (Key.id_hash ck)) ];
                 None
             end
           with
@@ -994,12 +999,12 @@ let solve ?(max_rounds = default_max_rounds) ~is_int f =
       bump_cache_hit ();
       if Trace.enabled () then
         Trace.instant "memo.hit"
-          ~args:[ ("key", Trace.Int (Hashtbl.hash k.Key.id)) ];
+          ~args:[ ("key", Trace.Int (Key.id_hash k.Key.id)) ];
       count_answer r
     | None -> (
       if Trace.enabled () then
         Trace.instant "memo.miss"
-          ~args:[ ("key", Trace.Int (Hashtbl.hash k.Key.id)) ];
+          ~args:[ ("key", Trace.Int (Key.id_hash k.Key.id)) ];
       match Shared.consult k with
       | _, Some r ->
         memo_store k r;
@@ -1182,7 +1187,7 @@ module Session = struct
          match memo_k with
          | Some k ->
            Trace.instant "memo.hit"
-             ~args:[ ("key", Trace.Int (Hashtbl.hash k.Key.id)) ]
+             ~args:[ ("key", Trace.Int (Key.id_hash k.Key.id)) ]
          | None -> ());
       count_answer r
     | None -> (
@@ -1190,7 +1195,7 @@ module Session = struct
          match memo_k with
          | Some k ->
            Trace.instant "memo.miss"
-             ~args:[ ("key", Trace.Int (Hashtbl.hash k.Key.id)) ]
+             ~args:[ ("key", Trace.Int (Key.id_hash k.Key.id)) ]
          | None -> ());
       let ticket, shared =
         match memo_k with

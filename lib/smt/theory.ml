@@ -367,14 +367,16 @@ let check_cert_session s lits =
               (Linexpr.const (Rat.of_bigint (Bigint.add fl Bigint.one)))
           in
           let branch cut =
+            (* The pop must survive Out_of_budget escaping from [bb]:
+               a leaked frame would let the next branch read bounds
+               asserted by an abandoned sibling. *)
             Simplex.push sx;
-            let tr = Simplex.translate sx cut in
-            let r =
-              bb ~depth:(depth + 1)
-                ~setup:(fun () -> Simplex.assert_cut sx tr ~depth)
-            in
-            Simplex.pop sx;
-            r
+            Fun.protect
+              ~finally:(fun () -> Simplex.pop sx)
+              (fun () ->
+                let tr = Simplex.translate sx cut in
+                bb ~depth:(depth + 1)
+                  ~setup:(fun () -> Simplex.assert_cut sx tr ~depth))
           in
           (match branch le with
            | Ok m -> Ok m
@@ -383,7 +385,7 @@ let check_cert_session s lits =
              | Ok m -> Ok m
              | Error (c2, t2) ->
                Error
-                 ( List.sort_uniq Stdlib.compare (c1 @ c2),
+                 ( List.sort_uniq Int.compare (c1 @ c2),
                    Cert.Branch { var = v; floor = fl; le = t1; ge = t2 } )
            end)
       end

@@ -1,0 +1,179 @@
+(* sia-lint over its checked-in fixtures (tools/lint/fixtures): each
+   rule has a fixture whose violation lines carry an [EXPECT <rule>]
+   marker, and the scan must report exactly the marked (file, line,
+   rule) set — nothing more (the fixtures also contain clean idioms the
+   rules must not trip on) and nothing less. Every rule is additionally
+   run with itself disabled to prove the finding really comes from that
+   rule, and the clean fixture exercises the suppression workflow. *)
+
+(* Anchor on the binary, not the cwd: `dune runtest` runs tests from
+   the build's test/ directory but `dune exec test/test_lint.exe` does
+   not, and the fixtures sit next to the binary either way. *)
+let fixtures_dir =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "tools" (Filename.concat "lint" "fixtures")))
+let cmt name = Filename.concat fixtures_dir (name ^ ".cmt")
+
+(* (file, line, rule) for each EXPECT marker in a fixture source. *)
+let markers name =
+  let file = name ^ ".ml" in
+  let ic = open_in (Filename.concat fixtures_dir file) in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let acc = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let l = input_line ic in
+           incr lineno;
+           List.iter
+             (fun r ->
+               let tag = "EXPECT " ^ r in
+               let hit = ref false in
+               for i = 0 to String.length l - String.length tag do
+                 if String.sub l i (String.length tag) = tag then hit := true
+               done;
+               if !hit then acc := (file, !lineno, r) :: !acc)
+             [ "R1"; "R2"; "R3"; "R4" ]
+         done
+       with End_of_file -> ());
+      List.rev !acc)
+
+let key (f : Finding.t) = (f.Finding.file, f.Finding.line, f.Finding.rule)
+
+let triple = Alcotest.(list (triple string int string))
+let sorted l = List.sort compare l
+
+let base_cfg = Lint_config.load ()
+let all_fixtures = [ "fixture_r1"; "fixture_r2"; "fixture_r3"; "fixture_r4"; "fixture_clean" ]
+
+let run_fixtures ?(disabled = []) () =
+  let cfg = { base_cfg with Lint_config.disabled } in
+  Lint_run.run cfg
+    {
+      Lint_run.default_options with
+      build_root = fixtures_dir;
+      worker_all = true;
+      no_dune_rules = true;
+      extra_units = List.map cmt all_fixtures;
+    }
+
+(* The full run must report exactly the R1/R2/R4 markers (R3's marker
+   needs the layering restriction, applied in its own test below). *)
+let test_full_run () =
+  let { Lint_run.report; _ } = run_fixtures () in
+  let expected =
+    List.concat_map markers [ "fixture_r1"; "fixture_r2"; "fixture_r4" ]
+  in
+  Alcotest.check triple "findings = markers" (sorted expected)
+    (sorted (List.map key report.Finding.findings));
+  Alcotest.(check int) "clean fixture's violation was suppressed" 1
+    report.Finding.suppressed
+
+let test_rule_disabled rule () =
+  let { Lint_run.report; _ } = run_fixtures ~disabled:[ rule ] () in
+  let got = List.map key report.Finding.findings in
+  Alcotest.(check bool)
+    (rule ^ " findings gone when disabled")
+    false
+    (List.exists (fun (_, _, r) -> r = rule) got);
+  (* the other rules must still fire: disabling is per-rule, not global *)
+  let expected_other =
+    List.concat_map markers [ "fixture_r1"; "fixture_r2"; "fixture_r4" ]
+    |> List.filter (fun (_, _, r) -> r <> rule)
+  in
+  Alcotest.check triple
+    (rule ^ " off leaves the others")
+    (sorted expected_other) (sorted got)
+
+(* R3, module level: scanning fixture_r3 under the restriction
+   "references into Sia_smt limited to {Formula}" flags the Solver
+   reference and nothing else; without the restriction (or with R3
+   disabled) the unit is clean. *)
+let scan_r3 ~cfg ~r3 =
+  match Cmt_scan.load (cmt "fixture_r3") with
+  | None -> Alcotest.fail "fixture_r3.cmt failed to load"
+  | Some u ->
+    let decl_map = Cmt_scan.build_decl_map [ u ] in
+    let reaches = Cmt_scan.make_reaches cfg decl_map in
+    Cmt_scan.scan_unit cfg ~reaches ~worker:false ~r3 u
+
+let test_r3_module () =
+  let restricted = Some ("Sia_smt", [ "Formula" ]) in
+  let got = scan_r3 ~cfg:base_cfg ~r3:restricted in
+  Alcotest.check triple "restricted scan hits the marker"
+    (markers "fixture_r3")
+    (List.map key got);
+  Alcotest.(check int) "no restriction, no findings" 0
+    (List.length (scan_r3 ~cfg:base_cfg ~r3:None));
+  let disabled = { base_cfg with Lint_config.disabled = [ "R3" ] } in
+  Alcotest.(check int) "R3 disabled, no findings" 0
+    (List.length (scan_r3 ~cfg:disabled ~r3:restricted))
+
+(* R3, library level: the fixture dune graph declares fix_check with a
+   dependency outside its allowed set. *)
+let test_r3_graph () =
+  let libs =
+    Dune_graph.scan ~dune_filename:"dune_fixture"
+      [ Filename.concat fixtures_dir "r3_graph" ]
+  in
+  Alcotest.(check int) "two fixture libraries" 2 (List.length libs);
+  let cfg =
+    { base_cfg with Lint_config.layering = [ ("fix_check", [ "fix_numeric" ]) ] }
+  in
+  (match Dune_graph.check_layering cfg libs with
+   | [ f ] ->
+     Alcotest.(check string) "rule" "R3" f.Finding.rule;
+     Alcotest.(check bool) "points at the fixture dune file" true
+       (Filename.check_suffix f.Finding.file "fix_check/dune_fixture");
+     Alcotest.(check bool) "names the stray dependency" true
+       (let msg = f.Finding.msg in
+        let sub = "fix_simplex_internals" in
+        let hit = ref false in
+        for i = 0 to String.length msg - String.length sub do
+          if String.sub msg i (String.length sub) = sub then hit := true
+        done;
+        !hit)
+   | l -> Alcotest.failf "expected exactly one R3 finding, got %d" (List.length l));
+  (* the reachability closure the R4 worker set is built from *)
+  let names = Dune_graph.closure libs [ "fix_check" ] in
+  Alcotest.(check (list string)) "closure"
+    [ "fix_check"; "fix_numeric"; "fix_simplex_internals" ]
+    names
+
+(* Suppression mechanics: a reason is mandatory, long names map to rule
+   ids, and a marker covers its own line and the line below. *)
+let test_suppressions () =
+  Alcotest.(check (list string)) "long name"
+    [ "R1" ]
+    (Suppress.rules_on_line "x (* lint: allow poly-compare tag check *)");
+  Alcotest.(check (list string)) "rule id"
+    [ "R2" ]
+    (Suppress.rules_on_line "(* lint: allow R2 rebuilt on next use *)");
+  Alcotest.(check (list string)) "no reason, no suppression" []
+    (Suppress.rules_on_line "(* lint: allow R1 *)");
+  let t = [ (10, "R1") ] in
+  Alcotest.(check bool) "same line" true (Suppress.covers t ~line:10 ~rule:"R1");
+  Alcotest.(check bool) "line below" true (Suppress.covers t ~line:11 ~rule:"R1");
+  Alcotest.(check bool) "wrong rule" false (Suppress.covers t ~line:10 ~rule:"R2");
+  Alcotest.(check bool) "too far" false (Suppress.covers t ~line:12 ~rule:"R1")
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "full run matches markers" `Quick test_full_run;
+          Alcotest.test_case "R1 disabled" `Quick (test_rule_disabled "R1");
+          Alcotest.test_case "R2 disabled" `Quick (test_rule_disabled "R2");
+          Alcotest.test_case "R4 disabled" `Quick (test_rule_disabled "R4");
+        ] );
+      ( "layering",
+        [
+          Alcotest.test_case "module restriction" `Quick test_r3_module;
+          Alcotest.test_case "library graph" `Quick test_r3_graph;
+        ] );
+      ("suppress", [ Alcotest.test_case "mechanics" `Quick test_suppressions ]);
+    ]

@@ -222,6 +222,32 @@ let prop_delta_ops =
         (sign (Delta.compare x y));
       true)
 
+(* Representation robustness: [Bigint.denormalized_of_int] builds the
+   same value in the non-canonical multi-limb form; [compare], [equal]
+   and [hash] must not see the difference. [Rat.of_bigint] stores its
+   argument verbatim, so routing the denormalized value through it
+   checks that [Rat.hash]/[Rat.compare] inherit the property. *)
+let prop_repr_independence =
+  QCheck.Test.make ~name:"hash/compare across representations" ~count:2000
+    (QCheck.make gen_pair ~print:print_pair)
+    (fun (ai, bi_) ->
+      let a = Bigint.of_int ai and a' = Bigint.denormalized_of_int ai in
+      let b = Bigint.of_int bi_ and b' = Bigint.denormalized_of_int bi_ in
+      Alcotest.(check bool) "bigint equal" true (Bigint.equal a a');
+      Alcotest.(check int) "bigint hash" (Bigint.hash a) (Bigint.hash a');
+      let sign c = if c < 0 then -1 else if c > 0 then 1 else 0 in
+      let c0 = sign (Bigint.compare a b) in
+      Alcotest.(check int) "compare small/big" c0 (sign (Bigint.compare a b'));
+      Alcotest.(check int) "compare big/small" c0 (sign (Bigint.compare a' b));
+      Alcotest.(check int) "compare big/big" c0 (sign (Bigint.compare a' b'));
+      let r = Rat.of_bigint a and r' = Rat.of_bigint a' in
+      Alcotest.(check bool) "rat equal" true (Rat.equal r r');
+      Alcotest.(check int) "rat hash" (Rat.hash r) (Rat.hash r');
+      let s = Rat.of_bigint b and s' = Rat.of_bigint b' in
+      Alcotest.(check int)
+        "rat compare" (sign (Rat.compare r s)) (sign (Rat.compare r' s'));
+      true)
+
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "numeric-diff"
@@ -231,4 +257,5 @@ let () =
         @ [ Alcotest.test_case "min_int corners" `Quick test_min_int_corners ] );
       ("rat", qsuite [ prop_rat_ops ]);
       ("delta", qsuite [ prop_delta_ops ]);
+      ("representation", qsuite [ prop_repr_independence ]);
     ]

@@ -1,0 +1,539 @@
+(* Typedtree analysis over dune-produced .cmt files.
+
+   The scanner runs in two passes:
+
+   - pass 1 ([build_decl_map]) records, for every type declared anywhere
+     in the scanned tree, which other type constructors its definition
+     mentions. The transitive closure of that relation over the
+     configured canonical list answers "does type [T] transitively
+     contain Bigint.t/Rat.t/..." without needing a typing environment —
+     cmt files carry fully-resolved [type_expr]s, so structural
+     traversal plus the declaration relation covers aliases, records,
+     and variants across compilation units.
+
+   - pass 2 ([scan_unit]) walks expressions:
+     R1  polymorphic compare/equality/hash (and generic-Hashtbl access)
+         instantiated at a type that transitively contains a canonical
+         type;
+     R2  [Simplex.push]/[Theory.push] whose enclosing binding does not
+         guarantee the matching [pop] on exceptional exits via
+         [Fun.protect ~finally:(... pop ...)];
+     R3  module references from a layering-restricted directory into a
+         target library outside its allowed module set;
+     R4  fork hygiene in worker-reachable code: global [Random.*]
+         without reseeding, [at_exit], and [exit] with unflushed
+         buffered output in scope.
+
+   Names are compared after normalization to their last two components
+   with dune's [Lib__Module] mangling stripped, so [Sia_numeric__Rat.t],
+   [Sia_numeric.Rat.t] and a module-local [t] inside [rat.ml] all
+   normalize to [Rat.t]. *)
+
+open Types
+
+type unit_info = {
+  cmt_path : string;
+  source : string; (* as recorded by the compiler, repo-root relative *)
+  modname : string;
+  str : Typedtree.structure;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Name normalization                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* "Sia_numeric__Bigint" -> "Bigint"; "Dune__exe__Main" -> "Main". *)
+let unmangle m =
+  let n = String.length m in
+  let rec last_sep i best =
+    if i + 1 >= n then best
+    else if m.[i] = '_' && m.[i + 1] = '_' then last_sep (i + 2) (Some (i + 2))
+    else last_sep (i + 1) best
+  in
+  match last_sep 0 None with
+  | Some i when i < n -> String.sub m i (n - i)
+  | _ -> m
+
+(* Last two path components, unmangled: the form canonical-type and
+   session-module configuration is written in. *)
+let norm_name ~unit_short name =
+  match List.rev (String.split_on_char '.' name) with
+  | x :: m :: _ -> unmangle m ^ "." ^ x
+  | [ x ] -> unit_short ^ "." ^ x
+  | [] -> name
+
+let norm_path ~unit_short p = norm_name ~unit_short (Path.name p)
+
+(* ------------------------------------------------------------------ *)
+(* Loading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let load path : unit_info option =
+  match Cmt_format.read_cmt path with
+  | exception _ -> None
+  | cmt ->
+    (match cmt.Cmt_format.cmt_annots with
+     | Cmt_format.Implementation str ->
+       let source =
+         match cmt.Cmt_format.cmt_sourcefile with Some s -> s | None -> path
+       in
+       if Filename.check_suffix source ".ml-gen" then None
+       else
+         Some
+           { cmt_path = path; source; modname = cmt.Cmt_format.cmt_modname; str }
+     | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Type traversal                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* All Tconstr heads in a type, normalized; cycle-safe. *)
+let constr_names ~unit_short ty =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec walk ty =
+    let id = get_id ty in
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      (match get_desc ty with
+       | Tconstr (p, _, _) -> acc := norm_path ~unit_short p :: !acc
+       | _ -> ());
+      Btype.iter_type_expr walk ty
+    end
+  in
+  walk ty;
+  !acc
+
+(* First canonical type reachable from [ty], if any. [reaches] maps a
+   normalized type-constructor name to the canonical name it reaches
+   through the declaration relation. *)
+let type_contains ~unit_short ~reaches ty =
+  let seen = Hashtbl.create 8 in
+  let found = ref None in
+  let rec walk ty =
+    if !found = None then begin
+      let id = get_id ty in
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        (match get_desc ty with
+         | Tconstr (p, _, _) -> (
+           match reaches (norm_path ~unit_short p) with
+           | Some c -> found := Some c
+           | None -> ())
+         | _ -> ());
+        if !found = None then Btype.iter_type_expr walk ty
+      end
+    end
+  in
+  walk ty;
+  !found
+
+let first_arg_type ty =
+  match get_desc ty with Tarrow (_, a, _, _) -> Some a | _ -> None
+
+(* Compact rendering for diagnostics; avoids Printtyp's environment
+   machinery, which is not reliable outside the compiler proper. *)
+let rec render_type ~unit_short ty =
+  match get_desc ty with
+  | Tconstr (p, [], _) -> norm_path ~unit_short p
+  | Tconstr (p, args, _) ->
+    let args = List.map (render_type ~unit_short) args in
+    Printf.sprintf "(%s) %s" (String.concat ", " args) (norm_path ~unit_short p)
+  | Ttuple l -> String.concat " * " (List.map (render_type ~unit_short) l)
+  | Tarrow (_, a, b, _) ->
+    Printf.sprintf "%s -> %s" (render_type ~unit_short a) (render_type ~unit_short b)
+  | Tvar (Some v) -> "'" ^ v
+  | Tvar None -> "_"
+  | _ -> "_"
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: declaration relation                                        *)
+(* ------------------------------------------------------------------ *)
+
+type decl_map = (string, string list) Hashtbl.t
+
+let build_decl_map (units : unit_info list) : decl_map =
+  let map : decl_map = Hashtbl.create 256 in
+  List.iter
+    (fun u ->
+      let unit_short = unmangle u.modname in
+      let mod_stack = ref [] in
+      let declared name =
+        match !mod_stack with
+        | m :: _ -> m ^ "." ^ name
+        | [] -> unit_short ^ "." ^ name
+      in
+      let add_decl (td : Typedtree.type_declaration) =
+        let refs = ref [] in
+        let note_core (ct : Typedtree.core_type) =
+          refs := constr_names ~unit_short ct.ctyp_type @ !refs
+        in
+        (match td.typ_manifest with Some ct -> note_core ct | None -> ());
+        (match td.typ_kind with
+         | Typedtree.Ttype_variant cds ->
+           List.iter
+             (fun (cd : Typedtree.constructor_declaration) ->
+               match cd.cd_args with
+               | Typedtree.Cstr_tuple cts -> List.iter note_core cts
+               | Typedtree.Cstr_record lds ->
+                 List.iter (fun (ld : Typedtree.label_declaration) -> note_core ld.ld_type) lds)
+             cds
+         | Typedtree.Ttype_record lds ->
+           List.iter (fun (ld : Typedtree.label_declaration) -> note_core ld.ld_type) lds
+         | Typedtree.Ttype_abstract | Typedtree.Ttype_open -> ());
+        let name = declared td.typ_name.txt in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt map name) in
+        Hashtbl.replace map name (List.sort_uniq String.compare (!refs @ prev))
+      in
+      let iter =
+        {
+          Tast_iterator.default_iterator with
+          type_declaration =
+            (fun sub td ->
+              add_decl td;
+              Tast_iterator.default_iterator.type_declaration sub td);
+          module_binding =
+            (fun sub mb ->
+              let name =
+                match mb.Typedtree.mb_id with
+                | Some id -> Ident.name id
+                | None -> "_"
+              in
+              mod_stack := name :: !mod_stack;
+              Tast_iterator.default_iterator.module_binding sub mb;
+              mod_stack := List.tl !mod_stack);
+        }
+      in
+      iter.structure iter u.str)
+    units;
+  map
+
+(* Memoized reachability from a type name to a canonical type. *)
+let make_reaches (cfg : Lint_config.t) (map : decl_map) =
+  let memo : (string, string option) Hashtbl.t = Hashtbl.create 256 in
+  let rec go visiting name =
+    if List.mem name visiting then None
+    else if List.mem name cfg.canonical_types then Some name
+    else
+      match Hashtbl.find_opt memo name with
+      | Some r -> r
+      | None ->
+        let r =
+          match Hashtbl.find_opt map name with
+          | None -> None
+          | Some refs -> List.find_map (go (name :: visiting)) refs
+        in
+        (* Only memoize cycle-free results at the top of the stack;
+           entries computed under a [visiting] assumption may be
+           unsound to cache, and the map is small enough not to care. *)
+        if visiting = [] then Hashtbl.replace memo name r;
+        r
+  in
+  fun name -> go [] name
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: expression scan                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Per enclosing named binding state, for the rules that reason about
+   "all exits of this function". *)
+type frame = {
+  fname : string;
+  mutable pushes : (string * Location.t) list;
+  mutable pops : int;
+  mutable protect_pop : bool; (* Fun.protect ~finally:(... pop ...) seen *)
+  mutable prints : bool; (* buffered stdout/channel writes *)
+  mutable flushes : bool;
+  mutable exits : Location.t list;
+  mutable rand_uses : (string * Location.t) list;
+  mutable reseeds : bool;
+}
+
+let new_frame fname =
+  {
+    fname;
+    pushes = [];
+    pops = 0;
+    protect_pop = false;
+    prints = false;
+    flushes = false;
+    exits = [];
+    rand_uses = [];
+    reseeds = false;
+  }
+
+let print_fns =
+  [
+    "Stdlib.print_string"; "Stdlib.print_bytes"; "Stdlib.print_char";
+    "Stdlib.print_int"; "Stdlib.print_float"; "Stdlib.print_endline";
+    "Stdlib.Printf.printf"; "Stdlib.Format.printf";
+    "Stdlib.output_string"; "Stdlib.output_char"; "Stdlib.output_bytes";
+    "Stdlib.output_substring";
+  ]
+
+let flush_fns =
+  [ "Stdlib.flush"; "Stdlib.flush_all"; "Stdlib.print_newline"; "Stdlib.Format.print_flush" ]
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let constr_head_name (cd : constructor_description) =
+  match get_desc cd.cstr_res with
+  | Tconstr (p, _, _) -> Path.name p ^ "." ^ cd.cstr_name
+  | _ -> cd.cstr_name
+
+let scan_unit (cfg : Lint_config.t) ~reaches ~worker
+    ~(r3 : (string * string list) option) (u : unit_info) : Finding.t list =
+  let unit_short = unmangle u.modname in
+  let findings = ref [] in
+  let emit ~rule loc msg = findings := Finding.of_location ~rule msg loc :: !findings in
+  let r1 = Lint_config.rule_enabled cfg "R1" in
+  let r2 = Lint_config.rule_enabled cfg "R2" in
+  let r3_on = Lint_config.rule_enabled cfg "R3" && r3 <> None in
+  let r4 = Lint_config.rule_enabled cfg "R4" && worker in
+  (* A session module's own implementation is the one place its push/pop
+     bookkeeping legitimately lives, but it must still respect the
+     discipline of the *other* session modules it drives (Theory uses
+     Simplex sessions). *)
+  let session_mods =
+    List.filter (fun m -> not (String.equal m unit_short)) cfg.session_modules
+  in
+  let push_names = List.map (fun m -> m ^ ".push") session_mods in
+  let pop_names = List.map (fun m -> m ^ ".pop") session_mods in
+  (* Comparison idents already classified at their application site:
+     [x = []], [r = None], ... — equality against a constant constructor
+     is a tag check and cannot observe representation. *)
+  let exempt : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let loc_key (loc : Location.t) = (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum) in
+
+  (* R3: one finding per referenced module, not per occurrence. *)
+  let r3_seen = Hashtbl.create 8 in
+  let note_r3_path loc name =
+    match r3 with
+    | None -> ()
+    | Some (target, allowed) ->
+      let parts = String.split_on_char '.' name in
+      let rec scan = function
+        | c :: (next :: _ as rest) when String.equal c target ->
+          if
+            (not (List.mem next allowed))
+            && not (Hashtbl.mem r3_seen next)
+          then begin
+            Hashtbl.add r3_seen next ();
+            emit ~rule:"R3" loc
+              (Printf.sprintf
+                 "reference to %s.%s from a layering-restricted directory; allowed modules of %s here: {%s}"
+                 target next target (String.concat ", " allowed))
+          end;
+          scan rest
+        | c :: rest ->
+          if starts_with ~prefix:(target ^ "__") c then begin
+            let m = unmangle c in
+            if (not (List.mem m allowed)) && not (Hashtbl.mem r3_seen m) then begin
+              Hashtbl.add r3_seen m ();
+              emit ~rule:"R3" loc
+                (Printf.sprintf
+                   "reference to %s.%s from a layering-restricted directory; allowed modules of %s here: {%s}"
+                   target m target (String.concat ", " allowed))
+            end
+          end;
+          scan rest
+        | [] -> ()
+      in
+      scan parts
+  in
+
+  let frames = ref [ new_frame "(toplevel)" ] in
+  let top () = List.hd !frames in
+
+  let close_frame () =
+    match !frames with
+    | f :: rest ->
+      frames := rest;
+      if r2 && f.pushes <> [] && not f.protect_pop then begin
+        let name, loc = List.hd (List.rev f.pushes) in
+        let msg =
+          if f.pops = 0 then
+            Printf.sprintf
+              "%s in '%s' has no matching pop in this binding; an exception leaves the bound trail corrupted"
+              name f.fname
+          else
+            Printf.sprintf
+              "%s in '%s' is popped only on the normal path; wrap the body in Fun.protect ~finally:(fun () -> ... pop ...) so exceptional exits unwind the trail"
+              name f.fname
+        in
+        emit ~rule:"R2" loc msg
+      end;
+      if r4 then begin
+        if f.rand_uses <> [] && not f.reseeds then
+          List.iter
+            (fun (n, loc) ->
+              emit ~rule:"R4" loc
+                (Printf.sprintf
+                   "global %s in worker-reachable code: forked workers inherit the parent RNG state; use an explicitly seeded Random.State or reseed after fork"
+                   n))
+            f.rand_uses;
+        if f.prints && not f.flushes then
+          List.iter
+            (fun loc ->
+              emit ~rule:"R4" loc
+                (Printf.sprintf
+                   "exit in '%s' with buffered output written and no flush in scope; in a forked worker the parent's buffers are duplicated and partial output is lost — flush (or use Unix._exit after explicit flushes)"
+                   f.fname))
+            f.exits
+      end
+    | [] -> ()
+  in
+
+  (* Does this subtree mention a session pop? (Fun.protect ~finally) *)
+  let subtree_has_pop (e : Typedtree.expression) =
+    let found = ref false in
+    let iter =
+      {
+        Tast_iterator.default_iterator with
+        expr =
+          (fun sub ex ->
+            (match ex.Typedtree.exp_desc with
+             | Typedtree.Texp_ident (p, _, _) ->
+               if List.mem (norm_path ~unit_short p) pop_names then found := true
+             | _ -> ());
+            Tast_iterator.default_iterator.expr sub ex);
+      }
+    in
+    iter.expr iter e;
+    !found
+  in
+
+  let handle_ident loc (p : Path.t) (ty : type_expr) =
+    let name = Path.name p in
+    let norm2 = norm_name ~unit_short name in
+    if
+      r1
+      && List.mem name cfg.r1_compare_fns
+      && not (Hashtbl.mem exempt (loc_key loc))
+    then begin
+      match first_arg_type ty with
+      | Some a -> (
+        match type_contains ~unit_short ~reaches a with
+        | Some canonical ->
+          emit ~rule:"R1" loc
+            (Printf.sprintf
+               "%s used at type %s, which contains %s; structural compare/hash is representation-dependent — use the module's canonical compare/equal/hash"
+               norm2
+               (render_type ~unit_short a)
+               canonical)
+        | None -> ())
+      | None -> ()
+    end;
+    if r1 && List.mem name cfg.r1_hashtbl_fns then begin
+      match first_arg_type ty with
+      | Some a -> (
+        match get_desc a with
+        | Tconstr (tp, key :: _, _)
+          when String.equal (norm_path ~unit_short tp) "Hashtbl.t" -> (
+          match type_contains ~unit_short ~reaches key with
+          | Some canonical ->
+            emit ~rule:"R1" loc
+              (Printf.sprintf
+                 "generic Hashtbl.%s on a table keyed by %s (contains %s); the default hash and structural equality are representation-dependent — use Hashtbl.Make over the key module"
+                 (match List.rev (String.split_on_char '.' name) with
+                  | f :: _ -> f
+                  | [] -> name)
+                 (render_type ~unit_short key)
+                 canonical)
+          | None -> ())
+        | _ -> ())
+      | None -> ()
+    end;
+    if r2 then begin
+      if List.mem norm2 push_names then begin
+        let f = top () in
+        f.pushes <- (norm2, loc) :: f.pushes
+      end
+      else if List.mem norm2 pop_names then begin
+        let f = top () in
+        f.pops <- f.pops + 1
+      end
+    end;
+    if r4 then begin
+      let f = top () in
+      if starts_with ~prefix:"Stdlib.Random." name
+         && not (starts_with ~prefix:"Stdlib.Random.State." name)
+      then begin
+        match List.rev (String.split_on_char '.' name) with
+        | ("init" | "self_init" | "full_init" | "set_state") :: _ -> f.reseeds <- true
+        | _ -> f.rand_uses <- (norm2, loc) :: f.rand_uses
+      end;
+      if String.equal name "Stdlib.at_exit" then
+        emit ~rule:"R4" loc
+          "at_exit in worker-reachable code: handlers registered before fork run once per worker on exit; workers must terminate with Unix._exit";
+      if String.equal name "Stdlib.exit" then f.exits <- loc :: f.exits;
+      if List.mem name print_fns then f.prints <- true;
+      if List.mem name flush_fns then f.flushes <- true
+    end;
+    if r3_on then note_r3_path loc name
+  in
+
+  let iter =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub (e : Typedtree.expression) ->
+          (match e.Typedtree.exp_desc with
+           | Typedtree.Texp_ident (p, lid, _) ->
+             handle_ident lid.Location.loc p e.Typedtree.exp_type
+           | Typedtree.Texp_apply (f, args) -> (
+             match f.Typedtree.exp_desc with
+             | Typedtree.Texp_ident (p, _, _)
+               when String.equal (Path.name p) "Stdlib.Fun.protect" ->
+               List.iter
+                 (fun (lbl, arg) ->
+                   match (lbl, arg) with
+                   | Asttypes.Labelled "finally", Some fin ->
+                     if subtree_has_pop fin then (top ()).protect_pop <- true
+                   | _ -> ())
+                 args
+             | Typedtree.Texp_ident (p, lid, _)
+               when List.mem (Path.name p) cfg.r1_compare_fns ->
+               let const_construct (a : Typedtree.expression) =
+                 match a.Typedtree.exp_desc with
+                 | Typedtree.Texp_construct (_, cd, []) -> cd.cstr_arity = 0
+                 | _ -> false
+               in
+               if
+                 List.exists
+                   (fun (_, arg) ->
+                     match arg with Some a -> const_construct a | None -> false)
+                   args
+               then
+                 Hashtbl.replace exempt (loc_key lid.Location.loc) ()
+             | _ -> ())
+           | Typedtree.Texp_construct (lid, cd, _) ->
+             if r3_on then
+               note_r3_path lid.Location.loc (constr_head_name cd)
+           | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+      typ =
+        (fun sub (ct : Typedtree.core_type) ->
+          (match ct.Typedtree.ctyp_desc with
+           | Typedtree.Ttyp_constr (p, lid, _) ->
+             if r3_on then note_r3_path lid.Location.loc (Path.name p)
+           | _ -> ());
+          Tast_iterator.default_iterator.typ sub ct);
+      value_binding =
+        (fun sub (vb : Typedtree.value_binding) ->
+          let name =
+            match vb.Typedtree.vb_pat.Typedtree.pat_desc with
+            | Typedtree.Tpat_var (id, _) -> Ident.name id
+            | _ -> "_"
+          in
+          frames := new_frame name :: !frames;
+          Tast_iterator.default_iterator.value_binding sub vb;
+          close_frame ());
+    }
+  in
+  iter.structure iter u.str;
+  (* close the toplevel frame to evaluate structure-level code *)
+  close_frame ();
+  List.rev !findings

@@ -1,0 +1,117 @@
+(* Library dependency graph, recovered from the checked-in dune files.
+
+   Used twice: R3 layering (lib/check and lib/numeric must not grow
+   dependencies) and R4 reachability (the set of directories whose code
+   runs inside forked Pool workers is the dependency closure of the
+   configured worker root libraries). Parsing the dune files directly —
+   rather than shelling out to [dune describe] — keeps the linter
+   runnable from inside a dune rule. *)
+
+type lib = {
+  name : string; (* (name ...) of the library stanza *)
+  dir : string; (* directory containing the dune file, relative *)
+  file : string; (* the dune file the stanza came from *)
+  deps : string list; (* (libraries ...) entries *)
+}
+
+let parse_dune_file ~dir path : lib list =
+  let forms = try Sexp_lite.parse_file path with Sexp_lite.Parse_error _ -> [] in
+  List.filter_map
+    (function
+      | Sexp_lite.List (Sexp_lite.Atom "library" :: body) ->
+        let name =
+          match Sexp_lite.field "name" body with
+          | Some [ Sexp_lite.Atom n ] -> Some n
+          | _ -> None
+        in
+        let deps =
+          match Sexp_lite.field "libraries" body with
+          | Some entries ->
+            List.filter_map
+              (function
+                | Sexp_lite.Atom a -> Some a
+                | Sexp_lite.List (Sexp_lite.Atom "re_export" :: Sexp_lite.Atom a :: _) ->
+                  Some a
+                | Sexp_lite.List _ -> None)
+              entries
+          | None -> []
+        in
+        (match name with
+         | Some n -> Some { name = n; dir; file = path; deps }
+         | None -> None)
+      | _ -> None)
+    forms
+
+(* All library stanzas under [roots], following subdirectories.
+   [dune_filename] is parameterized so R3 fixtures (which must not be
+   picked up by dune itself) can use a different extension. *)
+let scan ?(dune_filename = "dune") roots : lib list =
+  let acc = ref [] in
+  let rec walk dir =
+    if Sys.file_exists dir && Sys.is_directory dir then begin
+      let entries = Sys.readdir dir in
+      Array.sort String.compare entries;
+      Array.iter
+        (fun e ->
+          let p = Filename.concat dir e in
+          if Sys.is_directory p then begin
+            (* don't descend into build/VCS internals *)
+            if not (String.length e > 0 && (e.[0] = '.' || e.[0] = '_')) then walk p
+          end
+          else if String.equal e dune_filename then
+            acc := parse_dune_file ~dir p @ !acc)
+        entries
+    end
+  in
+  List.iter walk roots;
+  List.rev !acc
+
+(* Dependency closure over library names; unknown names (external
+   libraries like unix) are kept in the result but not expanded. *)
+let closure libs roots =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace tbl l.name l) libs;
+  let seen = Hashtbl.create 16 in
+  let rec go n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      match Hashtbl.find_opt tbl n with
+      | Some l -> List.iter go l.deps
+      | None -> ()
+    end
+  in
+  List.iter go roots;
+  Hashtbl.fold (fun n () acc -> n :: acc) seen [] |> List.sort String.compare
+
+(* Directories owning the given library names. *)
+let dirs_of libs names =
+  List.filter_map
+    (fun l -> if List.mem l.name names then Some l.dir else None)
+    libs
+  |> List.sort_uniq String.compare
+
+(* R3: each configured library's dependency list must be a subset of its
+   allowed set. A library that disappears entirely is also an error —
+   the rule would otherwise rot silently. *)
+let check_layering (cfg : Lint_config.t) libs : Finding.t list =
+  List.concat_map
+    (fun (lib_name, allowed) ->
+      match List.find_opt (fun l -> String.equal l.name lib_name) libs with
+      | None ->
+        [
+          Finding.make ~rule:"R3" ~file:"(dune graph)" ~line:0 ~col:0
+            (Printf.sprintf "library %s is layering-constrained but no dune file declares it"
+               lib_name);
+        ]
+      | Some l ->
+        List.filter_map
+          (fun d ->
+            if List.mem d allowed then None
+            else
+              Some
+                (Finding.make ~rule:"R3" ~file:l.file ~line:1 ~col:0
+                   (Printf.sprintf
+                      "library %s depends on %s; its allowed dependency set is {%s}"
+                      lib_name d (String.concat ", " allowed))))
+          l.deps)
+    cfg.Lint_config.layering

@@ -1,0 +1,83 @@
+(* A lint finding and its two output formats: human [file:line:col]
+   diagnostics and the machine-readable JSON report uploaded by CI. *)
+
+type t = {
+  rule : string; (* "R1".."R4" *)
+  file : string; (* path relative to the repo root *)
+  line : int;
+  col : int;
+  msg : string;
+}
+
+let make ~rule ~file ~line ~col msg = { rule; file; line; col; msg }
+
+let of_location ~rule msg (loc : Location.t) =
+  let p = loc.loc_start in
+  {
+    rule;
+    file = p.pos_fname;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    msg;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.msg b.msg
+
+let pp_human ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json b f =
+  Printf.bprintf b
+    "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
+    (json_escape f.rule) (json_escape f.file) f.line f.col (json_escape f.msg)
+
+type report = {
+  findings : t list;
+  suppressed : int; (* dropped by in-source [(* lint: allow ... *)] *)
+  allowlisted : int; (* dropped by tools/lint/allow.sexp *)
+  units_scanned : int;
+}
+
+let report_to_json r =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b
+    "{\"tool\":\"sia-lint\",\"version\":1,\"units_scanned\":%d,\"suppressed\":%d,\"allowlisted\":%d,\"findings\":["
+    r.units_scanned r.suppressed r.allowlisted;
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n  ";
+      to_json b f)
+    r.findings;
+  if r.findings <> [] then Buffer.add_char b '\n';
+  Buffer.add_string b "]}\n";
+  Buffer.contents b

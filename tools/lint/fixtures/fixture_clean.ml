@@ -1,0 +1,23 @@
+(* Clean fixture: canonical-typed code written the sanctioned way, plus
+   one deliberate violation carrying a suppression comment. A full run
+   over this unit must report zero findings (and one suppressed). *)
+
+module Bigint = struct
+  type t = Small of int
+
+  let compare (a : t) (b : t) =
+    match (a, b) with Small x, Small y -> Int.compare x y
+
+  let equal a b = compare a b = 0
+  let hash (Small n : t) = n land max_int
+end
+
+module BTbl = Hashtbl.Make (Bigint)
+
+let good_compare (a : Bigint.t) (b : Bigint.t) = Bigint.compare a b
+
+let table : int BTbl.t = BTbl.create 8
+let good_lookup x = BTbl.find_opt table x
+
+(* lint: allow poly-compare fixture demonstrating the suppression workflow *)
+let suppressed (a : Bigint.t) (b : Bigint.t) = Stdlib.compare a b

@@ -1,0 +1,28 @@
+(* R1 fixture: polymorphic compare/hash at canonical types.
+
+   Self-contained: the local [Bigint] shadows nothing real — name
+   normalization reduces its type to [Bigint.t], which is on the
+   canonical list, exactly as the mangled cross-library paths do in the
+   real tree. Lines marked EXPECT must each produce one R1 finding. *)
+
+module Bigint = struct
+  type t = Small of int | Big of int list
+  let of_int n = Small n
+end
+
+(* transitive containment: a record reaching Bigint.t through a field *)
+type bound = { value : Bigint.t; strict : bool }
+
+let direct_compare (a : Bigint.t) (b : Bigint.t) = compare a b (* EXPECT R1 *)
+
+let poly_hash (b : bound) = Hashtbl.hash b (* EXPECT R1 *)
+
+let member (b : bound) (l : bound list) = List.mem b l (* EXPECT R1 *)
+
+let table : (Bigint.t, int) Hashtbl.t = Hashtbl.create 8
+
+let lookup x = Hashtbl.find_opt table x (* EXPECT R1 *)
+
+(* no finding: equality against a constant constructor is a tag check *)
+let is_small (x : Bigint.t) = match x with Small _ -> true | Big _ -> false
+let non_empty (l : bound list) = l <> []

@@ -1,0 +1,22 @@
+(* R2 fixture: push/pop balance on session modules.
+
+   The local [Simplex] normalizes to the configured session module name.
+   [unbalanced] pops only on the normal path — an exception from [work]
+   leaks the frame — so its push line must produce one R2 finding.
+   [balanced] uses Fun.protect and must stay clean. *)
+
+module Simplex = struct
+  type t = int ref
+  let push (s : t) = incr s
+  let pop (s : t) = decr s
+  let work (s : t) = if !s > 3 then raise Exit
+end
+
+let unbalanced (s : Simplex.t) =
+  Simplex.push s; (* EXPECT R2 *)
+  Simplex.work s;
+  Simplex.pop s
+
+let balanced (s : Simplex.t) =
+  Simplex.push s;
+  Fun.protect ~finally:(fun () -> Simplex.pop s) (fun () -> Simplex.work s)

@@ -1,0 +1,22 @@
+(* R3 fixture: module-level layering. Scanned with the restriction
+   "references into Sia_smt are limited to {Formula}"; the local
+   [Sia_smt] stands in for the real library. The [Solver] reference must
+   produce one R3 finding; the [Formula] references must stay clean. *)
+
+module Sia_smt = struct
+  module Formula = struct
+    type t = bool
+
+    let tru : t = true
+  end
+
+  module Solver = struct
+    type t = int
+
+    let solve () : t = 0
+  end
+end
+
+let ok : Sia_smt.Formula.t = Sia_smt.Formula.tru
+
+let bad = Sia_smt.Solver.solve () (* EXPECT R3 *)

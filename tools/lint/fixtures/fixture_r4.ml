@@ -1,0 +1,24 @@
+(* R4 fixture: fork hygiene in worker-reachable code (scanned with the
+   worker flag forced on). Three violations: the global RNG without a
+   reseed, an at_exit registration, and an exit with buffered output and
+   no flush in scope. [seeded] and [flushing] must stay clean. *)
+
+let jitter () = Random.int 100 (* EXPECT R4 *)
+
+let register () = at_exit (fun () -> ()) (* EXPECT R4 *)
+
+let shutdown code =
+  print_string "bye";
+  exit code (* EXPECT R4 *)
+
+(* no finding: explicit state, reseeded use, flushed exit *)
+let seeded st = Random.State.int st 100
+
+let reseeding () =
+  Random.self_init ();
+  Random.int 100
+
+let flushing code =
+  print_string "bye";
+  flush stdout;
+  exit code

@@ -1,0 +1,144 @@
+(* Orchestration: find cmt files under the scan roots, build the type
+   declaration relation, run every rule, then filter findings through
+   in-source suppressions and the checked-in allowlist. *)
+
+type result = {
+  report : Finding.report;
+  (* findings dropped by suppression/allowlist, for --verbose *)
+  dropped : Finding.t list;
+}
+
+let find_files ~suffix roots =
+  let acc = ref [] in
+  let rec walk dir =
+    if Sys.file_exists dir && Sys.is_directory dir then begin
+      let entries = Sys.readdir dir in
+      Array.sort String.compare entries;
+      Array.iter
+        (fun e ->
+          let p = Filename.concat dir e in
+          if Sys.is_directory p then walk p
+          else if Filename.check_suffix e suffix then acc := p :: !acc)
+        entries
+    end
+  in
+  List.iter walk roots;
+  List.rev !acc
+
+(* One unit per source file: dune can leave both byte and native cmts. *)
+let load_units cmt_paths =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun p ->
+      match Cmt_scan.load p with
+      | Some u when not (Hashtbl.mem seen u.Cmt_scan.source) ->
+        Hashtbl.add seen u.Cmt_scan.source ();
+        Some u
+      | _ -> None)
+    cmt_paths
+
+let dir_prefix dir file = String.length file > String.length dir
+  && String.sub file 0 (String.length dir) = dir
+  && file.[String.length dir] = '/'
+
+type options = {
+  roots : string list; (* directories to scan for cmts *)
+  build_root : string; (* where sources live, for suppression scanning *)
+  worker_all : bool; (* treat every unit as worker-reachable (tests) *)
+  no_dune_rules : bool; (* skip dune-graph based checks (tests) *)
+  extra_units : string list; (* explicit cmt files to scan *)
+}
+
+let default_options =
+  {
+    roots = [];
+    build_root = ".";
+    worker_all = false;
+    no_dune_rules = false;
+    extra_units = [];
+  }
+
+let run (cfg : Lint_config.t) (opts : options) : result =
+  let cmts = find_files ~suffix:".cmt" opts.roots @ opts.extra_units in
+  let units = load_units cmts in
+  let decl_map = Cmt_scan.build_decl_map units in
+  let reaches = Cmt_scan.make_reaches cfg decl_map in
+  (* dune graph: R3 library layering + R4 worker-reachable directories *)
+  let graph_findings, worker_dirs =
+    if opts.no_dune_rules then ([], [])
+    else begin
+      let libs = Dune_graph.scan [ opts.build_root ] in
+      (* paths in the graph carry the build_root prefix; strip it so they
+         compare against compiler-recorded source paths *)
+      let strip d =
+        let pre = opts.build_root ^ "/" in
+        if String.length d > String.length pre && String.sub d 0 (String.length pre) = pre
+        then String.sub d (String.length pre) (String.length d - String.length pre)
+        else if String.equal d opts.build_root then "."
+        else d
+      in
+      let libs =
+        List.map
+          (fun l ->
+            { l with
+              Dune_graph.dir = strip l.Dune_graph.dir;
+              file = strip l.Dune_graph.file })
+          libs
+      in
+      let g =
+        if Lint_config.rule_enabled cfg "R3" then Dune_graph.check_layering cfg libs
+        else []
+      in
+      let dirs =
+        if Lint_config.rule_enabled cfg "R4" then
+          Dune_graph.dirs_of libs (Dune_graph.closure libs cfg.worker_roots)
+        else []
+      in
+      (g, dirs)
+    end
+  in
+  let unit_findings =
+    List.concat_map
+      (fun (u : Cmt_scan.unit_info) ->
+        let worker =
+          opts.worker_all || List.exists (fun d -> dir_prefix d u.source) worker_dirs
+        in
+        let r3 =
+          List.find_map
+            (fun (dir, target, allowed) ->
+              if dir_prefix dir u.source then Some (target, allowed) else None)
+            cfg.module_layering
+        in
+        Cmt_scan.scan_unit cfg ~reaches ~worker ~r3 u)
+      units
+  in
+  let all = List.sort_uniq Finding.compare (graph_findings @ unit_findings) in
+  (* filter: per-site suppressions, then the allowlist *)
+  let suppression_cache = Hashtbl.create 16 in
+  let suppressions file =
+    match Hashtbl.find_opt suppression_cache file with
+    | Some s -> s
+    | None ->
+      let s = Suppress.scan_source (Filename.concat opts.build_root file) in
+      Hashtbl.add suppression_cache file s;
+      s
+  in
+  let kept, dropped_s =
+    List.partition
+      (fun (f : Finding.t) ->
+        not (Suppress.covers (suppressions f.file) ~line:f.line ~rule:f.rule))
+      all
+  in
+  let kept, dropped_a =
+    List.partition (fun f -> not (Lint_config.allowlisted cfg f)) kept
+  in
+  {
+    report =
+      {
+        Finding.findings = kept;
+        suppressed = List.length dropped_s;
+        allowlisted = List.length dropped_a;
+        units_scanned = List.length units;
+      };
+    dropped = dropped_s @ dropped_a;
+  }

@@ -1,0 +1,134 @@
+(* Minimal s-expression reader for the lint configuration and allowlist.
+
+   Grammar: atoms (bare or double-quoted with backslash escapes), lists,
+   and [;] line comments. No external dependencies — this is the same
+   trade-off the rest of the repo makes (hand-rolled JSON in bench,
+   hand-rolled lexer in lib/sql). *)
+
+type t =
+  | Atom of string
+  | List of t list
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_blank c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_blank c
+  | Some ';' ->
+    let rec eol () =
+      match peek c with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance c;
+        eol ()
+    in
+    eol ();
+    skip_blank c
+  | _ -> ()
+
+let read_quoted c =
+  advance c (* opening quote *);
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_error "unterminated string at offset %d" c.pos
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+       | Some 'n' -> Buffer.add_char b '\n'
+       | Some 't' -> Buffer.add_char b '\t'
+       | Some ch -> Buffer.add_char b ch
+       | None -> parse_error "dangling escape at end of input");
+      advance c;
+      go ()
+    | Some ch ->
+      Buffer.add_char b ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let read_bare c =
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';') | None -> ()
+    | Some ch ->
+      Buffer.add_char b ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let rec read_sexp c =
+  skip_blank c;
+  match peek c with
+  | None -> parse_error "unexpected end of input"
+  | Some '(' ->
+    advance c;
+    let rec items acc =
+      skip_blank c;
+      match peek c with
+      | Some ')' ->
+        advance c;
+        List (List.rev acc)
+      | None -> parse_error "unterminated list"
+      | _ -> items (read_sexp c :: acc)
+    in
+    items []
+  | Some ')' -> parse_error "unexpected ')' at offset %d" c.pos
+  | Some '"' -> Atom (read_quoted c)
+  | Some _ -> Atom (read_bare c)
+
+(* Every toplevel form in the input, in order. *)
+let parse_many src =
+  let c = { src; pos = 0 } in
+  let rec go acc =
+    skip_blank c;
+    if c.pos >= String.length c.src then List.rev acc else go (read_sexp c :: acc)
+  in
+  go []
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_many (really_input_string ic (in_channel_length ic)))
+
+(* Accessors used by the config loader. *)
+
+let atom = function
+  | Atom s -> s
+  | List _ -> parse_error "expected atom, got list"
+
+let atoms = function
+  | List l -> List.map atom l
+  | Atom s -> parse_error "expected list of atoms, got atom %S" s
+
+(* [field name forms] is the tail of the first [(name ...)] form. *)
+let field name forms =
+  List.find_map
+    (function
+      | List (Atom hd :: rest) when String.equal hd name -> Some rest
+      | _ -> None)
+    forms
+
+let fields name forms =
+  List.filter_map
+    (function
+      | List (Atom hd :: rest) when String.equal hd name -> Some rest
+      | _ -> None)
+    forms

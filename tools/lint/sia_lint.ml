@@ -1,0 +1,69 @@
+(* sia-lint: repo-specific soundness-invariant static analyzer.
+
+   Usage: sia_lint [options] ROOT...
+
+   ROOTs are directories searched recursively for .cmt files (dune's
+   .objs directories included); run [dune build @check] first, or let
+   the @lint alias do it. Exits 1 when any non-suppressed,
+   non-allowlisted finding remains. *)
+
+let () =
+  let roots = ref [] in
+  let build_root = ref "." in
+  let json_out = ref "" in
+  let allow_file = ref "tools/lint/allow.sexp" in
+  let disabled = ref [] in
+  let worker_all = ref false in
+  let no_dune_rules = ref false in
+  let verbose = ref false in
+  let spec =
+    [
+      ("--build-root", Arg.Set_string build_root,
+       "DIR root for sources/dune files (default .)");
+      ("--json", Arg.Set_string json_out, "FILE write the JSON report to FILE");
+      ("--allow", Arg.Set_string allow_file,
+       "FILE allowlist/config sexp (default tools/lint/allow.sexp)");
+      ("--disable", Arg.String (fun r -> disabled := r :: !disabled),
+       "RULE disable a rule (R1..R4); repeatable");
+      ("--worker-all", Arg.Set worker_all,
+       " treat every scanned unit as worker-reachable (R4)");
+      ("--no-dune-rules", Arg.Set no_dune_rules,
+       " skip dune-graph checks (library layering, worker reachability)");
+      ("--verbose", Arg.Set verbose, " also print suppressed/allowlisted findings");
+    ]
+  in
+  Arg.parse spec (fun r -> roots := r :: !roots)
+    "sia-lint: soundness-invariant checker for the sia solver core";
+  let cfg =
+    let base =
+      Lint_config.load ~path:(Filename.concat !build_root !allow_file) ()
+    in
+    { base with Lint_config.disabled = base.Lint_config.disabled @ !disabled }
+  in
+  let opts =
+    {
+      Lint_run.default_options with
+      roots = List.rev !roots;
+      build_root = !build_root;
+      worker_all = !worker_all;
+      no_dune_rules = !no_dune_rules;
+    }
+  in
+  let { Lint_run.report; dropped } = Lint_run.run cfg opts in
+  if !json_out <> "" then begin
+    let oc = open_out !json_out in
+    output_string oc (Finding.report_to_json report);
+    close_out oc
+  end;
+  List.iter
+    (fun f -> Format.printf "%a@." Finding.pp_human f)
+    report.Finding.findings;
+  if !verbose then
+    List.iter
+      (fun f -> Format.printf "(dropped) %a@." Finding.pp_human f)
+      dropped;
+  Format.printf "sia-lint: %d unit(s), %d finding(s), %d suppressed, %d allowlisted@."
+    report.Finding.units_scanned
+    (List.length report.Finding.findings)
+    report.Finding.suppressed report.Finding.allowlisted;
+  if report.Finding.findings <> [] then exit 1

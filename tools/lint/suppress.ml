@@ -1,0 +1,80 @@
+(* Per-site suppressions.
+
+   A finding at [file:line] is suppressed when line [line] or [line - 1]
+   of the source contains
+
+     (* lint: allow <tag> <reason> *)
+
+   where [<tag>] is either the rule id (R1..R4) or its long name
+   (poly-compare, push-pop, layering, fork-hygiene). A reason is
+   required: a bare [(* lint: allow R1 *)] does not suppress, which
+   keeps "why is this ok" in the diff next to the site. *)
+
+let long_names =
+  [
+    ("poly-compare", "R1");
+    ("push-pop", "R2");
+    ("layering", "R3");
+    ("fork-hygiene", "R4");
+  ]
+
+let marker = "lint: allow"
+
+(* Rules suppressed on a given source line, or [] — a rule is included
+   only when a non-empty reason follows the tag. *)
+let rules_on_line line =
+  match String.index_opt line 'l' with
+  | None -> []
+  | Some _ ->
+    let rec find_from i =
+      if i + String.length marker > String.length line then None
+      else if String.equal (String.sub line i (String.length marker)) marker then Some i
+      else find_from (i + 1)
+    in
+    (match find_from 0 with
+     | None -> []
+     | Some i ->
+       let rest = String.sub line (i + String.length marker) (String.length line - i - String.length marker) in
+       (* first token = tag, anything after (before the comment close) = reason *)
+       let words =
+         String.split_on_char ' ' rest
+         |> List.concat_map (String.split_on_char '\t')
+         |> List.filter (fun w -> w <> "")
+       in
+       (match words with
+        | tag :: reason ->
+          let reason = List.filter (fun w -> not (String.equal w "*)")) reason in
+          if reason = [] then []
+          else begin
+            let rule =
+              match List.assoc_opt tag long_names with
+              | Some r -> r
+              | None -> tag
+            in
+            [ rule ]
+          end
+        | [] -> []))
+
+type t = (int * string) list (* (line, rule) pairs *)
+
+let scan_source path : t =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let acc = ref [] in
+        let lineno = ref 0 in
+        (try
+           while true do
+             let l = input_line ic in
+             incr lineno;
+             List.iter (fun r -> acc := (!lineno, r) :: !acc) (rules_on_line l)
+           done
+         with End_of_file -> ());
+        !acc)
+  end
+
+let covers (t : t) ~line ~rule =
+  List.exists (fun (l, r) -> (l = line || l = line - 1) && String.equal r rule) t
