@@ -3,9 +3,10 @@
    limitation study, a QE-method ablation, and bechamel micro-benchmarks.
 
    Usage:  main.exe [motivating|fig6|table2|table3|fig7|fig8|fig9|limits|
-                     ablation|bench|numeric|micro|all]
+                     ablation|bench|serve-load|numeric|micro|all]
                     [--paranoid] [--jobs N] [--smoke] [--numeric]
                     [--baseline FILE] [--trace FILE] [--metrics]
+                    [--serve-load] [--connections N] [--requests N]
    --paranoid audits every solver verdict through the independent
    certificate checker and re-derives each synthesized rewrite; the
    "bench" JSON then also reports the checking overhead.
@@ -803,6 +804,298 @@ let run_perf () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Serve-mode load generator                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* bench serve-load (or --serve-load): fork the sia serve daemon, replay
+   a skewed template distribution against it over N client connections,
+   and report client-side latency percentiles, throughput and the
+   rewrite-cache hit rate as one JSON row (append to
+   BENCH_synthesis.json). With --dump-sql FILE it first drives every
+   attempt of the perf workload through a cold daemon in attempt order
+   and byte-diffs the rendered predicates against the sequential batch
+   reference (written to FILE and FILE.batch) — exit 1 on divergence. *)
+
+let serve_connections = ref 2
+let serve_requests = ref 240
+
+(* One load-generator connection: at most one in-flight request, so the
+   decoder never holds more than one reply frame. *)
+type load_conn = {
+  lfd : Unix.file_descr;
+  ldec : Sia_serve.Protocol.decoder;
+  mutable inflight : int; (* request index, -1 when idle *)
+  mutable sent_at : float;
+}
+
+(* Nearest-rank percentile over a sorted array. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)))
+
+let run_serve_load () =
+  let module Protocol = Sia_serve.Protocol in
+  let module Client = Sia_serve.Client in
+  header
+    (Printf.sprintf "serve-load: %d requests over %d connections (JSON)"
+       !serve_requests !serve_connections);
+  let n = env_int "SIA_PERF_QUERIES" (if !smoke then 4 else 12) in
+  let queries = Qgen.generate ~seed:42 ~count:n () in
+  let subsets = Qgen.column_subsets 1 @ Qgen.column_subsets 2 in
+  let tagged =
+    List.concat_map
+      (fun (gq : Qgen.gen_query) -> List.map (fun s -> (gq, s)) subsets)
+      queries
+  in
+  let templates =
+    Array.of_list
+      (List.map
+         (fun ((gq : Qgen.gen_query), cols) ->
+           (Printer.string_of_query gq.Qgen.query, cols))
+         tagged)
+  in
+  (* Served answers must match batch mode bit for bit, so — exactly like
+     the --jobs differential — the wall-clock budget is dropped: a
+     timeout firing in one run but not the other is the one
+     nondeterminism source the comparison cannot control for. *)
+  let cfg =
+    { Config.default with Config.time_budget = None; Config.paranoid = !paranoid }
+  in
+  let render st =
+    match Synthesize.predicate st with
+    | Some p -> Printer.string_of_pred p
+    | None -> "-"
+  in
+  (* Sequential batch reference for the differential (--dump-sql): cold
+     caches, jobs=1 — the daemon starts equally cold, so the warm-up
+     pass below must reproduce these predicates byte for byte. *)
+  let batch_ref =
+    match !dump_sql with
+    | None -> None
+    | Some file ->
+      let attempts =
+        List.map
+          (fun ((gq : Qgen.gen_query), s) ->
+            {
+              Synthesize.from = gq.Qgen.query.Ast.from;
+              pred = gq.Qgen.pred;
+              target_cols = s;
+            })
+          tagged
+      in
+      Solver.reset_caches ();
+      let b =
+        Synthesize.synthesize_batch ~cfg:{ cfg with Config.jobs = 1 }
+          Schema.tpch attempts
+      in
+      Some (file, List.map render b.Synthesize.results)
+  in
+  (* Skewed replay: template rank r in a seeded shuffle is drawn with
+     weight 1/(r+1) — Zipf-ish, so a hot subset dominates like a
+     plan-cache workload. Templates the warm-up pass saw fail keep
+     their rank at 1/20 weight: a production client stops asking for
+     rewrites that keep failing, and failures are never cached, so a
+     failed template landing in a hot rank would measure the solver,
+     not the cache. The failure set is deterministic per workload:
+     same seed, same plan. *)
+  let rng = Random.State.make [| 0x51a; n; !serve_requests |] in
+  let t_count = Array.length templates in
+  let ranks = Array.init t_count Fun.id in
+  for i = t_count - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = ranks.(i) in
+    ranks.(i) <- ranks.(j);
+    ranks.(j) <- tmp
+  done;
+  let make_plan failed =
+    let cum = Array.make t_count 0.0 in
+    let total = ref 0.0 in
+    Array.iteri
+      (fun i _ ->
+        let w = if failed.(ranks.(i)) then 0.05 else 1.0 in
+        total := !total +. (w /. float_of_int (i + 1));
+        cum.(i) <- !total)
+      cum;
+    let sample () =
+      let x = Random.State.float rng !total in
+      let rec bs lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if cum.(mid) < x then bs (mid + 1) hi else bs lo mid
+      in
+      ranks.(bs 0 (t_count - 1))
+    in
+    Array.init !serve_requests (fun _ -> sample ())
+  in
+  let lat = Array.make !serve_requests 0.0 in
+  let cached = ref 0 and errors = ref 0 in
+  let failed_templates = ref 0 in
+  let daemon_stats = ref "" in
+  let wall =
+    try
+    Client.with_daemon ~cfg @@ fun path ->
+    (* Warm-up: every template once, serially, in attempt order. This
+       populates the rewrite cache (the timed replay below measures
+       steady-state serving), records which templates fail, and — under
+       --dump-sql — is the served side of the serve/batch byte-diff
+       (the daemon starts cold, like the batch reference). *)
+    let failed = Array.make t_count false in
+    let served =
+      let c = Client.connect path in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      List.mapi
+        (fun i (sql, cols) ->
+          match
+            Client.request ~timeout:300. c
+              (Protocol.Rewrite { target = Protocol.Cols cols; sql })
+          with
+          | Protocol.Rewritten r ->
+            if String.starts_with ~prefix:"failed" r.Protocol.outcome then
+              failed.(i) <- true;
+            r.Protocol.pred
+          | Protocol.Error_reply e ->
+            Printf.eprintf "serve-load: daemon error: %s\n" e;
+            raise Exit
+          | _ ->
+            Printf.eprintf "serve-load: unexpected reply kind\n";
+            raise Exit)
+        (Array.to_list templates)
+    in
+    failed_templates :=
+      Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 failed;
+    (match batch_ref with
+     | None -> ()
+     | Some (file, batch) ->
+       let write f lines =
+         let oc = open_out f in
+         List.iter
+           (fun l ->
+             output_string oc l;
+             output_char oc '\n')
+           lines;
+         close_out oc
+       in
+       write file served;
+       write (file ^ ".batch") batch;
+       if served <> batch then begin
+         Printf.eprintf "!! serve/batch divergence:\n";
+         List.iteri
+           (fun i (s, b) ->
+             if s <> b then
+               Printf.eprintf "  attempt %d: serve %s | batch %s\n" i s b)
+           (List.combine served batch);
+         raise Exit
+       end;
+       Printf.printf
+         "serve differential: %d attempts byte-identical to batch (%s, %s.batch)\n%!"
+         (List.length batch) file file);
+    let plan = make_plan failed in
+    let conns =
+      Array.init (max 1 !serve_connections) (fun _ ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          { lfd = fd; ldec = Protocol.decoder (); inflight = -1; sent_at = 0.0 })
+    in
+    let next = ref 0 and finished = ref 0 in
+    let buf = Bytes.create 65536 in
+    let t0 = Unix.gettimeofday () in
+    while !finished < !serve_requests do
+      Array.iter
+        (fun c ->
+          if c.inflight < 0 && !next < !serve_requests then begin
+            let sql, cols = templates.(plan.(!next)) in
+            c.inflight <- !next;
+            incr next;
+            c.sent_at <- Unix.gettimeofday ();
+            let tag, payload =
+              Protocol.encode_request
+                (Protocol.Rewrite { target = Protocol.Cols cols; sql })
+            in
+            Protocol.write_frame c.lfd tag payload
+          end)
+        conns;
+      let busy =
+        Array.to_list conns
+        |> List.filter_map (fun c ->
+               if c.inflight >= 0 then Some c.lfd else None)
+      in
+      match Unix.select busy [] [] 300.0 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ ->
+        Printf.eprintf "serve-load: daemon stalled (no reply in 300 s)\n";
+        exit 1
+      | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            let c = List.find (fun c -> c.lfd = fd) (Array.to_list conns) in
+            (match Unix.read c.lfd buf 0 (Bytes.length buf) with
+             | 0 ->
+               Printf.eprintf "serve-load: daemon closed the connection\n";
+               exit 1
+             | r -> Protocol.feed c.ldec buf 0 r
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            match Protocol.next c.ldec with
+            | `Awaiting -> ()
+            | `Frame (tag, payload) ->
+              lat.(c.inflight) <- Unix.gettimeofday () -. c.sent_at;
+              c.inflight <- -1;
+              incr finished;
+              (match Protocol.decode_response tag payload with
+               | Ok (Protocol.Rewritten reply) ->
+                 if reply.Protocol.cached then incr cached
+               | Ok (Protocol.Error_reply e) ->
+                 incr errors;
+                 Printf.eprintf "serve-load: error reply: %s\n" e
+               | Ok _ | Error _ -> incr errors))
+          ready
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    (let c = Client.connect path in
+     Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+     match Client.request c Protocol.Stats with
+     | Protocol.Stats_reply json -> daemon_stats := json
+     | _ -> ());
+    Array.iter
+      (fun c -> try Unix.close c.lfd with Unix.Unix_error _ -> ())
+      conns;
+    wall
+    with Exit -> exit 1
+  in
+  let sorted = Array.copy lat in
+  Array.sort Float.compare sorted;
+  let pct q = percentile sorted q *. 1000.0 in
+  let hit_rate = float_of_int !cached /. float_of_int (max 1 !serve_requests) in
+  let dfield name =
+    match json_int_field !daemon_stats name with Some v -> v | None -> -1
+  in
+  let json =
+    Printf.sprintf
+      "{\"bench\":\"serve\",\"queries\":%d,\"templates\":%d,\"failed_templates\":%d,\"requests\":%d,\"connections\":%d,\"wall_s\":%.3f,\"throughput_rps\":%.1f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"cache_hit_rate\":%.3f,\"cached_replies\":%d,\"errors\":%d,\"daemon_cache_hits\":%d,\"daemon_cache_misses\":%d,\"daemon_cache_insertions\":%d,\"daemon_cache_entries\":%d,\"daemon_solver_queries\":%d,\"daemon_solver_cache_hits\":%d,\"daemon_solver_shared_hits\":%d,\"share\":%b,\"paranoid\":%b}"
+      n t_count !failed_templates !serve_requests !serve_connections wall
+      (float_of_int !serve_requests /. Float.max 1e-9 wall)
+      (pct 0.50) (pct 0.95) (pct 0.99) hit_rate !cached !errors
+      (dfield "cache_hits") (dfield "cache_misses")
+      (dfield "cache_insertions") (dfield "cache_entries")
+      (dfield "solver_queries") (dfield "solver_cache_hits")
+      (dfield "solver_shared_hits")
+      Config.default.Config.share !paranoid
+  in
+  print_endline json;
+  if !errors > 0 then begin
+    Printf.eprintf "!! serve-load: %d error replies\n" !errors;
+    exit 1
+  end;
+  if hit_rate <= 0.5 then begin
+    Printf.eprintf
+      "!! serve-load: cache hit rate %.3f <= 0.5 — the hot template set is \
+       not being served from cache\n"
+      hit_rate;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1078,6 +1371,27 @@ let () =
     | "--metrics" :: rest ->
       metrics := true;
       parse rest
+    | "--serve-load" :: rest -> "serve-load" :: parse rest
+    | "--connections" :: v :: rest ->
+      (match int_of_string_opt v with
+       | Some c when c >= 1 -> serve_connections := c
+       | Some _ | None ->
+         Printf.eprintf "--connections expects a positive integer, got %s\n" v;
+         exit 1);
+      parse rest
+    | "--connections" :: [] ->
+      Printf.eprintf "--connections expects a client count\n";
+      exit 1
+    | "--requests" :: v :: rest ->
+      (match int_of_string_opt v with
+       | Some r when r >= 1 -> serve_requests := r
+       | Some _ | None ->
+         Printf.eprintf "--requests expects a positive integer, got %s\n" v;
+         exit 1);
+      parse rest
+    | "--requests" :: [] ->
+      Printf.eprintf "--requests expects a request count\n";
+      exit 1
     | a :: rest -> a :: parse rest
   in
   let positional = parse (List.tl (Array.to_list Sys.argv)) in
@@ -1104,6 +1418,7 @@ let () =
    | "limits" -> run_limits ()
    | "ablation" -> run_ablation ()
    | "bench" | "perf" -> if !numeric_flag then run_numeric () else run_perf ()
+   | "serve-load" -> run_serve_load ()
    | "numeric" -> run_numeric ()
    | "micro" -> run_micro ()
    | "all" ->
@@ -1119,7 +1434,7 @@ let () =
      run_micro ()
    | other ->
      Printf.eprintf
-       "unknown experiment %s (expected motivating|fig6|table2|table3|fig7|fig8|fig9|limits|ablation|bench|numeric|micro|all)\n"
+       "unknown experiment %s (expected motivating|fig6|table2|table3|fig7|fig8|fig9|limits|ablation|bench|serve-load|numeric|micro|all)\n"
        other;
      exit 1);
   (match !trace_file with

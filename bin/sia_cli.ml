@@ -121,11 +121,77 @@ let metrics_arg =
          ~doc:"Print a per-run metrics summary (span counts and durations, \
                memo hits, per-worker counters).")
 
-let cmd =
-  let doc = "Synthesize valid predicates over a column subset (Sia, SIGMOD 2021)" in
-  Cmd.v
-    (Cmd.info "sia_cli" ~doc)
-    Term.(const run_synthesize $ query_arg $ cols_arg $ table_arg $ iters_arg
-          $ jobs_arg $ plans_arg $ trace_arg $ metrics_arg)
+let rewrite_term =
+  Term.(const run_synthesize $ query_arg $ cols_arg $ table_arg $ iters_arg
+        $ jobs_arg $ plans_arg $ trace_arg $ metrics_arg)
 
-let () = exit (Cmd.eval cmd)
+let rewrite_cmd =
+  let doc = "Synthesize a predicate for one query (batch mode)" in
+  Cmd.v (Cmd.info "rewrite" ~doc) rewrite_term
+
+(* -- serve ---------------------------------------------------------- *)
+
+let run_serve socket ttl capacity trace_file paranoid =
+  let cfg = { Config.default with Config.paranoid = Config.default.Config.paranoid || paranoid } in
+  Printf.printf "sia serve: listening on %s (ttl %gs, capacity %d, share=%b, paranoid=%b)\n%!"
+    socket ttl capacity cfg.Config.share cfg.Config.paranoid;
+  Sia_serve.Server.run
+    { Sia_serve.Server.socket_path = socket; cfg; ttl; capacity; trace_file }
+
+let socket_arg =
+  Arg.(value & opt string Sia_serve.Server.default_config.Sia_serve.Server.socket_path
+       & info [ "s"; "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path to listen on.")
+
+let ttl_arg =
+  Arg.(value & opt float Sia_serve.Server.default_config.Sia_serve.Server.ttl
+       & info [ "ttl" ] ~docv:"SECONDS"
+           ~doc:"Rewrite-cache entry time-to-live; 0 disables expiry.")
+
+let capacity_arg =
+  Arg.(value & opt int Sia_serve.Server.default_config.Sia_serve.Server.capacity
+       & info [ "capacity" ] ~docv:"N" ~doc:"Rewrite-cache entry bound.")
+
+let serve_trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace of the daemon's lifetime to $(docv) on \
+               shutdown.")
+
+let paranoid_arg =
+  Arg.(value & flag & info [ "paranoid" ]
+         ~doc:"Audit every served rewrite with the certificate checker \
+               (also enabled by SIA_PARANOID=1).")
+
+let serve_cmd =
+  let doc = "Run the rewrite-as-a-service daemon on a Unix-domain socket" in
+  let man = [
+    `S Manpage.s_description;
+    `P "Listens for length-prefixed protocol frames carrying SQL, answers \
+        with the rewritten query and per-request statistics, and keeps \
+        solver hot state (session pool, memo cache, shared-context \
+        clusters, learnt clauses) plus a template-keyed rewrite cache \
+        resident between requests. Stop with SIGTERM/SIGINT or a Shutdown \
+        request.";
+  ] in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(const run_serve $ socket_arg $ ttl_arg $ capacity_arg
+          $ serve_trace_arg $ paranoid_arg)
+
+let group =
+  let doc = "Synthesize valid predicates over a column subset (Sia, SIGMOD 2021)" in
+  Cmd.group ~default:rewrite_term (Cmd.info "sia_cli" ~doc)
+    [ rewrite_cmd; serve_cmd ]
+
+(* The historical invocation passes the SQL text as the first
+   positional; keep it working by routing anything that is not a known
+   subcommand (or an option) to the rewrite command. *)
+let () =
+  let argv =
+    match Array.to_list Sys.argv with
+    | exe :: (first :: _ as rest)
+      when (not (List.mem first [ "rewrite"; "serve" ]))
+           && not (String.length first > 0 && first.[0] = '-') ->
+      Array.of_list (exe :: "rewrite" :: rest)
+    | _ -> Sys.argv
+  in
+  exit (Cmd.eval ~argv group)

@@ -1,0 +1,158 @@
+type t = {
+  fd : Unix.file_descr;
+  dec : Protocol.decoder;
+  mutable open_ : bool;
+}
+
+exception Timeout
+
+let connect ?(timeout = 10.) path =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> { fd; dec = Protocol.decoder (); open_ = true }
+    | exception
+        Unix.Unix_error
+          ((Unix.ENOENT | Unix.ECONNREFUSED | Unix.EINTR) as e, fn, arg) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if Unix.gettimeofday () > deadline then
+        raise (Unix.Unix_error (e, fn, arg))
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  go ()
+
+let close c =
+  if c.open_ then begin
+    c.open_ <- false;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let send_raw c bytes =
+  let b = Bytes.of_string bytes in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write c.fd b !off (n - !off) with
+    | k -> off := !off + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* Await one complete frame, select-guarded so a wedged daemon raises
+   Timeout instead of blocking the harness forever. *)
+let read_frame ?(timeout = 60.) c =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Protocol.next c.dec with
+    | `Frame (tag, payload) -> (tag, payload)
+    | `Awaiting ->
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then raise Timeout;
+      (match Unix.select [ c.fd ] [] [] remaining with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+       | [], _, _ -> raise Timeout
+       | _ :: _, _, _ -> (
+         match Unix.read c.fd buf 0 (Bytes.length buf) with
+         | 0 -> raise (Protocol.Corrupt "daemon closed the connection")
+         | n ->
+           Protocol.feed c.dec buf 0 n;
+           go ()
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()))
+  in
+  go ()
+
+let recv ?timeout c =
+  let tag, payload = read_frame ?timeout c in
+  match Protocol.decode_response tag payload with
+  | Ok resp -> resp
+  | Error msg -> failwith ("undecodable response: " ^ msg)
+
+let request ?timeout c req =
+  let tag, payload = Protocol.encode_request req in
+  Protocol.write_frame c.fd tag payload;
+  recv ?timeout c
+
+(* ------------------------------------------------------------------ *)
+(* Fork-managed daemon                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_socket_path () =
+  let f = Filename.temp_file "sia-serve" ".sock" in
+  (* temp_file creates the file; the daemon binds over the path. *)
+  (try Sys.remove f with Sys_error _ -> ());
+  f
+
+let with_daemon ?(cfg = Sia_core.Config.default) ?(ttl = 300.)
+    ?(capacity = 4096) f =
+  let socket_path = fresh_socket_path () in
+  let ready_r, ready_w = Unix.pipe () in
+  (* The child inherits the parent's channel buffers; flush now or any
+     pending output is written twice (once per process). *)
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (* Daemon child: start cold (fresh solver caches, fresh trace) so
+       harness runs are independent, serve until Shutdown, then leave
+       via _exit — never the parent's at_exit machinery. *)
+    Unix.close ready_r;
+    let code =
+      try
+        Sia_smt.Solver.reset_caches ();
+        Sia_trace.Trace.reset ();
+        Server.run
+          ~on_ready:(fun () ->
+            ignore (Unix.write ready_w (Bytes.make 1 '.') 0 1);
+            Unix.close ready_w)
+          { Server.default_config with socket_path; cfg; ttl; capacity };
+        0
+      with e ->
+        Printf.eprintf "sia-serve daemon died: %s\n" (Printexc.to_string e);
+        1
+    in
+    flush stdout;
+    flush stderr;
+    Unix._exit code
+  | pid ->
+    Unix.close ready_w;
+    let finally () =
+      (* Ask nicely, then insist: a Shutdown request, SIGTERM, and
+         finally SIGKILL if the daemon still has not exited. *)
+      (match connect ~timeout:1. socket_path with
+       | c ->
+         (try ignore (request ~timeout:5. c Protocol.Shutdown)
+          with _ -> ());
+         close c
+       | exception _ -> ());
+      let reaped = ref false in
+      let attempts = ref 0 in
+      while (not !reaped) && !attempts < 200 do
+        incr attempts;
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+          if !attempts = 50 then Unix.kill pid Sys.sigterm;
+          if !attempts = 150 then Unix.kill pid Sys.sigkill;
+          Unix.sleepf 0.02
+        | _ -> reaped := true
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> reaped := true
+      done;
+      try Unix.close ready_r with Unix.Unix_error _ -> ()
+    in
+    Fun.protect ~finally (fun () ->
+        (* Block until the daemon is accepting (or died at startup). *)
+        (match Unix.select [ ready_r ] [] [] 30. with
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+         | [], _, _ -> failwith "sia-serve daemon did not become ready"
+         | _ ->
+           let b = Bytes.create 1 in
+           if Unix.read ready_r b 0 1 = 0 then
+             failwith "sia-serve daemon exited before becoming ready");
+        f socket_path)

@@ -1,0 +1,53 @@
+(** Blocking client for the [sia serve] daemon.
+
+    One {!t} wraps one connected Unix-domain socket. Requests are
+    written as {!Protocol} frames and the reply frame is awaited with a
+    [select]-guarded read loop, so a wedged daemon surfaces as
+    [Timeout] instead of hanging the caller. The test and bench
+    harnesses are the intended users; {!with_daemon} gives them a
+    fork-managed daemon on a private socket. *)
+
+type t
+
+exception Timeout
+(** The daemon did not produce a complete reply frame in time. *)
+
+val connect : ?timeout:float -> string -> t
+(** [connect path] connects to the daemon socket at [path], retrying
+    briefly while the socket file does not yet exist or refuses the
+    connection (daemon still starting). Gives up after [timeout]
+    seconds (default 10) by raising [Unix.Unix_error]. *)
+
+val request : ?timeout:float -> t -> Protocol.request -> Protocol.response
+(** Send one request and await its response (default [timeout] 60
+    seconds). @raise Timeout when the reply does not arrive in time.
+    @raise Protocol.Corrupt when the reply stream is not valid frames.
+    @raise Failure when the reply frame does not decode as a
+    response. *)
+
+val send_raw : t -> string -> unit
+(** Write raw bytes to the daemon — deliberately {e not} frame-shaped.
+    Robustness tests use this to inject truncated frames, bad magic,
+    oversized lengths, and half-written requests. *)
+
+val recv : ?timeout:float -> t -> Protocol.response
+(** Await one response frame without sending anything first — the
+    receive half of {!request}, for tests that injected bytes with
+    {!send_raw} and want the daemon's structured answer. Same
+    exceptions as {!request}. *)
+
+val close : t -> unit
+(** Close the connection (idempotent). *)
+
+val with_daemon :
+  ?cfg:Sia_core.Config.t ->
+  ?ttl:float ->
+  ?capacity:int ->
+  (string -> 'a) ->
+  'a
+(** [with_daemon f] forks a child running {!Server.run} on a fresh
+    private socket path, waits until it accepts connections, and calls
+    [f socket_path]. Afterwards (also on exception) the daemon is shut
+    down — a [Shutdown] request first, [SIGKILL] if it will not die —
+    and reaped. The child resets solver and trace state before serving
+    so every daemon starts cold. *)

@@ -1,0 +1,251 @@
+let version = 1
+let max_payload = 16 * 1024 * 1024
+
+exception Corrupt of string
+
+type target =
+  | Cols of string list
+  | Table of string
+
+type request =
+  | Rewrite of { target : target; sql : string }
+  | Stats
+  | Invalidate of string list
+  | Ping
+  | Shutdown
+
+type reply = {
+  outcome : string;
+  cached : bool;
+  pred : string;
+  sql : string;
+  wall_us : float;
+}
+
+type response =
+  | Rewritten of reply
+  | Stats_reply of string
+  | Ok_reply of string
+  | Error_reply of string
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let magic0 = 'S'
+let magic1 = 'i'
+let header_len = 8
+
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd bytes !off (n - !off) with
+    | k -> off := !off + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let frame tag payload =
+  let len = String.length payload in
+  if len > max_payload then
+    invalid_arg "Protocol.frame: payload exceeds max_payload";
+  let b = Bytes.create (header_len + len) in
+  Bytes.set b 0 magic0;
+  Bytes.set b 1 magic1;
+  Bytes.set b 2 (Char.chr version);
+  Bytes.set b 3 tag;
+  Bytes.set_int32_be b 4 (Int32.of_int len);
+  Bytes.blit_string payload 0 b header_len len;
+  Bytes.unsafe_to_string b
+
+let write_frame fd tag payload = write_all fd (Bytes.of_string (frame tag payload))
+
+(* The decoder keeps one flat buffer of unconsumed bytes; frames are
+   small (SQL text) and connections few, so re-slicing on consume is
+   simpler than a ring and nowhere near a bottleneck. *)
+type decoder = { mutable pending : string }
+
+let decoder () = { pending = "" }
+
+let feed d buf off len =
+  if len > 0 then d.pending <- d.pending ^ Bytes.sub_string buf off len
+
+let next d =
+  let s = d.pending in
+  let n = String.length s in
+  if n < header_len then `Awaiting
+  else begin
+    if not (s.[0] = magic0 && s.[1] = magic1) then
+      raise (Corrupt "bad magic: not a sia-serve frame");
+    let v = Char.code s.[2] in
+    if v <> version then
+      raise (Corrupt (Printf.sprintf "unsupported protocol version %d" v));
+    let tag = s.[3] in
+    let len = Int32.to_int (String.get_int32_be s 4) in
+    if len < 0 || len > max_payload then
+      raise (Corrupt (Printf.sprintf "oversized frame length %d" len));
+    if n - header_len < len then `Awaiting
+    else begin
+      let payload = String.sub s header_len len in
+      d.pending <- String.sub s (header_len + len) (n - header_len - len);
+      `Frame (tag, payload)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Payload text codec                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [key=value] lines. The [sql=] field is always last: its value runs to
+   the end of the payload, so embedded newlines survive untouched. *)
+
+let split_csv s =
+  if String.trim s = "" then []
+  else List.map String.trim (String.split_on_char ',' s)
+
+(* Parse lines up to (not including) an optional trailing [sql=] field;
+   returns the assoc list plus the sql remainder (if present). *)
+let parse_fields payload =
+  let rec go pos acc =
+    if pos >= String.length payload then Ok (List.rev acc, None)
+    else if
+      String.length payload - pos >= 4 && String.sub payload pos 4 = "sql="
+    then
+      Ok
+        ( List.rev acc,
+          Some (String.sub payload (pos + 4) (String.length payload - pos - 4))
+        )
+    else
+      let line_end =
+        match String.index_from_opt payload pos '\n' with
+        | Some i -> i
+        | None -> String.length payload
+      in
+      let line = String.sub payload pos (line_end - pos) in
+      if line = "" then go (line_end + 1) acc
+      else
+        match String.index_opt line '=' with
+        | None -> Error (Printf.sprintf "malformed field line %S" line)
+        | Some i ->
+          let k = String.sub line 0 i in
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          go (line_end + 1) ((k, v) :: acc)
+  in
+  go 0 []
+
+let field fields name =
+  match List.assoc_opt name fields with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let tag_rewrite = 'Q'
+let tag_stats = 'S'
+let tag_invalidate = 'I'
+let tag_ping = 'P'
+let tag_shutdown = 'X'
+
+let encode_target = function
+  | Cols cols -> "cols:" ^ String.concat "," cols
+  | Table t -> "table:" ^ t
+
+let decode_target s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "malformed target %S" s)
+  | Some i -> (
+    let kind = String.sub s 0 i in
+    let v = String.sub s (i + 1) (String.length s - i - 1) in
+    match kind with
+    | "cols" -> (
+      match split_csv v with
+      | [] -> Error "target has no columns"
+      | cols -> Ok (Cols cols))
+    | "table" -> if v = "" then Error "target has no table" else Ok (Table v)
+    | k -> Error (Printf.sprintf "unknown target kind %S" k))
+
+let encode_request = function
+  | Rewrite { target; sql } ->
+    (tag_rewrite, Printf.sprintf "target=%s\nsql=%s" (encode_target target) sql)
+  | Stats -> (tag_stats, "")
+  | Invalidate tables -> (tag_invalidate, "tables=" ^ String.concat "," tables)
+  | Ping -> (tag_ping, "")
+  | Shutdown -> (tag_shutdown, "")
+
+let decode_request tag payload =
+  if tag = tag_rewrite then
+    match parse_fields payload with
+    | Error _ as e -> e
+    | Ok (fields, sql) -> (
+      match (field fields "target", sql) with
+      | Error _ as e, _ -> e
+      | _, None -> Error "rewrite request lacks an sql field"
+      | Ok t, Some sql -> (
+        match decode_target t with
+        | Error _ as e -> e
+        | Ok target -> Ok (Rewrite { target; sql })))
+  else if tag = tag_stats then Ok Stats
+  else if tag = tag_invalidate then
+    match parse_fields payload with
+    | Error _ as e -> e
+    | Ok (fields, _) ->
+      Ok
+        (Invalidate
+           (match List.assoc_opt "tables" fields with
+            | Some v -> split_csv v
+            | None -> []))
+  else if tag = tag_ping then Ok Ping
+  else if tag = tag_shutdown then Ok Shutdown
+  else Error (Printf.sprintf "unknown request tag %C" tag)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tag_rewritten = 'R'
+let tag_stats_reply = 'T'
+let tag_ok = 'O'
+let tag_error = 'E'
+
+let encode_response = function
+  | Rewritten r ->
+    ( tag_rewritten,
+      Printf.sprintf "outcome=%s\ncached=%b\nwall_us=%.3f\npred=%s\nsql=%s"
+        (* The outcome may carry a failure message with newlines; flatten
+           so it stays one field line. *)
+        (String.map (fun c -> if c = '\n' then ' ' else c) r.outcome)
+        r.cached r.wall_us
+        (String.map (fun c -> if c = '\n' then ' ' else c) r.pred)
+        r.sql )
+  | Stats_reply json -> (tag_stats_reply, json)
+  | Ok_reply info -> (tag_ok, info)
+  | Error_reply msg -> (tag_error, msg)
+
+let decode_response tag payload =
+  if tag = tag_rewritten then
+    match parse_fields payload with
+    | Error _ as e -> e
+    | Ok (fields, sql) -> (
+      match
+        (field fields "outcome", field fields "cached", field fields "wall_us")
+      with
+      | Ok outcome, Ok cached, Ok wall -> (
+        match (bool_of_string_opt cached, float_of_string_opt wall) with
+        | Some cached, Some wall_us ->
+          Ok
+            (Rewritten
+               {
+                 outcome;
+                 cached;
+                 pred = Option.value (List.assoc_opt "pred" fields) ~default:"-";
+                 sql = Option.value sql ~default:"-";
+                 wall_us;
+               })
+        | _ -> Error "malformed cached/wall_us field")
+      | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+  else if tag = tag_stats_reply then Ok (Stats_reply payload)
+  else if tag = tag_ok then Ok (Ok_reply payload)
+  else if tag = tag_error then Ok (Error_reply payload)
+  else Error (Printf.sprintf "unknown response tag %C" tag)

@@ -1,0 +1,109 @@
+(** Wire protocol of the [sia serve] daemon.
+
+    Requests and responses travel over a Unix-domain stream socket as
+    length-prefixed frames with an explicit versioned header and a text
+    payload — deliberately {e not} [Marshal] (the [lib/pool] framing),
+    so any client in any language can speak it and a corrupt frame can
+    never execute as unmarshalling.
+
+    {2 Frame layout}
+
+    Every frame is an 8-byte header followed by [len] payload bytes:
+
+    {v
+    byte 0..1   magic "Si"
+    byte 2      protocol version (currently 1)
+    byte 3      frame tag (one request/response constructor)
+    byte 4..7   payload length, big-endian unsigned
+    v}
+
+    Payloads are UTF-8 text: [key=value] lines, with the free-form
+    [sql=] field always last so it may contain anything (including
+    newlines). A header whose magic, version, or length is unacceptable
+    means the byte stream is out of sync and unrecoverable; the decoder
+    raises {!Corrupt} and the peer drops the connection after a
+    structured error. An unknown {e tag} in a well-formed frame is
+    recoverable: decoding returns [Error] and the server answers a
+    structured error without closing the connection. *)
+
+val version : int
+(** Protocol version carried in every frame header. *)
+
+val max_payload : int
+(** Upper bound on a frame's payload length (16 MiB). A header
+    announcing more is treated as corruption, not as a buffering
+    request — the bound is what keeps an adversarial length prefix from
+    pinning the server's memory. *)
+
+exception Corrupt of string
+(** The byte stream cannot be a frame boundary anymore (bad magic,
+    unsupported version, absurd length). The connection must be
+    dropped; there is no way to resynchronize. *)
+
+(** What the synthesized predicate should range over. *)
+type target =
+  | Cols of string list  (** explicit column subset *)
+  | Table of string  (** all predicate columns of one table *)
+
+type request =
+  | Rewrite of { target : target; sql : string }
+      (** Synthesize (or answer from the template cache) a rewrite of
+          [sql]. *)
+  | Stats  (** Server/cache/solver counters as a JSON text payload. *)
+  | Invalidate of string list
+      (** Flush cached rewrites touching any of the named tables
+          (table-stats change); the empty list flushes everything. *)
+  | Ping  (** Liveness probe. *)
+  | Shutdown  (** Orderly daemon stop (the reply is sent first). *)
+
+type reply = {
+  outcome : string;  (** ["optimal" | "valid" | "trivial" | "failed: ..."] *)
+  cached : bool;  (** answered from the rewrite cache, no solver work *)
+  pred : string;  (** rendered synthesized predicate, ["-"] when none *)
+  sql : string;  (** rewritten query, ["-"] when none *)
+  wall_us : float;  (** server-side request wall time, microseconds *)
+}
+
+type response =
+  | Rewritten of reply
+  | Stats_reply of string  (** JSON text *)
+  | Ok_reply of string  (** acknowledgement with free-form detail *)
+  | Error_reply of string
+      (** structured error: parse failure, unknown tag, malformed
+          payload, server-side exception *)
+
+(** {2 Framing} *)
+
+val frame : char -> string -> string
+(** [frame tag payload] is the complete frame as bytes — header plus
+    payload — for callers that queue output themselves (the server's
+    non-blocking writer). *)
+
+val write_frame : Unix.file_descr -> char -> string -> unit
+(** [write_frame fd tag payload] writes one complete frame, handling
+    short writes and [EINTR]. Raises [Unix_error] on a broken peer. *)
+
+type decoder
+(** Incremental frame decoder: one per connection. Absorbs raw bytes in
+    any chunking and yields complete frames; a partial trailing frame
+    stays buffered. *)
+
+val decoder : unit -> decoder
+
+val feed : decoder -> bytes -> int -> int -> unit
+(** [feed d buf off len] appends [len] bytes of [buf] at [off]. *)
+
+val next : decoder -> [ `Frame of char * string | `Awaiting ]
+(** Pop the next complete frame, or report that more bytes are needed.
+    @raise Corrupt when the buffered bytes cannot be a valid frame. *)
+
+(** {2 Payload codecs}
+
+    Encoding returns the frame [tag] and payload; decoding validates the
+    tag and parses the payload, returning [Error msg] on anything it
+    cannot understand (the caller answers/reports a structured error). *)
+
+val encode_request : request -> char * string
+val decode_request : char -> string -> (request, string) result
+val encode_response : response -> char * string
+val decode_response : char -> string -> (response, string) result

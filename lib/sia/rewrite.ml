@@ -108,6 +108,8 @@ let attach_result ?cfg cat q pred target_cols =
         stats;
       })
 
+let target_pred = non_join_pred
+
 let rewrite_for_columns ?cfg cat q ~target_cols =
   attach_result ?cfg cat q (non_join_pred cat q) target_cols
 
@@ -145,6 +147,52 @@ let rewrite_for_table ?cfg cat q ~target_table =
 let plans cat r =
   ( Planner.plan cat r.original,
     Option.map (Planner.plan cat) r.rewritten )
+
+(* ------------------------------------------------------------------ *)
+(* Hot-state handle: the long-running entry point                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A handle pins everything the per-call entry points re-derive on every
+   invocation — catalog, config, the sharing/paranoid solver modes — and
+   accumulates per-request solver deltas, so a serving process pays the
+   setup once and keeps the process-global hot state (memo cache, shared
+   clusters, learnt clauses) deliberately resident between requests. *)
+module Hot = struct
+  type t = {
+    cat : Schema.catalog;
+    cfg : Config.t;
+    mutable requests : int;
+    mutable solver_delta : Solver.stats;
+  }
+
+  let create ?cfg cat =
+    let cfg = Option.value cfg ~default:Config.default in
+    (* Fix the global solver modes once, at handle creation: a resident
+       process must not have its sharing/auditing state flipped as a side
+       effect of each request the way one-shot CLI calls tolerate. *)
+    if cfg.Config.paranoid then Sia_check.Check.enable ();
+    Solver.set_sharing cfg.Config.share;
+    if cfg.Config.trace then Trace.enable ();
+    { cat; cfg; requests = 0; solver_delta = Solver.stats_zero }
+
+  let config t = t.cfg
+  let catalog t = t.cat
+  let target_pred t q = non_join_pred t.cat q
+
+  let rewrite t q ~target =
+    t.requests <- t.requests + 1;
+    let baseline = Solver.stats () in
+    let r =
+      match target with
+      | `Cols cols -> rewrite_for_columns ~cfg:t.cfg t.cat q ~target_cols:cols
+      | `Table tbl -> rewrite_for_table ~cfg:t.cfg t.cat q ~target_table:tbl
+    in
+    t.solver_delta <- Solver.stats_add t.solver_delta (Solver.stats_since baseline);
+    r
+
+  let requests t = t.requests
+  let solver_delta t = t.solver_delta
+end
 
 (* Batched rewriting with the same sharding discipline as
    [Synthesize.synthesize_batch]: tasks on the same query share a worker,

@@ -56,6 +56,49 @@ val plans :
   Sia_relalg.Plan.t * Sia_relalg.Plan.t option
 (** Optimized plans for the original and (when present) rewritten query. *)
 
+val target_pred :
+  Sia_relalg.Schema.catalog -> Sia_sql.Ast.query -> Sia_sql.Ast.pred
+(** The predicate the synthesizer reasons about for a query: its WHERE
+    clause minus cross-table join-key equalities (those stay with the
+    join operator). Exposed so serving-layer caches key on exactly the
+    predicate {!rewrite_for_columns} would hand to synthesis. *)
+
+(** Hot-state handle for long-running processes (the [sia serve]
+    daemon): catalog, config, and the solver's sharing/paranoid modes
+    are fixed once at creation instead of re-derived per call, and the
+    process-global solver hot state — memo cache, shared-context
+    clusters, learnt clauses — stays deliberately resident between
+    requests. The handle additionally accumulates per-request solver
+    deltas for serving-side statistics. *)
+module Hot : sig
+  type t
+
+  val create : ?cfg:Config.t -> Sia_relalg.Schema.catalog -> t
+  (** Build a handle. Applies [cfg]'s paranoid/sharing/trace switches to
+      the process-global solver state once, up front. *)
+
+  val config : t -> Config.t
+  val catalog : t -> Sia_relalg.Schema.catalog
+
+  val target_pred : t -> Sia_sql.Ast.query -> Sia_sql.Ast.pred
+  (** {!target_pred} over the handle's catalog. *)
+
+  val rewrite :
+    t ->
+    Sia_sql.Ast.query ->
+    target:[ `Cols of string list | `Table of string ] ->
+    rewrite_result
+  (** One request: {!rewrite_for_columns} or {!rewrite_for_table} under
+      the handle's config, with the solver delta folded into
+      {!solver_delta}. *)
+
+  val requests : t -> int
+  (** Requests served through this handle. *)
+
+  val solver_delta : t -> Sia_smt.Solver.stats
+  (** Accumulated solver activity across all {!rewrite} calls. *)
+end
+
 val rewrite_all :
   ?cfg:Config.t ->
   Sia_relalg.Schema.catalog ->

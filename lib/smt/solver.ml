@@ -981,9 +981,16 @@ end
 let set_sharing b = Shared.enabled_flag := b
 let sharing () = !Shared.enabled_flag
 
+(* Downstream layers (the serve-mode rewrite cache) hold derived state
+   that must not outlive the solver caches it was computed from; they
+   register a flush here rather than the solver depending on them. *)
+let reset_hooks : (unit -> unit) list ref = ref []
+let on_reset_caches f = reset_hooks := f :: !reset_hooks
+
 let reset_caches () =
   Memo.reset memo;
-  Shared.reset ()
+  Shared.reset ();
+  List.iter (fun f -> f ()) !reset_hooks
 
 let solve ?(max_rounds = default_max_rounds) ~is_int f =
   let f = Formula.nnf f in

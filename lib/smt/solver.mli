@@ -115,7 +115,15 @@ val sharing : unit -> bool
 
 val reset_caches : unit -> unit
 (** Drop the memo cache and all cluster sessions — differential test
-    harnesses use this to compare genuinely cold runs. *)
+    harnesses use this to compare genuinely cold runs. Also runs every
+    {!on_reset_caches} hook, so derived caches in higher layers (the
+    serve-mode rewrite cache) flush with the state they were computed
+    from. *)
+
+val on_reset_caches : (unit -> unit) -> unit
+(** Register a hook to run on every {!reset_caches}. Hooks must not call
+    back into the solver. Used by [lib/serve] to keep its rewrite cache
+    coherent with the memo cache without a reverse dependency. *)
 
 (** {2 Persistent sessions}
 

@@ -94,6 +94,14 @@ let counter ?(tid = 0) name values =
         args = List.map (fun (k, v) -> (k, Float v)) values;
       }
 
+(* Per-request timing for serving-path callers (the [sia serve] daemon,
+   the bench load generator): the same monotonic-clamped clock the events
+   use, packaged so request handlers don't open-code gettimeofday pairs.
+   Works with tracing disabled — only deltas are meaningful then. *)
+let timer () =
+  let t0 = now_us () in
+  fun () -> (now_us () -. t0) /. 1e6
+
 let span ?cat ?args name f =
   if not !on then f ()
   else begin

@@ -95,6 +95,14 @@ val span : ?cat:string -> ?args:args -> string -> (unit -> 'a) -> 'a
 val instant : ?cat:string -> ?args:args -> string -> unit
 (** Emit a point event (memo hit, rebuild, worker completion, ...). *)
 
+val timer : unit -> unit -> float
+(** [timer ()] starts a per-request timer on the trace clock and returns
+    a function giving the elapsed seconds since the start. Monotonic
+    (same clamped clock as the events — never negative, fork-safe), and
+    usable with tracing disabled, where only the delta is meaningful.
+    Serving-path callers use this instead of open-coding
+    [Unix.gettimeofday] pairs. *)
+
 val counter : ?tid:int -> string -> (string * float) list -> unit
 (** [counter name values] emits a counter sample. [?tid] places it on a
     specific lane (used for per-worker attribution from the parent). *)
