@@ -533,13 +533,54 @@ let json_int_field row name =
       done;
       int_of_string_opt (String.sub row start (!stop - start)))
 
+(* Minimal JSON string escaping for strings we embed in bench rows
+   (failure reasons are solver outcome strings — printable ASCII, but a
+   stray quote or backslash must not corrupt the row). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\x00' .. '\x1f' -> Buffer.add_char b ' '
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float_field row name =
+  let needle = Printf.sprintf "\"%s\":" name in
+  let rec find from =
+    match String.index_from_opt row from '"' with
+    | None -> None
+    | Some i ->
+      if i + String.length needle <= String.length row
+         && String.sub row i (String.length needle) = needle
+      then Some (i + String.length needle)
+      else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < String.length row
+      && (match row.[!stop] with '0' .. '9' | '-' | '.' | 'e' | '+' -> true | _ -> false)
+    do
+      incr stop
+    done;
+    float_of_string_opt (String.sub row start (!stop - start))
+
 (* --baseline FILE: fail the run if efficacy regressed against the
    committed reference row (the last JSON object line of FILE). Beyond
    valid/optimal, the gate also holds two solver-health lines when the
    baseline row carries them: shared-context clustering must keep
-   engaging (solver_shared_hits, checked only while sharing is on), and
-   certificate rejections must not appear (cert_rejections). *)
-let check_baseline ~valid ~optimal ~(sv : Solver.stats) file =
+   engaging (solver_shared_hits, checked only while sharing is on),
+   certificate rejections must not appear (cert_rejections), and sample
+   generation must stay within 1.5x of the recorded gen_cpu_s (a coarse
+   multiplier: CI machines differ, order-of-magnitude ladder regressions
+   do not). Fields absent from an older baseline row are skipped. *)
+let check_baseline ~valid ~optimal ~gen_cpu ~(sv : Solver.stats) file =
   let last_row =
     let ic = open_in file in
     let rec go acc =
@@ -579,10 +620,17 @@ let check_baseline ~valid ~optimal ~(sv : Solver.stats) file =
            file sv.Solver.cert_rejections br;
          exit 1
        | _ -> ());
+      (match json_float_field row "gen_cpu_s" with
+       | Some bg when gen_cpu > 1.5 *. bg ->
+         Printf.eprintf
+           "!! sample-generation regression vs %s: gen_cpu_s %.3f (baseline %.3f, limit 1.5x)\n"
+           file gen_cpu bg;
+         exit 1
+       | _ -> ());
       Printf.printf
-        "baseline %s: ok (valid %d >= %d, optimal %d >= %d, shared_hits %d, cert_rejections %d)\n"
+        "baseline %s: ok (valid %d >= %d, optimal %d >= %d, shared_hits %d, cert_rejections %d, gen_cpu_s %.3f)\n"
         file valid bv optimal bo sv.Solver.shared_hits
-        sv.Solver.cert_rejections
+        sv.Solver.cert_rejections gen_cpu
     | _ ->
       Printf.eprintf "baseline %s: row lacks valid/optimal fields\n" file;
       exit 1)
@@ -595,6 +643,14 @@ let run_perf () =
         else "")
        (if !paranoid then ", paranoid" else ""));
   let n = env_int "SIA_PERF_QUERIES" (if !smoke then 4 else 12) in
+  (* Oversubscription hurts the parallel differential silently (workers
+     timeshare, wall-clock speedup collapses); say so instead of failing,
+     since correctness is unaffected. *)
+  let cores = Sia_pool.Pool.online_cores () in
+  if jobs > cores then
+    Printf.printf
+      "warning: %d jobs requested but only %d core%s online; workers will timeshare\n"
+      jobs cores (if cores = 1 then "" else "s");
   let queries = Qgen.generate ~seed:42 ~count:n () in
   let subsets = Qgen.column_subsets 1 @ Qgen.column_subsets 2 in
   (* Differential mode drops the per-attempt wall-clock budget: a timeout
@@ -714,11 +770,14 @@ let run_perf () =
        contradictory. *)
     let json =
       Printf.sprintf
-        "{\"bench\":\"synthesis\",\"queries\":%d,\"attempts\":%d,\"valid\":%d,\"optimal\":%d,\"wall_s\":%.3f,\"gen_cpu_s\":%.3f,\"learn_cpu_s\":%.3f,\"verify_cpu_s\":%.3f,\"solver_queries\":%d,\"solver_cache_hits\":%d,\"solver_encodings\":%d,\"solver_instances\":%d,\"solver_theory_rounds\":%d,\"solver_reused_rounds\":%d,\"solver_rebuilds\":%d,\"solver_conflicts\":%d,\"solver_propagations\":%d,\"solver_restarts\":%d,\"solver_pivots\":%d,\"share\":%b,\"solver_clusters\":%d,\"solver_shared_hits\":%d,\"solver_shared_misses\":%d,\"solver_shared_lemmas\":%d,\"solver_encode_s\":%.3f,\"solver_search_s\":%.3f,\"solver_theory_s\":%.3f,\"paranoid\":%b,\"cert_lemmas\":%d,\"cert_proofs\":%d,\"cert_models\":%d,\"cert_rejections\":%d,\"cert_s\":%.3f,\"audit_passed\":%d,\"audit_failed\":%d,\"audit_s\":%.3f,\"cert_overhead\":%.3f%s}"
+        "{\"bench\":\"synthesis\",\"queries\":%d,\"attempts\":%d,\"valid\":%d,\"optimal\":%d,\"wall_s\":%.3f,\"gen_cpu_s\":%.3f,\"learn_cpu_s\":%.3f,\"verify_cpu_s\":%.3f,\"gen_model_reuse_hits\":%d,\"gen_underapprox_solves\":%d,\"gen_fallbacks\":%d,\"cegqi_instantiations\":%d,\"online_cores\":%d,\"solver_queries\":%d,\"solver_cache_hits\":%d,\"solver_encodings\":%d,\"solver_instances\":%d,\"solver_theory_rounds\":%d,\"solver_reused_rounds\":%d,\"solver_rebuilds\":%d,\"solver_conflicts\":%d,\"solver_propagations\":%d,\"solver_restarts\":%d,\"solver_pivots\":%d,\"share\":%b,\"solver_clusters\":%d,\"solver_shared_hits\":%d,\"solver_shared_misses\":%d,\"solver_shared_lemmas\":%d,\"solver_encode_s\":%.3f,\"solver_search_s\":%.3f,\"solver_theory_s\":%.3f,\"paranoid\":%b,\"cert_lemmas\":%d,\"cert_proofs\":%d,\"cert_models\":%d,\"cert_rejections\":%d,\"cert_s\":%.3f,\"audit_passed\":%d,\"audit_failed\":%d,\"audit_s\":%.3f,\"cert_overhead\":%.3f%s}"
         n (List.length stats) valid optimal wall
         (sum (fun s -> s.Synthesize.gen_time))
         (sum (fun s -> s.Synthesize.learn_time))
         (sum (fun s -> s.Synthesize.verify_time))
+        sv.Solver.pool_hits sv.Solver.underapprox_solves sv.Solver.gen_fallbacks
+        sv.Solver.cegqi_instantiations
+        (Sia_pool.Pool.online_cores ())
         sv.Solver.queries sv.Solver.cache_hits sv.Solver.encodings
         sv.Solver.instances sv.Solver.theory_rounds sv.Solver.reused_rounds
         sv.Solver.tableau_rebuilds sv.Solver.conflicts
@@ -738,7 +797,7 @@ let run_perf () =
         sv.Solver.cert_lemmas sv.Solver.cert_proofs sv.Solver.cert_models
         sv.Solver.cert_rejections !audit_passed !audit_failed cert_overhead;
     print_endline json;
-    (valid, optimal, sv)
+    (valid, optimal, sum (fun s -> s.Synthesize.gen_time), sv)
   in
   let render st =
     match Synthesize.predicate st with
@@ -764,9 +823,9 @@ let run_perf () =
   in
   if jobs <= 1 then begin
     let b, wall = run_batch 1 in
-    let valid, optimal, sv = emit ~audit:true ~wall b in
+    let valid, optimal, gen_cpu, sv = emit ~audit:true ~wall b in
     dump_rendered b;
-    Option.iter (check_baseline ~valid ~optimal ~sv) !baseline_file
+    Option.iter (check_baseline ~valid ~optimal ~gen_cpu ~sv) !baseline_file
   end
   else begin
     (* Parallel first: the forked workers must not inherit a memo cache
@@ -783,12 +842,12 @@ let run_perf () =
           (Synthesize.is_valid_outcome st, Synthesize.is_optimal_outcome st))
         b.Synthesize.results
     in
-    let valid, optimal, sv = emit ~wall:swall sb in
-    let (_ : int * int * Solver.stats) =
+    let valid, optimal, gen_cpu, sv = emit ~wall:swall sb in
+    let (_ : int * int * float * Solver.stats) =
       emit ~audit:true ~seq_wall:swall ~wall:pwall pb
     in
     dump_rendered sb;
-    Option.iter (check_baseline ~valid ~optimal ~sv) !baseline_file;
+    Option.iter (check_baseline ~valid ~optimal ~gen_cpu ~sv) !baseline_file;
     if preds_p = preds_s && flags pb = flags sb then
       Printf.printf
         "differential: %d-worker output identical to sequential (%d attempts, %.2fx)\n"
@@ -932,6 +991,7 @@ let run_serve_load () =
   let lat = Array.make !serve_requests 0.0 in
   let cached = ref 0 and errors = ref 0 in
   let failed_templates = ref 0 in
+  let fail_reasons = ref [] in (* (template index, outcome), warm-up order *)
   let daemon_stats = ref "" in
   let wall =
     try
@@ -952,8 +1012,10 @@ let run_serve_load () =
               (Protocol.Rewrite { target = Protocol.Cols cols; sql })
           with
           | Protocol.Rewritten r ->
-            if String.starts_with ~prefix:"failed" r.Protocol.outcome then
+            if String.starts_with ~prefix:"failed" r.Protocol.outcome then begin
               failed.(i) <- true;
+              fail_reasons := (i, r.Protocol.outcome) :: !fail_reasons
+            end;
             r.Protocol.pred
           | Protocol.Error_reply e ->
             Printf.eprintf "serve-load: daemon error: %s\n" e;
@@ -1072,8 +1134,15 @@ let run_serve_load () =
   in
   let json =
     Printf.sprintf
-      "{\"bench\":\"serve\",\"queries\":%d,\"templates\":%d,\"failed_templates\":%d,\"requests\":%d,\"connections\":%d,\"wall_s\":%.3f,\"throughput_rps\":%.1f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"cache_hit_rate\":%.3f,\"cached_replies\":%d,\"errors\":%d,\"daemon_cache_hits\":%d,\"daemon_cache_misses\":%d,\"daemon_cache_insertions\":%d,\"daemon_cache_entries\":%d,\"daemon_solver_queries\":%d,\"daemon_solver_cache_hits\":%d,\"daemon_solver_shared_hits\":%d,\"share\":%b,\"paranoid\":%b}"
-      n t_count !failed_templates !serve_requests !serve_connections wall
+      "{\"bench\":\"serve\",\"queries\":%d,\"templates\":%d,\"failed_templates\":%d,\"failed_template_reasons\":[%s],\"requests\":%d,\"connections\":%d,\"wall_s\":%.3f,\"throughput_rps\":%.1f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"cache_hit_rate\":%.3f,\"cached_replies\":%d,\"errors\":%d,\"daemon_cache_hits\":%d,\"daemon_cache_misses\":%d,\"daemon_cache_insertions\":%d,\"daemon_cache_entries\":%d,\"daemon_solver_queries\":%d,\"daemon_solver_cache_hits\":%d,\"daemon_solver_shared_hits\":%d,\"share\":%b,\"paranoid\":%b}"
+      n t_count !failed_templates
+      (String.concat ","
+         (List.rev_map
+            (fun (i, reason) ->
+              Printf.sprintf "{\"template\":%d,\"reason\":\"%s\"}" i
+                (json_escape reason))
+            !fail_reasons))
+      !serve_requests !serve_connections wall
       (float_of_int !serve_requests /. Float.max 1e-9 wall)
       (pct 0.50) (pct 0.95) (pct 0.99) hit_rate !cached !errors
       (dfield "cache_hits") (dfield "cache_misses")

@@ -337,10 +337,13 @@ let divmod a b =
        dividend's sign), matching this module's contract. *)
     if x = min_int && y = -1 then (neg (Small min_int), zero)
     else (Small (x / y), Small (x mod y))
-  | Small _, Big _ ->
-    (* |b| > max_int >= |a|: quotient 0, remainder the dividend. *)
+  | Small x, Big _ when x <> min_int ->
+    (* |b| > max_int >= |a|: quotient 0, remainder the dividend. The one
+       [Small] this argument misses is [min_int], whose magnitude is
+       [max_int + 1] — exactly the smallest [Big] magnitude, so
+       [min_int / 2^62] is -1, not 0. It falls through to the slow path. *)
     (zero, a)
-  | Big _, _ ->
+  | (Small _ | Big _), _ ->
     let sa, ma = repr a and sb, mb = repr b in
     let qm, rm = divmod_mag ma mb in
     (normalize (sa * sb) qm, normalize sa rm)

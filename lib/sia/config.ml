@@ -13,6 +13,7 @@ type t = {
   paranoid : bool;
   jobs : int;
   share : bool;
+  cegqi : bool;
   trace : bool;
 }
 
@@ -41,6 +42,18 @@ let env_share =
   | Some ("0" | "false" | "no" | "off") -> false
   | Some _ | None -> true
 
+(* Fast-path trust for the sample-generation ladder and the CEGQI
+   oracle. The ladder itself runs in every mode (so both legs see the
+   same models); the flag only selects how each fast answer is checked —
+   on (the default): a checkable witness (strict evaluation, certified
+   final cores); off: re-derivation of every fast answer on the certified
+   slow path, as paranoid mode also forces. SIA_CEGQI=0 is the A/B leg
+   for the CI byte-equality diff. *)
+let env_cegqi =
+  match Sys.getenv_opt "SIA_CEGQI" with
+  | Some ("0" | "false" | "no" | "off") -> false
+  | Some _ | None -> true
+
 (* Structured tracing (lib/trace). The CLI and bench turn it on via
    --trace/--metrics; the environment switch covers test runs and any
    entry point without a flag of its own. *)
@@ -65,6 +78,7 @@ let default =
     paranoid = env_paranoid;
     jobs = env_jobs;
     share = env_share;
+    cegqi = env_cegqi;
     trace = env_trace;
   }
 

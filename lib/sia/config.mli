@@ -36,6 +36,17 @@ type t = {
           Observable results are bit-identical either way — only cost
           changes. Defaults to the [SIA_SHARE] environment variable
           (on unless set to ["0"]). *)
+  cegqi : bool;
+      (** trust fast-path sample answers (model-pool replay, narrowed
+          under-approximations, CEGQI witnesses) on the strength of their
+          checkable witness — a strictly evaluating model, or solver
+          certificates for Unsat cores. When [false] (or whenever
+          [paranoid] is set) every fast answer is additionally re-derived
+          on the certified slow path ({!Sia_smt.Solver.solve_fresh}), and
+          any disagreement raises {!Sia_smt.Cert.Certificate_error}. The
+          ladder itself runs in both modes, so observable results are
+          byte-identical — only checking cost changes. Defaults to the
+          [SIA_CEGQI] environment variable (on unless set to ["0"]). *)
   trace : bool;
       (** emit structured trace events ([lib/trace]) for this run:
           {!Synthesize.synthesize} enables the global trace sink when set.

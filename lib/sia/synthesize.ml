@@ -38,6 +38,46 @@ let sample_eq env cols (sample : Rat.t array) =
              Ast.Const (Encode.value_to_const env name sample.(i)) ))
        cols)
 
+(* Query-template skeleton at the AST level: every constant collapses to
+   a placeholder, mirroring the solver's skeleton keys ({!Sia_smt.Key})
+   one layer up. Attempts whose queries differ only in constants get the
+   same skeleton, hence the same worker — which is where the solver's
+   shared-context clusters live, so cluster locality survives the fork
+   boundary. The model pool ([Sia_smt.Mpool]) keys on a *finer* key (the
+   concrete query, see [pool_key_of]), so a pool family never spans
+   shards: all attempts of one family run on one worker, in submission
+   order, making pool evolution identical sequential or parallel. *)
+let pred_skeleton p =
+  let rec expr = function
+    | Ast.Col _ as e -> e
+    | Ast.Const _ -> Ast.Const (Ast.Cint 0)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, expr a, expr b)
+  in
+  let rec pred = function
+    | Ast.Cmp (c, a, b) -> Ast.Cmp (c, expr a, expr b)
+    | Ast.And (a, b) -> Ast.And (pred a, pred b)
+    | Ast.Or (a, b) -> Ast.Or (pred a, pred b)
+    | Ast.Not a -> Ast.Not (pred a)
+    | (Ast.Ptrue | Ast.Pfalse) as p -> p
+  in
+  pred p
+
+(* The model-pool family key of one synthesis attempt: the *concrete*
+   query, rendered — constants included, unlike the shard key above.
+   Sibling attempts of one rewrite (per-table and per-column-subset
+   targets of the same query) share a family and replay each other's
+   models; queries that merely share a template do not. Keying on the
+   skeleton instead makes answers history-dependent across unrelated
+   queries: a template-mate synthesized earlier in the process seeds the
+   pool, the replayed (valid) samples land in a different order, and the
+   learned conjuncts come out reordered — which breaks the golden tests
+   and every byte-diff harness. Concrete keys confine replay to the one
+   query whose attempts already run back-to-back on one worker (the
+   shard key is coarser), so sequential and parallel evolution agree. *)
+let pool_key_of ~from ~pred =
+  Printf.sprintf "%s|%s" (String.concat "," from)
+    (Sia_sql.Printer.string_of_pred pred)
+
 let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
   (* Paranoid mode: install the independent certificate checker so every
      solver verdict below (Samples, Tighten, Verify, prune_redundant) is
@@ -89,12 +129,16 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
       fail (Failed ("target columns not in predicate: " ^ String.concat "," missing))
     else begin
       let p_formula = Encode.encode_bool env pred in
-      let st = Samples.make_state cfg env ~target_cols in
-      (* psi = exists other-columns. p : satisfaction region over Cols'. *)
-      match phase "gen" gen_time (fun () -> Samples.project_away_others st p_formula) with
-      | None -> fail (Failed "quantifier elimination blow-up")
-      | Some psi -> begin
-        let not_psi = Formula.not_ psi in
+      let st =
+        Samples.make_state ~pool_key:(pool_key_of ~from ~pred) cfg env
+          ~target_cols
+      in
+      (* FALSE-sample oracle: the complement of psi = exists others. p,
+         by eager elimination or (on blow-up) a per-query CEGQI loop. *)
+      begin
+        let oracle =
+          phase "gen" gen_time (fun () -> Samples.false_oracle st p_formula)
+        in
         (* Initial TRUE samples. *)
         let ts, ts_exhausted =
           phase "gen" gen_time (fun () ->
@@ -111,8 +155,8 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
         else begin
           let fs, fs_exhausted =
             phase "gen" gen_time (fun () ->
-                Samples.gen_models st ~base:not_psi ~count:cfg.Config.initial_false
-                  ~existing:[])
+                Samples.gen_false st oracle ~p_formula ~extra:[]
+                  ~count:cfg.Config.initial_false ~existing:[])
           in
           if fs = [] then fail ~n_true:(List.length ts) Trivial
           else if fs_exhausted then begin
@@ -165,9 +209,33 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
                  | [] -> Ast.Ptrue
                  | cs -> Ast.conj (List.map fst cs))
             in
+            (* Canonical conjunct order. The learner discovers bounds in
+               sample-driven order, and the sample stream varies with the
+               model-pool history (replayed models come first) even when
+               the converged predicate is semantically identical. AND is
+               commutative and the order is cosmetic, so pin it: sort the
+               top-level learned conjuncts by their SQL rendering. Golden
+               snapshots and cross-history byte-diffs then see a single
+               canonical form no matter which ladder rung produced the
+               samples. Applied after [Render.beautify] so the sort key
+               is the final rendered text. *)
+            let canonicalize p =
+              match Ast.conjuncts p with
+              | [] | [ _ ] -> p
+              | cs ->
+                Ast.conj
+                  (List.sort
+                     (fun a b ->
+                       String.compare
+                         (Sia_sql.Printer.string_of_pred a)
+                         (Sia_sql.Printer.string_of_pred b))
+                     cs)
+            in
             let rec loop i p1 p1_formula ts fs ~n_ts ~n_fs =
               let finish ?(iters = i) outcome =
-                let polish p = Render.beautify env (prune_redundant p) in
+                let polish p =
+                  canonicalize (Render.beautify env (prune_redundant p))
+                in
                 let outcome =
                   match outcome with
                   | Optimal p -> Optimal (polish p)
@@ -225,8 +293,8 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
                        still accepts. *)
                     let fs1, _ =
                       phase "gen" gen_time (fun () ->
-                          Samples.gen_models st
-                            ~base:(Formula.and_ [ p3_formula; not_psi ])
+                          Samples.gen_false st oracle ~p_formula
+                            ~extra:[ p3_formula ]
                             ~count:cfg.Config.per_iteration ~existing:fs)
                     in
                     if fs1 = [] then begin
@@ -234,9 +302,8 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
                          unbounded one before declaring optimality. *)
                       let unbounded =
                         phase "verify" verify_time (fun () ->
-                            Samples.solve_residual st
-                              ~base:(Formula.and_ [ p3_formula; not_psi ])
-                              ~existing:fs)
+                            Samples.residual_false st oracle ~p_formula
+                              ~extra:[ p3_formula ] ~existing:fs)
                       in
                       match unbounded with
                       | Solver.Unsat -> `Stop (finish ~iters:(i + 1) (Optimal p3))
@@ -336,27 +403,6 @@ type batch = {
   worker_wall : float list;
   worker_solver : Solver.stats list;
 }
-
-(* Query-template skeleton at the AST level: every constant collapses to
-   a placeholder, mirroring the solver's skeleton keys ({!Sia_smt.Key})
-   one layer up. Attempts whose queries differ only in constants get the
-   same skeleton, hence the same worker — which is where the solver's
-   shared-context clusters live, so cluster locality survives the fork
-   boundary. *)
-let pred_skeleton p =
-  let rec expr = function
-    | Ast.Col _ as e -> e
-    | Ast.Const _ -> Ast.Const (Ast.Cint 0)
-    | Ast.Binop (op, a, b) -> Ast.Binop (op, expr a, expr b)
-  in
-  let rec pred = function
-    | Ast.Cmp (c, a, b) -> Ast.Cmp (c, expr a, expr b)
-    | Ast.And (a, b) -> Ast.And (pred a, pred b)
-    | Ast.Or (a, b) -> Ast.Or (pred a, pred b)
-    | Ast.Not a -> Ast.Not (pred a)
-    | (Ast.Ptrue | Ast.Pfalse) as p -> p
-  in
-  pred p
 
 (* Shard assignment and effective worker count for a batch. Tasks whose
    queries share a template land on one worker (see [pred_skeleton]);

@@ -1,0 +1,51 @@
+(** Per-family model pool: rung 1 of the sample-generation ladder.
+
+    Stores solver models as {e named} valuations (column name → value)
+    keyed by a caller-chosen family key — one pool per concrete query
+    (tables plus rendered predicate, constants included), so models
+    harvested by one CEGIS attempt replay in sibling attempts of the
+    same rewrite and nowhere else. Entries are candidates, never
+    answers: callers must
+    re-validate every replayed valuation against their full current query
+    (strict evaluation, or certified re-derivation under paranoid mode)
+    before using it.
+
+    The pool also remembers which constant-narrowing pins (rung 2 of the
+    ladder) have already conflicted, so each under-approximation failure
+    prunes the next attempt — the Polygon-style conflict-driven search.
+
+    All state is process-global and flushed by {!Solver.reset_caches}
+    (registration happens at module initialization), so differential
+    harnesses that compare cold runs stay sound. Per-family entry counts
+    are capped with drop-on-full (never evict), keeping candidate order
+    independent of unrelated churn. *)
+
+open Sia_numeric
+
+type valuation = (string * Rat.t) array
+(** Named model: (column-or-composite name, value) pairs. *)
+
+type side =
+  | True_side  (** models of the predicate (TRUE-sample queries) *)
+  | False_side  (** models of the unsatisfaction region (FALSE samples) *)
+
+val harvest : key:string -> side -> valuation -> unit
+(** Record a model for this family; duplicate and over-cap harvests are
+    dropped. *)
+
+val candidates : key:string -> side -> valuation list
+(** All recorded models in insertion order (deterministic). *)
+
+val mark_dead : key:string -> side -> tag:int -> valuation -> unit
+(** Record that pinning these (column, value) equalities left the
+    under-approximation dry {e for the query fingerprinted by [tag]} —
+    skip this pin whenever that query comes around again. Conflicts are
+    tag-scoped because they are facts about one query, not the family: a
+    pin with no room left to refute one CEGIS candidate may have plenty
+    for the next. [tag] must be a deterministic function of the query
+    (callers hash the base formula), never of wall-clock or addresses. *)
+
+val is_dead : key:string -> side -> tag:int -> valuation -> bool
+
+val reset : unit -> unit
+(** Drop everything (also runs on every {!Solver.reset_caches}). *)

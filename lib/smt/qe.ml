@@ -50,3 +50,17 @@ let project ~method_ ~eliminate f =
     end
   in
   go eliminate (Formula.nnf f)
+
+(* Dispatcher for the FALSE-sample oracle: eager elimination while it
+   fits the limits, deferral to CEGQI ([Cegqi]) when it blows up. The
+   choice depends only on the formula and the method — never on runtime
+   mode flags — so every configuration walks the same path and answers
+   stay byte-identical across A/B legs. *)
+type projection =
+  | Closed of Formula.t
+  | Deferred of { univ : int list }
+
+let project_or_defer ~method_ ~eliminate f =
+  match project ~method_ ~eliminate f with
+  | Some psi -> Closed psi
+  | None -> Deferred { univ = eliminate }

@@ -9,3 +9,16 @@
 val project :
   method_:[ `Real | `Int ] -> eliminate:int list -> Formula.t -> Formula.t option
 (** [None] on resource blow-up (DNF or elimination limits). *)
+
+type projection =
+  | Closed of Formula.t  (** quantifier-free equivalent of [exists vars. f] *)
+  | Deferred of { univ : int list }
+      (** elimination blew up; answer each query about the block with
+          {!Cegqi.solve_exists_forall} instead *)
+
+val project_or_defer :
+  method_:[ `Real | `Int ] -> eliminate:int list -> Formula.t -> projection
+(** Like {!project}, but instead of giving up on resource blow-up it
+    hands the caller a deferred existential block for CEGQI. The
+    dispatch depends only on the formula, so all run modes agree on the
+    path taken. *)

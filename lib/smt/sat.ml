@@ -1,7 +1,11 @@
 (* CDCL with two-watched literals, first-UIP learning, activity decay,
-   phase saving, and Luby restarts. Decision picking is a linear scan over
-   activities: instances in this code base stay below a few thousand
-   variables, where a heap buys nothing. *)
+   phase saving, and Luby restarts. Decision picking uses a binary
+   max-heap over (activity, lowest index): long-lived incremental
+   sessions grow to thousands of variables, and a Sat answer has to
+   decide every one of them, so a linear scan per decision turns each
+   search quadratic in session size. The heap's tie-break (lower index
+   wins) makes its pop identical to the scan it replaced — highest
+   activity, first variable — so models are bit-for-bit unchanged. *)
 
 type lit = int
 
@@ -24,7 +28,8 @@ type t = {
   mutable watches : clause list array; (* indexed by literal *)
   mutable trail : int array;
   mutable trail_len : int;
-  mutable trail_lim : int list; (* decision-level boundaries, most recent first *)
+  mutable trail_lim : int array; (* trail_lim.(i): trail length when level i+1 opened *)
+  mutable lim_len : int; (* current decision level *)
   mutable qhead : int;
   mutable clauses : clause list;
   mutable learnts : clause list;
@@ -34,6 +39,9 @@ type t = {
   mutable propagations : int;
   mutable restarts : int;
   mutable seen : bool array;
+  mutable heap : int array; (* VSIDS order: binary max-heap of variables *)
+  mutable heap_len : int;
+  mutable heap_pos : int array; (* var -> heap index, -1 when absent *)
   mutable tracer : (Cert.sat_event -> unit) option;
 }
 
@@ -48,7 +56,8 @@ let create () =
     watches = Array.make 32 [];
     trail = Array.make 16 0;
     trail_len = 0;
-    trail_lim = [];
+    trail_lim = Array.make 16 0;
+    lim_len = 0;
     qhead = 0;
     clauses = [];
     learnts = [];
@@ -58,6 +67,9 @@ let create () =
     propagations = 0;
     restarts = 0;
     seen = Array.make 16 false;
+    heap = Array.make 16 0;
+    heap_len = 0;
+    heap_pos = Array.make 16 (-1);
     tracer = None;
   }
 
@@ -73,6 +85,62 @@ let grow arr n default =
     arr'
   end
 
+(* The decision-order heap. Strict total order — activity first, then
+   the lower variable index — so the maximum is unique and popping it
+   reproduces exactly what the old linear scan picked. The heap may hold
+   assigned variables (lazy deletion: [pick_branch] skips them) but must
+   contain every unassigned one, so unassignment re-inserts. *)
+let better s u v =
+  s.activity.(u) > s.activity.(v)
+  || (s.activity.(u) = s.activity.(v) && u < v)
+
+let heap_swap s i j =
+  let u = s.heap.(i) and v = s.heap.(j) in
+  s.heap.(i) <- v;
+  s.heap.(j) <- u;
+  s.heap_pos.(v) <- i;
+  s.heap_pos.(u) <- j
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if better s s.heap.(i) s.heap.(p) then begin
+      heap_swap s i p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = ref i in
+  if l < s.heap_len && better s s.heap.(l) s.heap.(!m) then m := l;
+  if r < s.heap_len && better s s.heap.(r) s.heap.(!m) then m := r;
+  if !m <> i then begin
+    heap_swap s i !m;
+    heap_down s !m
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap <- grow s.heap (s.heap_len + 1) 0;
+    s.heap.(s.heap_len) <- v;
+    s.heap_pos.(v) <- s.heap_len;
+    s.heap_len <- s.heap_len + 1;
+    heap_up s (s.heap_len - 1)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_len <- s.heap_len - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_len > 0 then begin
+    let last = s.heap.(s.heap_len) in
+    s.heap.(0) <- last;
+    s.heap_pos.(last) <- 0;
+    heap_down s 0
+  end;
+  v
+
 let new_var s =
   let v = s.nvars in
   s.nvars <- v + 1;
@@ -84,6 +152,8 @@ let new_var s =
   s.seen <- grow s.seen s.nvars false;
   s.watches <- grow s.watches (2 * s.nvars) [];
   s.trail <- grow s.trail s.nvars 0;
+  s.heap_pos <- grow s.heap_pos s.nvars (-1);
+  heap_insert s v;
   v
 
 let n_vars s = s.nvars
@@ -96,7 +166,13 @@ let lit_value s l =
   let a = s.assign.(var_of l) in
   if a < 0 then -1 else if lit_sign l then a else 1 - a
 
-let decision_level s = List.length s.trail_lim
+let decision_level s = s.lim_len
+
+(* Open a new decision level at the current trail position. *)
+let push_level s =
+  s.trail_lim <- grow s.trail_lim (s.lim_len + 1) 0;
+  s.trail_lim.(s.lim_len) <- s.trail_len;
+  s.lim_len <- s.lim_len + 1
 
 let enqueue s l reason =
   let v = var_of l in
@@ -175,24 +251,29 @@ let var_bump s v =
     for i = 0 to s.nvars - 1 do
       s.activity.(i) <- s.activity.(i) *. 1e-100
     done;
-    s.var_inc <- s.var_inc *. 1e-100
-  end
+    s.var_inc <- s.var_inc *. 1e-100;
+    (* Rescaling can collapse distinct tiny activities into new ties, so
+       re-heapify instead of trusting the old order. *)
+    for i = (s.heap_len / 2) - 1 downto 0 do
+      heap_down s i
+    done
+  end;
+  if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
 
 let var_decay s = s.var_inc <- s.var_inc /. 0.95
 
 let cancel_until s target =
   if decision_level s > target then begin
-    let rec boundary lims n = if n = 0 then List.hd lims else boundary (List.tl lims) (n - 1) in
-    let bound = boundary s.trail_lim (decision_level s - target - 1) in
+    let bound = s.trail_lim.(target) in
     for i = s.trail_len - 1 downto bound do
       let v = var_of s.trail.(i) in
       s.assign.(v) <- -1;
-      s.reason.(v) <- None
+      s.reason.(v) <- None;
+      heap_insert s v
     done;
     s.trail_len <- bound;
     s.qhead <- bound;
-    let rec drop lims n = if n = 0 then lims else drop (List.tl lims) (n - 1) in
-    s.trail_lim <- drop s.trail_lim (decision_level s - target)
+    s.lim_len <- target
   end
 
 (* First-UIP conflict analysis. Returns the learnt clause (UIP first) and
@@ -297,16 +378,12 @@ let add_clause s lits =
     end
   end
 
-let pick_branch s =
-  let best = ref (-1) in
-  let best_act = ref neg_infinity in
-  for v = 0 to s.nvars - 1 do
-    if s.assign.(v) < 0 && s.activity.(v) > !best_act then begin
-      best := v;
-      best_act := s.activity.(v)
-    end
-  done;
-  if !best < 0 then None else Some (lit_of !best s.phase.(!best))
+let rec pick_branch s =
+  if s.heap_len = 0 then None
+  else begin
+    let v = heap_pop s in
+    if s.assign.(v) < 0 then Some (lit_of v s.phase.(v)) else pick_branch s
+  end
 
 (* Luby sequence 1,1,2,1,1,2,4,... ; [i] is 1-based. *)
 let rec luby i =
@@ -390,7 +467,7 @@ let solve ?(assumptions = []) s =
             | 1 ->
               (* Already implied: open a dummy level so level [i + 1]
                  still corresponds to assumption [i]. *)
-              s.trail_lim <- s.trail_len :: s.trail_lim
+              push_level s
             | 0 ->
               (* Falsified by level-0 facts, earlier assumptions, or a
                  clause learnt from them: unsat under these assumptions.
@@ -400,14 +477,14 @@ let solve ?(assumptions = []) s =
               emit s (Cert.Final assumptions);
               result := Some false
             | _ ->
-              s.trail_lim <- s.trail_len :: s.trail_lim;
+              push_level s;
               enqueue s l None
           end
           else begin
             match pick_branch s with
             | None -> result := Some true
             | Some l ->
-              s.trail_lim <- s.trail_len :: s.trail_lim;
+              push_level s;
               enqueue s l None
           end
       done;

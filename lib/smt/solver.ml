@@ -53,6 +53,10 @@ type stats = {
   shared_hits : int;
   shared_misses : int;
   shared_lemmas : int;
+  pool_hits : int;
+  underapprox_solves : int;
+  gen_fallbacks : int;
+  cegqi_instantiations : int;
   encode_time : float;
   search_time : float;
   theory_time : float;
@@ -83,6 +87,10 @@ let stats_zero =
     shared_hits = 0;
     shared_misses = 0;
     shared_lemmas = 0;
+    pool_hits = 0;
+    underapprox_solves = 0;
+    gen_fallbacks = 0;
+    cegqi_instantiations = 0;
     encode_time = 0.0;
     search_time = 0.0;
     theory_time = 0.0;
@@ -117,6 +125,10 @@ let stats_add a b =
     shared_hits = a.shared_hits + b.shared_hits;
     shared_misses = a.shared_misses + b.shared_misses;
     shared_lemmas = a.shared_lemmas + b.shared_lemmas;
+    pool_hits = a.pool_hits + b.pool_hits;
+    underapprox_solves = a.underapprox_solves + b.underapprox_solves;
+    gen_fallbacks = a.gen_fallbacks + b.gen_fallbacks;
+    cegqi_instantiations = a.cegqi_instantiations + b.cegqi_instantiations;
     encode_time = a.encode_time +. b.encode_time;
     search_time = a.search_time +. b.search_time;
     theory_time = a.theory_time +. b.theory_time;
@@ -154,6 +166,10 @@ let stats_since s0 =
     shared_hits = s.shared_hits - s0.shared_hits;
     shared_misses = s.shared_misses - s0.shared_misses;
     shared_lemmas = s.shared_lemmas - s0.shared_lemmas;
+    pool_hits = s.pool_hits - s0.pool_hits;
+    underapprox_solves = s.underapprox_solves - s0.underapprox_solves;
+    gen_fallbacks = s.gen_fallbacks - s0.gen_fallbacks;
+    cegqi_instantiations = s.cegqi_instantiations - s0.cegqi_instantiations;
     encode_time = s.encode_time -. s0.encode_time;
     search_time = s.search_time -. s0.search_time;
     theory_time = s.theory_time -. s0.theory_time;
@@ -168,15 +184,32 @@ let pp_stats fmt s =
   Format.fprintf fmt
     "queries=%d (sat=%d unsat=%d unknown=%d cached=%d) encodings=%d \
      instances=%d theory-rounds=%d (reused=%d rebuilds=%d) clusters=%d \
-     shared=%d/%d (lemmas=%d) conflicts=%d propagations=%d restarts=%d \
+     shared=%d/%d (lemmas=%d) pool=%d underapprox=%d fallbacks=%d cegqi=%d \
+     conflicts=%d propagations=%d restarts=%d \
      pivots=%d encode=%.3fs search=%.3fs (theory=%.3fs) certs=%d/%d/%d \
      rejected=%d cert=%.3fs"
     s.queries s.sat_answers s.unsat_answers s.unknown_answers s.cache_hits
     s.encodings s.instances s.theory_rounds s.reused_rounds s.tableau_rebuilds
-    s.clusters s.shared_hits s.shared_misses s.shared_lemmas s.conflicts
+    s.clusters s.shared_hits s.shared_misses s.shared_lemmas s.pool_hits
+    s.underapprox_solves s.gen_fallbacks s.cegqi_instantiations s.conflicts
     s.propagations s.restarts s.pivots s.encode_time s.search_time
     s.theory_time s.cert_lemmas s.cert_proofs s.cert_models s.cert_rejections
     s.cert_time
+
+(* Sample-generation fast-path counters. The ladder itself lives above
+   the solver (Mpool / Samples); the counters live here so the existing
+   per-phase snapshot and fork-pool absorption plumbing covers them. *)
+let note_pool_hits n = totals := { !totals with pool_hits = !totals.pool_hits + n }
+
+let note_underapprox_solve () =
+  totals := { !totals with underapprox_solves = !totals.underapprox_solves + 1 }
+
+let note_gen_fallback () =
+  totals := { !totals with gen_fallbacks = !totals.gen_fallbacks + 1 }
+
+let note_cegqi_instantiation () =
+  totals :=
+    { !totals with cegqi_instantiations = !totals.cegqi_instantiations + 1 }
 
 let bump_query () = totals := { !totals with queries = !totals.queries + 1 }
 
@@ -402,7 +435,8 @@ let theory_lemma_count = ref 0
      never resolvable), so everything a run learns stays vacuous for
      members that do not re-validate and re-assume the guard. *)
 let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
-    ?(check = []) ?theory_atoms ?model_formula ?lemma_guard ~is_int inst =
+    ?(check = []) ?fvars ?theory_atoms ?model_formula ?lemma_guard ~is_int inst
+    =
   if Trace.enabled () then
     Trace.begin_span "smt.solve"
       ~args:
@@ -417,10 +451,14 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
   let pv0 = Simplex.pivot_count () in
   let ru0 = Theory.reused_round_count () in
   let rb0 = Theory.rebuild_count () in
+  (* Model-padding variables: everything the validated formulas mention.
+     Sessions precompute this once per query ([fvars]) — walking every
+     check formula again on each enumeration step is pure waste. *)
   let fvars =
-    match check with
-    | [] -> inst.fvars
-    | _ ->
+    match (fvars, check) with
+    | Some fv, _ -> fv
+    | None, [] -> inst.fvars
+    | None, _ ->
       List.sort_uniq Stdlib.compare
         (List.rev_append (List.concat_map Formula.vars check) inst.fvars)
   in
@@ -1173,10 +1211,41 @@ module Session = struct
      [solve] of the same conjunction — costs a table lookup. Enumeration
      calls ([extra_lits ≠ []]) bypass the cache: their answer depends on
      blocking clauses that exist only inside that call. *)
-  let run ?(max_rounds = default_max_rounds) ?node_limit ?(extra_lits = [])
-      ?(extra_atoms = []) t assumptions =
-    bump_query ();
+  (* Per-query state that is invariant across the steps of one
+     enumeration: NNF'd assumptions, their activation literals and atoms,
+     the model-validation formula list and its variable closure. Computed
+     once by [prep]; [solve_many_under] re-uses it for every model of the
+     call instead of re-walking hundreds of exclusion formulas per step. *)
+  type prepped = {
+    p_assumptions : Formula.t list; (* NNF *)
+    p_lits : Sat.lit list;
+    p_atoms : (Atom.t * int) list;
+    p_check : Formula.t list;
+    p_fvars : int list;
+  }
+
+  let prep t assumptions =
     let assumptions = List.map Formula.nnf assumptions in
+    let encoded = List.map (lit t) assumptions in
+    let check = t.asserted @ assumptions in
+    let fvars =
+      match check with
+      | [] -> t.inst.fvars
+      | _ ->
+        List.sort_uniq Stdlib.compare
+          (List.rev_append (List.concat_map Formula.vars check) t.inst.fvars)
+    in
+    {
+      p_assumptions = assumptions;
+      p_lits = List.map fst encoded;
+      p_atoms = List.concat_map snd encoded;
+      p_check = check;
+      p_fvars = fvars;
+    }
+
+  let run_prepped ?(max_rounds = default_max_rounds) ?node_limit
+      ?(extra_lits = []) ?(extra_atoms = []) t p =
+    bump_query ();
     let memo_k =
       if extra_lits = [] && extra_atoms = [] then
         Some
@@ -1184,7 +1253,8 @@ module Session = struct
              ~node_limit:(Option.value node_limit ~default:default_node_limit)
              (Formula.nnf
                 (Formula.and_
-                   (t.inst.formula :: List.rev_append t.asserted assumptions))))
+                   (t.inst.formula
+                   :: List.rev_append t.asserted p.p_assumptions))))
       else None
     in
     match Option.bind memo_k memo_find with
@@ -1214,13 +1284,11 @@ module Session = struct
         (match memo_k with Some k -> memo_store k r | None -> ());
         count_answer r
       | None ->
-        let encoded = List.map (lit t) assumptions in
         let r =
           run_instance ~max_rounds ?node_limit
-            ~assumptions:(extra_lits @ List.map fst encoded)
-            ~check:(t.asserted @ assumptions)
-            ~theory_atoms:
-              (relevant_atoms t (extra_atoms @ List.concat_map snd encoded))
+            ~assumptions:(extra_lits @ p.p_lits)
+            ~check:p.p_check ~fvars:p.p_fvars
+            ~theory_atoms:(relevant_atoms t (extra_atoms @ p.p_atoms))
             ~is_int:t.is_int t.inst
         in
         Shared.observe ticket r;
@@ -1228,7 +1296,7 @@ module Session = struct
         count_answer r)
 
   let solve_under ?max_rounds ?node_limit ?(assumptions = []) t =
-    run ?max_rounds ?node_limit t assumptions
+    run_prepped ?max_rounds ?node_limit t (prep t assumptions)
 
   (* Model-blocking clauses are scoped to this call by a fresh activation
      literal: assumed while enumerating, vacuous afterwards. The session's
@@ -1238,6 +1306,7 @@ module Session = struct
   let solve_many_under ?max_rounds ?(assumptions = []) ~count ~distinct_on t =
     if count <= 0 then ([], false)
     else begin
+      let p = prep t assumptions in
       let guard = Sat.new_var t.inst.sat in
       let blocked = ref [] in
       let models = ref [] in
@@ -1245,8 +1314,8 @@ module Session = struct
       let exhausted = ref false in
       while !n < count && not !exhausted do
         match
-          run ?max_rounds ~extra_lits:[ Sat.pos guard ] ~extra_atoms:!blocked t
-            assumptions
+          run_prepped ?max_rounds ~extra_lits:[ Sat.pos guard ]
+            ~extra_atoms:!blocked t p
         with
         | Unsat | Unknown -> exhausted := true
         | Sat m ->

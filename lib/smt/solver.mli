@@ -208,6 +208,10 @@ type stats = {
   shared_hits : int;  (** queries answered Unsat by their cluster session *)
   shared_misses : int;  (** cluster consultations whose verdict was discarded *)
   shared_lemmas : int;  (** theory lemmas learned inside cluster sessions *)
+  pool_hits : int;  (** gen samples replayed from the model pool (no solve) *)
+  underapprox_solves : int;  (** constant-narrowed under-approximation queries *)
+  gen_fallbacks : int;  (** gen chunks that fell through the ladder to a full solve *)
+  cegqi_instantiations : int;  (** universal instantiations added by CEGQI loops *)
   encode_time : float;  (** CPU seconds spent encoding *)
   search_time : float;  (** CPU seconds spent in SAT search + theory *)
   theory_time : float;  (** CPU seconds spent in theory checks (part of [search_time]) *)
@@ -233,3 +237,22 @@ val absorb_stats : stats -> unit
 
 val reset_stats : unit -> unit
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {2 Sample-generation fast-path accounting}
+
+    The under-approximation ladder ({!Mpool}, [Sia_sia.Samples]) and the
+    CEGQI loop ({!Cegqi}) run above the solver but report here, so their
+    counters ride the same snapshot/absorb plumbing as every other
+    statistic (per-phase deltas, fork-pool worker absorption). *)
+
+val note_pool_hits : int -> unit
+(** [n] samples served by model-pool replay without any solver query. *)
+
+val note_underapprox_solve : unit -> unit
+(** One constant-narrowed (pinned) under-approximation query issued. *)
+
+val note_gen_fallback : unit -> unit
+(** One generation chunk fell through the ladder to a full solve. *)
+
+val note_cegqi_instantiation : unit -> unit
+(** One universal instantiation added to a CEGQI existential query. *)

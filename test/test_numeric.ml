@@ -61,6 +61,27 @@ let test_bigint_divmod () =
   Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
       ignore (Bigint.divmod Bigint.one Bigint.zero))
 
+(* Regression: [min_int]'s magnitude is [max_int + 1] = 2^62, which is
+   also the smallest [Big] magnitude — the single pair where a
+   Small-by-Big division has a nonzero quotient. The broken fast path
+   (quotient 0) let a simplex pivot build a tableau that disagreed with
+   its own rows; the certificate checker caught it on a CEGQI chain of
+   dyadic pins. *)
+let test_bigint_min_int_boundary () =
+  let p62 = Bigint.of_string "4611686018427387904" in
+  let p63 = Bigint.of_string "9223372036854775808" in
+  let mi = bi min_int in
+  Alcotest.check bigint "min_int / 2^62" (bi (-1)) (Bigint.div mi p62);
+  Alcotest.check bigint "min_int mod 2^62" Bigint.zero (Bigint.rem mi p62);
+  Alcotest.check bigint "min_int / 2^63" Bigint.zero (Bigint.div mi p63);
+  Alcotest.check bigint "min_int mod 2^63" mi (Bigint.rem mi p63);
+  Alcotest.check bigint "min_int fdiv 2^62" (bi (-1)) (Bigint.fdiv mi p62);
+  Alcotest.check bigint "gcd min_int 2^63" p62 (Bigint.gcd mi p63);
+  (* The Rat normalization that surfaced the bug: -2^62 / 2^63 = -1/2. *)
+  Alcotest.check rat "-2^62/2^63 normalizes"
+    (Rat.of_ints (-1) 2)
+    (Rat.make mi p63)
+
 let test_bigint_fdiv () =
   Alcotest.check bigint "fdiv 7 2" (bi 3) (Bigint.fdiv (bi 7) (bi 2));
   Alcotest.check bigint "fdiv -7 2" (bi (-4)) (Bigint.fdiv (bi (-7)) (bi 2));
@@ -217,6 +238,8 @@ let () =
           Alcotest.test_case "strings" `Quick test_bigint_strings;
           Alcotest.test_case "carry" `Quick test_bigint_carry;
           Alcotest.test_case "divmod" `Quick test_bigint_divmod;
+          Alcotest.test_case "min_int/Big boundary" `Quick
+            test_bigint_min_int_boundary;
           Alcotest.test_case "fdiv" `Quick test_bigint_fdiv;
           Alcotest.test_case "gcd" `Quick test_bigint_gcd;
           Alcotest.test_case "to_int" `Quick test_bigint_to_int;

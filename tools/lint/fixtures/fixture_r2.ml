@@ -20,3 +20,22 @@ let unbalanced (s : Simplex.t) =
 let balanced (s : Simplex.t) =
   Simplex.push s;
   Fun.protect ~finally:(fun () -> Simplex.pop s) (fun () -> Simplex.work s)
+
+(* [Session] stands in for the solver-session types covered since the
+   sample-generation ladder joined the session-module list; the same
+   push-without-protected-pop shape must be flagged there too. *)
+module Session = struct
+  type t = int ref
+  let push (s : t) = incr s
+  let pop (s : t) = decr s
+  let work (s : t) = if !s > 3 then raise Exit
+end
+
+let session_unbalanced (s : Session.t) =
+  Session.push s; (* EXPECT R2 *)
+  Session.work s;
+  Session.pop s
+
+let session_balanced (s : Session.t) =
+  Session.push s;
+  Fun.protect ~finally:(fun () -> Session.pop s) (fun () -> Session.work s)

@@ -80,7 +80,12 @@ let default =
         "Stdlib.Hashtbl.replace";
         "Stdlib.Hashtbl.remove";
       ];
-    session_modules = [ "Simplex"; "Theory" ];
+    (* Session and Mpool joined with the sample-generation ladder
+       (DESIGN.md §20): neither exposes push/pop today — Session scopes
+       enumeration state with activation literals and Mpool is
+       append-only — but covering them here means any future scoped
+       operation on either is checked from the day it appears. *)
+    session_modules = [ "Simplex"; "Theory"; "Session"; "Mpool" ];
     worker_roots = [ "sia_pool"; "sia_core" ];
     layering =
       [
