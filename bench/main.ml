@@ -3,14 +3,14 @@
    limitation study, a QE-method ablation, and bechamel micro-benchmarks.
 
    Usage:  main.exe [motivating|fig6|table2|table3|fig7|fig8|fig9|limits|
-                     ablation|bench|serve-load|numeric|micro|all]
+                     ablation|bench|suite|serve-load|numeric|micro|all]
                     [--paranoid] [--jobs N] [--smoke] [--numeric]
                     [--baseline FILE] [--trace FILE] [--metrics]
                     [--serve-load] [--connections N] [--requests N]
    --paranoid audits every solver verdict through the independent
    certificate checker and re-derives each synthesized rewrite; the
    "bench" JSON then also reports the checking overhead.
-   --jobs N  ("bench" only) runs the workload on an N-worker fork pool
+   --jobs N  ("bench" and "suite") runs the workload on an N-worker fork pool
    and again sequentially, checks the outputs are identical, and reports
    both JSON rows with the speedup; --smoke shrinks the workload for CI
    (exit 1 on any parallel/sequential mismatch either way).
@@ -21,7 +21,9 @@
      SIA_BENCH_QUERIES   number of generated queries   (default 200)
      SIA_CASE_QUERIES    case-study log size           (default 1000)
      SIA_SF_ONE          engine scale factor for "SF 1"  (default 0.05)
-     SIA_SF_TEN          engine scale factor for "SF 10" (default 0.5) *)
+     SIA_SF_TEN          engine scale factor for "SF 10" (default 0.5)
+     SIA_SUITE_VARIANTS  constant variants per suite template
+                         (default 2, 1 under --smoke) *)
 
 module Ast = Sia_sql.Ast
 module Printer = Sia_sql.Printer
@@ -571,8 +573,30 @@ let json_float_field row name =
     done;
     float_of_string_opt (String.sub row start (!stop - start))
 
+(* String-valued fields ("bench":"suite"). Bench tags are plain
+   identifiers, so no unescaping is needed. *)
+let json_string_field row name =
+  let needle = Printf.sprintf "\"%s\":\"" name in
+  let rec find from =
+    match String.index_from_opt row from '"' with
+    | None -> None
+    | Some i ->
+      if i + String.length needle <= String.length row
+         && String.sub row i (String.length needle) = needle
+      then Some (i + String.length needle)
+      else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start -> (
+    match String.index_from_opt row start '"' with
+    | None -> None
+    | Some stop -> Some (String.sub row start (stop - start)))
+
 (* --baseline FILE: fail the run if efficacy regressed against the
-   committed reference row (the last JSON object line of FILE). Beyond
+   committed reference row — the last JSON object line of FILE whose
+   "bench" tag matches the running benchmark, so one baseline file can
+   carry a row per subcommand ("synthesis", "suite", ...). Beyond
    valid/optimal, the gate also holds two solver-health lines when the
    baseline row carries them: shared-context clustering must keep
    engaging (solver_shared_hits, checked only while sharing is on),
@@ -580,13 +604,19 @@ let json_float_field row name =
    generation must stay within 1.5x of the recorded gen_cpu_s (a coarse
    multiplier: CI machines differ, order-of-magnitude ladder regressions
    do not). Fields absent from an older baseline row are skipped. *)
-let check_baseline ~valid ~optimal ~gen_cpu ~(sv : Solver.stats) file =
+let check_baseline ?(tag = "synthesis") ~valid ~optimal ~gen_cpu
+    ~(sv : Solver.stats) file =
   let last_row =
     let ic = open_in file in
     let rec go acc =
       match input_line ic with
       | line ->
-        go (if String.length line > 0 && line.[0] = '{' then Some line else acc)
+        let keep =
+          String.length line > 0
+          && line.[0] = '{'
+          && json_string_field line "bench" = Some tag
+        in
+        go (if keep then Some line else acc)
       | exception End_of_file ->
         close_in ic;
         acc
@@ -595,7 +625,7 @@ let check_baseline ~valid ~optimal ~gen_cpu ~(sv : Solver.stats) file =
   in
   match last_row with
   | None ->
-    Printf.eprintf "baseline %s: no JSON row found\n" file;
+    Printf.eprintf "baseline %s: no \"bench\":\"%s\" row found\n" file tag;
     exit 1
   | Some row -> (
     match (json_int_field row "valid", json_int_field row "optimal") with
@@ -628,8 +658,8 @@ let check_baseline ~valid ~optimal ~gen_cpu ~(sv : Solver.stats) file =
          exit 1
        | _ -> ());
       Printf.printf
-        "baseline %s: ok (valid %d >= %d, optimal %d >= %d, shared_hits %d, cert_rejections %d, gen_cpu_s %.3f)\n"
-        file valid bv optimal bo sv.Solver.shared_hits
+        "baseline %s [%s]: ok (valid %d >= %d, optimal %d >= %d, shared_hits %d, cert_rejections %d, gen_cpu_s %.3f)\n"
+        file tag valid bv optimal bo sv.Solver.shared_hits
         sv.Solver.cert_rejections gen_cpu
     | _ ->
       Printf.eprintf "baseline %s: row lacks valid/optimal fields\n" file;
@@ -770,7 +800,7 @@ let run_perf () =
        contradictory. *)
     let json =
       Printf.sprintf
-        "{\"bench\":\"synthesis\",\"queries\":%d,\"attempts\":%d,\"valid\":%d,\"optimal\":%d,\"wall_s\":%.3f,\"gen_cpu_s\":%.3f,\"learn_cpu_s\":%.3f,\"verify_cpu_s\":%.3f,\"gen_model_reuse_hits\":%d,\"gen_underapprox_solves\":%d,\"gen_fallbacks\":%d,\"cegqi_instantiations\":%d,\"online_cores\":%d,\"solver_queries\":%d,\"solver_cache_hits\":%d,\"solver_encodings\":%d,\"solver_instances\":%d,\"solver_theory_rounds\":%d,\"solver_reused_rounds\":%d,\"solver_rebuilds\":%d,\"solver_conflicts\":%d,\"solver_propagations\":%d,\"solver_restarts\":%d,\"solver_pivots\":%d,\"share\":%b,\"solver_clusters\":%d,\"solver_shared_hits\":%d,\"solver_shared_misses\":%d,\"solver_shared_lemmas\":%d,\"solver_encode_s\":%.3f,\"solver_search_s\":%.3f,\"solver_theory_s\":%.3f,\"paranoid\":%b,\"cert_lemmas\":%d,\"cert_proofs\":%d,\"cert_models\":%d,\"cert_rejections\":%d,\"cert_s\":%.3f,\"audit_passed\":%d,\"audit_failed\":%d,\"audit_s\":%.3f,\"cert_overhead\":%.3f%s}"
+        "{\"bench\":\"synthesis\",\"queries\":%d,\"attempts\":%d,\"valid\":%d,\"optimal\":%d,\"wall_s\":%.3f,\"gen_cpu_s\":%.3f,\"learn_cpu_s\":%.3f,\"verify_cpu_s\":%.3f,\"gen_model_reuse_hits\":%d,\"gen_underapprox_solves\":%d,\"gen_fallbacks\":%d,\"cegqi_instantiations\":%d,\"online_cores\":%d,\"solver_queries\":%d,\"solver_cache_hits\":%d,\"solver_encodings\":%d,\"solver_instances\":%d,\"solver_theory_rounds\":%d,\"solver_reused_rounds\":%d,\"solver_extended_rounds\":%d,\"solver_rebuilds\":%d,\"solver_conflicts\":%d,\"solver_propagations\":%d,\"solver_restarts\":%d,\"solver_pivots\":%d,\"share\":%b,\"solver_clusters\":%d,\"solver_shared_hits\":%d,\"solver_shared_misses\":%d,\"solver_shared_lemmas\":%d,\"solver_encode_s\":%.3f,\"solver_search_s\":%.3f,\"solver_theory_s\":%.3f,\"paranoid\":%b,\"cert_lemmas\":%d,\"cert_proofs\":%d,\"cert_models\":%d,\"cert_rejections\":%d,\"cert_s\":%.3f,\"audit_passed\":%d,\"audit_failed\":%d,\"audit_s\":%.3f,\"cert_overhead\":%.3f%s}"
         n (List.length stats) valid optimal wall
         (sum (fun s -> s.Synthesize.gen_time))
         (sum (fun s -> s.Synthesize.learn_time))
@@ -780,7 +810,7 @@ let run_perf () =
         (Sia_pool.Pool.online_cores ())
         sv.Solver.queries sv.Solver.cache_hits sv.Solver.encodings
         sv.Solver.instances sv.Solver.theory_rounds sv.Solver.reused_rounds
-        sv.Solver.tableau_rebuilds sv.Solver.conflicts
+        sv.Solver.extended_rounds sv.Solver.tableau_rebuilds sv.Solver.conflicts
         sv.Solver.propagations sv.Solver.restarts sv.Solver.pivots
         (Solver.sharing ()) sv.Solver.clusters sv.Solver.shared_hits
         sv.Solver.shared_misses sv.Solver.shared_lemmas
@@ -857,6 +887,207 @@ let run_perf () =
       List.iteri
         (fun i (p, s) ->
           if p <> s then Printf.printf "  attempt %d: jobs=%d %s | jobs=1 %s\n" i jobs p s)
+        (List.combine preds_p preds_s);
+      exit 1
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* TPC-H-class suite                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* bench suite: the DESIGN.md section 21 workload — SIA_SUITE_VARIANTS
+   constant instantiations (default 2, 1 under --smoke) of the twelve
+   TPC-H-modeled templates, which together span all eight catalog tables
+   and every predicate construct of the grammar (IN, BETWEEN, searched
+   CASE, prefix LIKE, IS NULL, string comparisons). Each query runs
+   through the full rewrite pipeline against its template's target table
+   (the column selection of Rewrite.rewrite_for_table). Reports one JSON
+   row tagged "bench":"suite" carrying grammar-construct counts
+   (n_in/n_between/n_case/n_like/n_isnull/n_string_eq), per-table engine
+   row counts at SIA_SF_ONE, and the aggregated solver statistics;
+   --dump-sql, --baseline and --jobs behave as under "bench" (the
+   parallel run is compared rewrite-by-rewrite against the sequential
+   reference, exit 1 on divergence). *)
+let run_suite () =
+  let jobs = !jobs_n in
+  header
+    (Printf.sprintf "suite: TPC-H-class workload, 8 tables, full grammar%s%s (JSON)"
+       (if jobs > 1 then Printf.sprintf ", %d workers + sequential reference" jobs
+        else "")
+       (if !paranoid then ", paranoid" else ""));
+  let variants = env_int "SIA_SUITE_VARIANTS" (if !smoke then 1 else 2) in
+  let queries = Qgen.suite ~seed:42 ~variants () in
+  (* Target columns exactly as Rewrite.rewrite_for_table selects them:
+     predicate columns of the non-join WHERE clause that resolve to the
+     template's target table, in occurrence order. *)
+  let tasks =
+    List.map
+      (fun (s : Qgen.suite_query) ->
+        let pred = Rewrite.target_pred Schema.tpch s.Qgen.squery in
+        let cols =
+          List.filter_map
+            (fun (c : Ast.column) ->
+              match
+                Schema.table_of_column Schema.tpch s.Qgen.squery.Ast.from c
+              with
+              | t when t = s.Qgen.starget -> Some c.Ast.name
+              | _ -> None
+              | exception Not_found -> None)
+            (Ast.pred_columns pred)
+        in
+        (s.Qgen.squery, cols))
+      queries
+  in
+  let cfg =
+    {
+      Config.default with
+      Config.time_budget = (if jobs > 1 then None else budget);
+      Config.paranoid = !paranoid;
+      Config.trace = Config.default.Config.trace || !trace_file <> None || !metrics;
+    }
+  in
+  let run j =
+    let t0 = Unix.gettimeofday () in
+    let rs = Rewrite.rewrite_all ~cfg:{ cfg with Config.jobs = j } Schema.tpch tasks in
+    (rs, Unix.gettimeofday () -. t0)
+  in
+  let render (r : Rewrite.rewrite_result) =
+    match r.Rewrite.synthesized with
+    | Some p -> Printer.string_of_pred p
+    | None -> "-"
+  in
+  let outcome_name (r : Rewrite.rewrite_result) =
+    match r.Rewrite.stats.Synthesize.outcome with
+    | Synthesize.Optimal _ -> "optimal"
+    | Synthesize.Valid _ -> "valid"
+    | Synthesize.Trivial -> "trivial"
+    | Synthesize.Failed reason -> Printf.sprintf "failed (%s)" reason
+  in
+  (* One JSON row from the canonical (sequential) results. *)
+  let emit ~wall (rs : Rewrite.rewrite_result list) =
+    List.iter2
+      (fun (s : Qgen.suite_query) r ->
+        Printf.printf "  %2d %-6s target=%-9s %s\n" s.Qgen.sid s.Qgen.label
+          s.Qgen.starget (outcome_name r))
+      queries rs;
+    let stats = List.map (fun (r : Rewrite.rewrite_result) -> r.Rewrite.stats) rs in
+    let count f = List.length (List.filter f stats) in
+    let valid = count Synthesize.is_valid_outcome in
+    let optimal = count Synthesize.is_optimal_outcome in
+    let trivial =
+      count (fun s -> s.Synthesize.outcome = Synthesize.Trivial)
+    in
+    let failed =
+      count (fun s ->
+          match s.Synthesize.outcome with Synthesize.Failed _ -> true | _ -> false)
+    in
+    let audit_passed =
+      List.length
+        (List.filter (fun (r : Rewrite.rewrite_result) -> r.Rewrite.audit = Rewrite.Audit_passed) rs)
+    in
+    let audit_failed =
+      List.length
+        (List.filter
+           (fun (r : Rewrite.rewrite_result) ->
+             match r.Rewrite.audit with Rewrite.Audit_failed _ -> true | _ -> false)
+           rs)
+    in
+    let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 stats in
+    let sv =
+      List.fold_left
+        (fun acc (s : Synthesize.stats) -> Solver.stats_add acc s.Synthesize.solver)
+        Solver.stats_zero stats
+    in
+    let feats =
+      List.fold_left
+        (fun acc (s : Qgen.suite_query) ->
+          Qgen.features_add acc (Qgen.features_of_pred s.Qgen.spred))
+        Qgen.features_zero queries
+    in
+    (* Engine-side scale of the workload's data: row counts per table at
+       the SF-1 smoke scale factor, so a suite row documents both sides
+       of the bench (queries and data). *)
+    let table_rows =
+      String.concat ","
+        (List.map
+           (fun (name, (t : Sia_engine.Table.t)) ->
+             Printf.sprintf "\"rows_%s\":%d" name t.Sia_engine.Table.nrows)
+           (Tpch.generate_all ~sf:(sf_one ()) ()))
+    in
+    let json =
+      Printf.sprintf
+        "{\"bench\":\"suite\",\"queries\":%d,\"templates\":%d,\"variants\":%d,\"valid\":%d,\"optimal\":%d,\"trivial\":%d,\"failed\":%d,\"wall_s\":%.3f,\"gen_cpu_s\":%.3f,\"learn_cpu_s\":%.3f,\"verify_cpu_s\":%.3f,\"n_in\":%d,\"n_between\":%d,\"n_case\":%d,\"n_like\":%d,\"n_isnull\":%d,\"n_string_eq\":%d,%s,\"solver_queries\":%d,\"solver_cache_hits\":%d,\"solver_theory_rounds\":%d,\"solver_reused_rounds\":%d,\"solver_extended_rounds\":%d,\"solver_rebuilds\":%d,\"solver_conflicts\":%d,\"solver_pivots\":%d,\"share\":%b,\"solver_clusters\":%d,\"solver_shared_hits\":%d,\"solver_shared_misses\":%d,\"solver_shared_lemmas\":%d,\"paranoid\":%b,\"cert_rejections\":%d,\"audit_passed\":%d,\"audit_failed\":%d,\"jobs_requested\":%d}"
+        (List.length queries)
+        (List.length queries / max 1 variants)
+        variants valid optimal trivial failed wall
+        (sum (fun s -> s.Synthesize.gen_time))
+        (sum (fun s -> s.Synthesize.learn_time))
+        (sum (fun s -> s.Synthesize.verify_time))
+        feats.Qgen.f_in feats.Qgen.f_between feats.Qgen.f_case feats.Qgen.f_like
+        feats.Qgen.f_isnull feats.Qgen.f_string_eq table_rows
+        sv.Solver.queries sv.Solver.cache_hits sv.Solver.theory_rounds
+        sv.Solver.reused_rounds sv.Solver.extended_rounds
+        sv.Solver.tableau_rebuilds sv.Solver.conflicts sv.Solver.pivots
+        (Solver.sharing ()) sv.Solver.clusters sv.Solver.shared_hits
+        sv.Solver.shared_misses sv.Solver.shared_lemmas !paranoid
+        sv.Solver.cert_rejections audit_passed audit_failed jobs
+    in
+    Format.printf "solver: %a@." Solver.pp_stats sv;
+    print_endline json;
+    (valid, optimal, sum (fun s -> s.Synthesize.gen_time), sv)
+  in
+  (* --dump-sql FILE: one rendered synthesized predicate per attempt, in
+     suite order, from the sequential (canonical) run — the byte-diff
+     anchor for the SIA_SHARE on/off CI comparison over the full
+     grammar. *)
+  let dump_rendered rs =
+    Option.iter
+      (fun file ->
+        let oc = open_out file in
+        List.iter
+          (fun r ->
+            output_string oc (render r);
+            output_char oc '\n')
+          rs;
+        close_out oc;
+        Printf.printf "rewritten SQL dumped to %s (%d attempts)\n" file
+          (List.length rs))
+      !dump_sql
+  in
+  if jobs <= 1 then begin
+    let rs, wall = run 1 in
+    let valid, optimal, gen_cpu, sv = emit ~wall rs in
+    dump_rendered rs;
+    Option.iter
+      (check_baseline ~tag:"suite" ~valid ~optimal ~gen_cpu ~sv)
+      !baseline_file
+  end
+  else begin
+    (* Parallel first so the forked workers start from a cold memo cache
+       (same discipline as "bench"). *)
+    let pr, pwall = run jobs in
+    let sr, swall = run 1 in
+    let flags (r : Rewrite.rewrite_result) =
+      ( Synthesize.is_valid_outcome r.Rewrite.stats,
+        Synthesize.is_optimal_outcome r.Rewrite.stats )
+    in
+    let valid, optimal, gen_cpu, sv = emit ~wall:swall sr in
+    dump_rendered sr;
+    Option.iter
+      (check_baseline ~tag:"suite" ~valid ~optimal ~gen_cpu ~sv)
+      !baseline_file;
+    let preds_p = List.map render pr and preds_s = List.map render sr in
+    if preds_p = preds_s && List.map flags pr = List.map flags sr then
+      Printf.printf
+        "differential: %d-worker output identical to sequential (%d attempts, %.2fx)\n"
+        jobs (List.length tasks) (swall /. Float.max 1e-9 pwall)
+    else begin
+      Printf.printf "!! parallel/sequential mismatch:\n";
+      List.iteri
+        (fun i (p, s) ->
+          if p <> s then
+            Printf.printf "  attempt %d: jobs=%d %s | jobs=1 %s\n" i jobs p s)
         (List.combine preds_p preds_s);
       exit 1
     end
@@ -1487,6 +1718,7 @@ let () =
    | "limits" -> run_limits ()
    | "ablation" -> run_ablation ()
    | "bench" | "perf" -> if !numeric_flag then run_numeric () else run_perf ()
+   | "suite" -> run_suite ()
    | "serve-load" -> run_serve_load ()
    | "numeric" -> run_numeric ()
    | "micro" -> run_micro ()
@@ -1503,7 +1735,7 @@ let () =
      run_micro ()
    | other ->
      Printf.eprintf
-       "unknown experiment %s (expected motivating|fig6|table2|table3|fig7|fig8|fig9|limits|ablation|bench|serve-load|numeric|micro|all)\n"
+       "unknown experiment %s (expected motivating|fig6|table2|table3|fig7|fig8|fig9|limits|ablation|bench|suite|serve-load|numeric|micro|all)\n"
        other;
      exit 1);
   (match !trace_file with

@@ -1,51 +1,165 @@
 module Ast = Sia_sql.Ast
 module Date = Sia_sql.Date
+module Strdict = Sia_sql.Strdict
 
 exception Unsupported of string
 
-let rec compile_expr table e : int -> int =
+type tv = Tv_true | Tv_false | Tv_null
+
+(* Kleene strong three-valued connectives (DESIGN.md §21.3). *)
+let tv_and a b =
+  match (a, b) with
+  | Tv_false, _ | _, Tv_false -> Tv_false
+  | Tv_true, Tv_true -> Tv_true
+  | _ -> Tv_null
+
+let tv_or a b =
+  match (a, b) with
+  | Tv_true, _ | _, Tv_true -> Tv_true
+  | Tv_false, Tv_false -> Tv_false
+  | _ -> Tv_null
+
+let tv_not = function Tv_true -> Tv_false | Tv_false -> Tv_true | Tv_null -> Tv_null
+let tv_of_bool b = if b then Tv_true else Tv_false
+
+(* Resolution ignores the qualifier: joined tables keep distinct column
+   names (TPC-H prefixes), and single tables are unambiguous. *)
+let col_access table name =
+  let col = Table.column table name in
+  match Table.null_mask table name with
+  | None -> fun row -> Some col.(row)
+  | Some mask -> fun row -> if mask.(row) then None else Some col.(row)
+
+(* The actual string value of a string column at a row (decoded through
+   the dictionary, independent of the SMT rank encoding). *)
+let string_access table (c : Ast.column) =
+  match Table.dict table c.Ast.name with
+  | None -> raise (Unsupported ("string comparison on non-string column " ^ c.Ast.name))
+  | Some d ->
+    let get = col_access table c.Ast.name in
+    fun row -> Option.map (Strdict.value d) (get row)
+
+let like_matcher pat =
+  if String.contains pat '_' then
+    raise (Unsupported "LIKE pattern with '_' wildcard");
+  match String.index_opt pat '%' with
+  | None -> fun s -> String.equal s pat
+  | Some i when i = String.length pat - 1 ->
+    let p = String.sub pat 0 i in
+    let np = String.length p in
+    fun s -> String.length s >= np && String.equal (String.sub s 0 np) p
+  | Some _ -> raise (Unsupported "LIKE pattern with interior '%'")
+
+(* NULL-propagating expression evaluation: any NULL operand makes the
+   result NULL; a CASE takes the first arm whose condition is TRUE
+   (UNKNOWN does not select, §21.3), the mandatory ELSE otherwise. *)
+let rec compile_expr3 table e : int -> int option =
   match e with
-  | Ast.Col c ->
-    (* Resolution ignores the qualifier: joined tables keep distinct
-       column names (TPC-H prefixes), and single tables are unambiguous. *)
-    let col = Table.column table c.Ast.name in
-    fun row -> col.(row)
-  | Ast.Const (Ast.Cint n) -> fun _ -> n
+  | Ast.Col c -> col_access table c.Ast.name
+  | Ast.Const (Ast.Cint n) -> fun _ -> Some n
   | Ast.Const (Ast.Cdate d) ->
     let n = Date.to_days d in
-    fun _ -> n
-  | Ast.Const (Ast.Cinterval n) -> fun _ -> n
+    fun _ -> Some n
+  | Ast.Const (Ast.Cinterval n) -> fun _ -> Some n
   | Ast.Const (Ast.Cfloat _) -> raise (Unsupported "float constant in engine predicate")
+  | Ast.Const (Ast.Cstring _) ->
+    raise (Unsupported "string literal outside a string comparison")
   | Ast.Binop (op, a, b) ->
-    let fa = compile_expr table a and fb = compile_expr table b in
-    (match op with
-     | Ast.Add -> fun row -> fa row + fb row
-     | Ast.Sub -> fun row -> fa row - fb row
-     | Ast.Mul -> fun row -> fa row * fb row
-     | Ast.Div -> fun row -> fa row / fb row)
+    let fa = compile_expr3 table a and fb = compile_expr3 table b in
+    let g =
+      match op with
+      | Ast.Add -> ( + )
+      | Ast.Sub -> ( - )
+      | Ast.Mul -> ( * )
+      | Ast.Div -> ( / )
+    in
+    fun row ->
+      (match (fa row, fb row) with
+       | Some x, Some y -> Some (g x y)
+       | _ -> None)
+  | Ast.Case (arms, els) ->
+    let arms =
+      List.map (fun (p, v) -> (compile_pred3 table p, compile_expr3 table v)) arms
+    in
+    let fels = compile_expr3 table els in
+    fun row ->
+      let rec go = function
+        | [] -> fels row
+        | (fp, fv) :: rest ->
+          (match fp row with Tv_true -> fv row | Tv_false | Tv_null -> go rest)
+      in
+      go arms
 
-let rec compile_pred table p : int -> bool =
+and string_cmp table c op s =
+  let sv = string_access table c in
+  fun row ->
+    match sv row with
+    | None -> Tv_null
+    | Some v ->
+      let cmp = String.compare v s in
+      tv_of_bool
+        (match op with
+         | Ast.Lt -> cmp < 0
+         | Ast.Le -> cmp <= 0
+         | Ast.Gt -> cmp > 0
+         | Ast.Ge -> cmp >= 0
+         | Ast.Eq -> cmp = 0
+         | Ast.Ne -> cmp <> 0)
+
+and compile_pred3 table p : int -> tv =
   match p with
+  | Ast.Cmp (op, Ast.Col c, Ast.Const (Ast.Cstring s))
+    when Table.dict table c.Ast.name <> None -> string_cmp table c op s
+  | Ast.Cmp (op, Ast.Const (Ast.Cstring s), Ast.Col c)
+    when Table.dict table c.Ast.name <> None ->
+    string_cmp table c (Ast.cmp_flip op) s
   | Ast.Cmp (op, a, b) ->
-    let fa = compile_expr table a and fb = compile_expr table b in
-    (match op with
-     | Ast.Lt -> fun row -> fa row < fb row
-     | Ast.Le -> fun row -> fa row <= fb row
-     | Ast.Gt -> fun row -> fa row > fb row
-     | Ast.Ge -> fun row -> fa row >= fb row
-     | Ast.Eq -> fun row -> fa row = fb row
-     | Ast.Ne -> fun row -> fa row <> fb row)
+    let fa = compile_expr3 table a and fb = compile_expr3 table b in
+    let g =
+      match op with
+      | Ast.Lt -> ( < )
+      | Ast.Le -> ( <= )
+      | Ast.Gt -> ( > )
+      | Ast.Ge -> ( >= )
+      | Ast.Eq -> ( = )
+      | Ast.Ne -> ( <> )
+    in
+    fun row ->
+      (match (fa row, fb row) with
+       | Some (x : int), Some y -> tv_of_bool (g x y)
+       | _ -> Tv_null)
+  | Ast.In (e, cs) ->
+    compile_pred3 table
+      (Ast.disj (List.map (fun c -> Ast.Cmp (Ast.Eq, e, Ast.Const c)) cs))
+  | Ast.Between (e, lo, hi) ->
+    compile_pred3 table
+      (Ast.And (Ast.Cmp (Ast.Ge, e, lo), Ast.Cmp (Ast.Le, e, hi)))
+  | Ast.Like (Ast.Col c, pat) ->
+    let sv = string_access table c in
+    let matches = like_matcher pat in
+    fun row ->
+      (match sv row with None -> Tv_null | Some s -> tv_of_bool (matches s))
+  | Ast.Like _ -> raise (Unsupported "LIKE operand must be a string column")
+  | Ast.IsNull e ->
+    let fe = compile_expr3 table e in
+    fun row -> tv_of_bool (fe row = None)
   | Ast.And (a, b) ->
-    let fa = compile_pred table a and fb = compile_pred table b in
-    fun row -> fa row && fb row
+    let fa = compile_pred3 table a and fb = compile_pred3 table b in
+    fun row -> tv_and (fa row) (fb row)
   | Ast.Or (a, b) ->
-    let fa = compile_pred table a and fb = compile_pred table b in
-    fun row -> fa row || fb row
+    let fa = compile_pred3 table a and fb = compile_pred3 table b in
+    fun row -> tv_or (fa row) (fb row)
   | Ast.Not a ->
-    let fa = compile_pred table a in
-    fun row -> not (fa row)
-  | Ast.Ptrue -> fun _ -> true
-  | Ast.Pfalse -> fun _ -> false
+    let fa = compile_pred3 table a in
+    fun row -> tv_not (fa row)
+  | Ast.Ptrue -> fun _ -> Tv_true
+  | Ast.Pfalse -> fun _ -> Tv_false
+
+(* The engine filter keeps only TRUE rows: UNKNOWN rejects, exactly the
+   discipline Verify's Unknown-never-valid rule assumes. *)
+let compile_pred table p =
+  let f = compile_pred3 table p in
+  fun row -> (match f row with Tv_true -> true | Tv_false | Tv_null -> false)
 
 let filter table p =
   let f = compile_pred table p in

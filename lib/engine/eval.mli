@@ -2,15 +2,37 @@
 
     Dates evaluate to day counts and intervals to day spans, so the date
     arithmetic in predicates reduces to integer arithmetic, exactly as in
-    Sia's encoding. Division is SQL-style integer division (truncation). *)
+    Sia's encoding. Division is SQL-style integer division (truncation).
+    String comparisons decode the column through its dictionary and
+    compare actual strings — deliberately independent of the SMT rank
+    encoding, so the differential suite in [test/test_grammar.ml] checks
+    two separate implementations of the same semantics (DESIGN.md
+    §21.4). *)
 
 exception Unsupported of string
 
+(** SQL's three truth values (DESIGN.md §21.3). *)
+type tv = Tv_true | Tv_false | Tv_null
+
+val tv_and : tv -> tv -> tv
+(** Kleene strong conjunction. *)
+
+val tv_or : tv -> tv -> tv
+(** Kleene strong disjunction. *)
+
+val tv_not : tv -> tv
+(** Swaps TRUE/FALSE, preserves UNKNOWN. *)
+
+val compile_pred3 : Table.t -> Sia_sql.Ast.pred -> int -> tv
+(** [compile_pred3 table p] resolves every column of [p] against [table]
+    once, returning a per-row three-valued evaluator.
+    @raise Unsupported for float constants (the engine stores ints),
+    non-prefix LIKE patterns, and string operations on dictionary-less
+    columns; @raise Not_found for unresolvable columns. *)
+
 val compile_pred : Table.t -> Sia_sql.Ast.pred -> int -> bool
-(** [compile_pred table p] resolves every column of [p] against [table]
-    once, returning a per-row evaluator.
-    @raise Unsupported for float constants (the engine stores ints) and
-    @raise Not_found for unresolvable columns. *)
+(** Is-TRUE projection of {!compile_pred3}: UNKNOWN rejects, matching
+    SQL filter semantics. *)
 
 val filter : Table.t -> Sia_sql.Ast.pred -> Table.t
 val selectivity : Table.t -> Sia_sql.Ast.pred -> float

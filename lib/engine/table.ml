@@ -1,11 +1,28 @@
+module Strdict = Sia_sql.Strdict
+
 type t = {
   name : string;
   col_names : string array;
   cols : int array array;
   nrows : int;
+  null_masks : bool array option array;
+  dicts : Strdict.t option array;
 }
 
-let create ~name ~col_names ~rows =
+let side_arrays ~col_names ?(nulls = []) ?(dicts = []) () =
+  let n = List.length col_names in
+  let names = Array.of_list col_names in
+  let lookup assoc what =
+    List.iter
+      (fun (name, _) ->
+        if not (Array.exists (String.equal name) names) then
+          invalid_arg (Printf.sprintf "Table: %s for unknown column %s" what name))
+      assoc;
+    Array.init n (fun i -> List.assoc_opt names.(i) assoc)
+  in
+  (lookup nulls "null mask", lookup dicts "dictionary")
+
+let create ~name ~col_names ?nulls ?dicts ~rows () =
   let ncols = List.length col_names in
   let nrows = List.length rows in
   let cols = Array.init ncols (fun _ -> Array.make nrows 0) in
@@ -14,18 +31,35 @@ let create ~name ~col_names ~rows =
       if Array.length row <> ncols then invalid_arg "Table.create: ragged row";
       Array.iteri (fun c v -> cols.(c).(r) <- v) row)
     rows;
-  { name; col_names = Array.of_list col_names; cols; nrows }
+  let null_masks, dicts = side_arrays ~col_names ?nulls ?dicts () in
+  Array.iter
+    (function
+      | Some m when Array.length m <> nrows ->
+        invalid_arg "Table.create: null mask length mismatch"
+      | _ -> ())
+    null_masks;
+  { name; col_names = Array.of_list col_names; cols; nrows; null_masks; dicts }
 
-let of_columns ~name cols =
+let of_columns ~name ?nulls ?dicts cols =
   let nrows = match cols with [] -> 0 | (_, c) :: _ -> Array.length c in
   List.iter
     (fun (_, c) -> if Array.length c <> nrows then invalid_arg "Table.of_columns: ragged")
     cols;
+  let col_names = List.map fst cols in
+  let null_masks, dicts = side_arrays ~col_names ?nulls ?dicts () in
+  Array.iter
+    (function
+      | Some m when Array.length m <> nrows ->
+        invalid_arg "Table.of_columns: null mask length mismatch"
+      | _ -> ())
+    null_masks;
   {
     name;
-    col_names = Array.of_list (List.map fst cols);
+    col_names = Array.of_list col_names;
     cols = Array.of_list (List.map snd cols);
     nrows;
+    null_masks;
+    dicts;
   }
 
 let col_index t name =
@@ -37,44 +71,67 @@ let col_index t name =
   go 0
 
 let column t name = t.cols.(col_index t name)
+let null_mask t name = t.null_masks.(col_index t name)
+let dict t name = t.dicts.(col_index t name)
 
 let select_rows t mask =
   let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask in
-  let cols =
-    Array.map
-      (fun col ->
-        let out = Array.make count 0 in
-        let j = ref 0 in
-        Array.iteri
-          (fun i keep ->
-            if keep then begin
-              out.(!j) <- col.(i);
-              incr j
-            end)
-          mask;
-        out)
-      t.cols
+  let keep (col : int array) =
+    let out = Array.make count 0 in
+    let j = ref 0 in
+    Array.iteri
+      (fun i k ->
+        if k then begin
+          out.(!j) <- col.(i);
+          incr j
+        end)
+      mask;
+    out
   in
-  { t with cols; nrows = count }
+  let keep_mask (m : bool array) =
+    let out = Array.make count false in
+    let j = ref 0 in
+    Array.iteri
+      (fun i k ->
+        if k then begin
+          out.(!j) <- m.(i);
+          incr j
+        end)
+      mask;
+    out
+  in
+  {
+    t with
+    cols = Array.map keep t.cols;
+    null_masks = Array.map (Option.map keep_mask) t.null_masks;
+    nrows = count;
+  }
 
 let gather t rows =
   let n = Array.length rows in
   {
     t with
     cols = Array.map (fun col -> Array.init n (fun k -> col.(rows.(k)))) t.cols;
+    null_masks =
+      Array.map
+        (Option.map (fun m -> Array.init n (fun k -> m.(rows.(k)))))
+        t.null_masks;
     nrows = n;
   }
 
 let concat_columns ~name l r li ri =
   let n = Array.length li in
-  let gather (src : int array) idx =
-    Array.init n (fun k -> src.(idx.(k)))
-  in
+  let gather (src : int array) idx = Array.init n (fun k -> src.(idx.(k))) in
+  let gather_mask (src : bool array) idx = Array.init n (fun k -> src.(idx.(k))) in
   let lcols = Array.map (fun c -> gather c li) l.cols in
   let rcols = Array.map (fun c -> gather c ri) r.cols in
+  let lmasks = Array.map (Option.map (fun m -> gather_mask m li)) l.null_masks in
+  let rmasks = Array.map (Option.map (fun m -> gather_mask m ri)) r.null_masks in
   {
     name;
     col_names = Array.append l.col_names r.col_names;
     cols = Array.append lcols rcols;
     nrows = n;
+    null_masks = Array.append lmasks rmasks;
+    dicts = Array.append l.dicts r.dicts;
   }

@@ -1,22 +1,53 @@
 (** Columnar in-memory tables. All values are stored as native ints:
-    dates as day counts, DOUBLE columns as fixed-point cents. *)
+    dates as day counts, DOUBLE columns as fixed-point cents, string
+    columns as interned dictionary codes (DESIGN.md §21.2). Nullable
+    columns carry an optional per-row null mask; a masked row's stored
+    int is meaningless padding. *)
 
 type t = {
   name : string;
   col_names : string array;
   cols : int array array;  (** column-major, [cols.(c).(row)] *)
   nrows : int;
+  null_masks : bool array option array;
+      (** per column; [None] means the column has no NULLs *)
+  dicts : Sia_sql.Strdict.t option array;
+      (** per column; [Some d] marks an interned string column *)
 }
 
-val create : name:string -> col_names:string list -> rows:int array list -> t
-(** Rows given row-major; transposed internally.
-    @raise Invalid_argument on ragged input. *)
+val create :
+  name:string ->
+  col_names:string list ->
+  ?nulls:(string * bool array) list ->
+  ?dicts:(string * Sia_sql.Strdict.t) list ->
+  rows:int array list ->
+  unit ->
+  t
+(** Rows given row-major; transposed internally. [nulls] and [dicts]
+    attach null masks and string dictionaries by column name.
+    @raise Invalid_argument on ragged input, an unknown column name, or
+    a mask length mismatch. *)
 
-val of_columns : name:string -> (string * int array) list -> t
+val of_columns :
+  name:string ->
+  ?nulls:(string * bool array) list ->
+  ?dicts:(string * Sia_sql.Strdict.t) list ->
+  (string * int array) list ->
+  t
+
 val col_index : t -> string -> int
 (** @raise Not_found for unknown column names. *)
 
 val column : t -> string -> int array
+
+val null_mask : t -> string -> bool array option
+(** The column's null mask, or [None] when it cannot hold NULLs.
+    @raise Not_found for unknown column names. *)
+
+val dict : t -> string -> Sia_sql.Strdict.t option
+(** The column's string dictionary, or [None] for numeric columns.
+    @raise Not_found for unknown column names. *)
+
 val select_rows : t -> bool array -> t
 (** Keep rows whose mask bit is set. *)
 

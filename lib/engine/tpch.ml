@@ -1,8 +1,24 @@
 module Date = Sia_sql.Date
+module Strdict = Sia_sql.Strdict
+module Schema = Sia_relalg.Schema
 
 let orders_per_sf = 1_500_000
 let date_lo = Date.to_days (Date.of_ymd 1992 1 1)
 let date_hi = Date.to_days (Date.of_ymd 1998 8 2)
+
+(* The dictionary a string column carries in the catalog; the generator
+   draws codes against it so engine tables and the encoder agree on the
+   interning (DESIGN.md §21.2). *)
+let dict_of tname cname =
+  let td = Schema.table Schema.tpch tname in
+  let cd = List.find (fun c -> c.Schema.cname = cname) td.Schema.columns in
+  match cd.Schema.ctype with
+  | Schema.Tstring d -> d
+  | _ -> invalid_arg (Printf.sprintf "Tpch.dict_of: %s.%s is not a string column" tname cname)
+
+let draw_codes rand dict n =
+  let size = Strdict.size dict in
+  Array.init n (fun _ -> Random.State.int rand size)
 
 let generate ~sf ?(seed = 7) () =
   let rand = Random.State.make [| seed |] in
@@ -47,6 +63,31 @@ let generate ~sf ?(seed = 7) () =
       incr n_li
     done
   done;
+  (* The categorical string columns are appended in a second pass drawn
+     from an independently seeded stream, so the numeric/date columns
+     above stay byte-identical to the pre-§21 generator for any given
+     seed. *)
+  let rand2 = Random.State.make [| seed; 0x51a |] in
+  let d_returnflag = dict_of "lineitem" "l_returnflag" in
+  let d_linestatus = dict_of "lineitem" "l_linestatus" in
+  let d_shipmode = dict_of "lineitem" "l_shipmode" in
+  let d_shipinstruct = dict_of "lineitem" "l_shipinstruct" in
+  let d_orderstatus = dict_of "orders" "o_orderstatus" in
+  let d_orderpriority = dict_of "orders" "o_orderpriority" in
+  let li_strings =
+    List.map
+      (fun row ->
+        Array.append row
+          [|
+            Random.State.int rand2 (Strdict.size d_returnflag);
+            Random.State.int rand2 (Strdict.size d_linestatus);
+            Random.State.int rand2 (Strdict.size d_shipmode);
+            Random.State.int rand2 (Strdict.size d_shipinstruct);
+          |])
+      (List.rev !li)
+  in
+  let o_orderstatus = draw_codes rand2 d_orderstatus n_orders in
+  let o_orderpriority = draw_codes rand2 d_orderpriority n_orders in
   let lineitem =
     Table.create ~name:"lineitem"
       ~col_names:
@@ -62,17 +103,130 @@ let generate ~sf ?(seed = 7) () =
           "l_shipdate";
           "l_commitdate";
           "l_receiptdate";
+          "l_returnflag";
+          "l_linestatus";
+          "l_shipmode";
+          "l_shipinstruct";
         ]
-      ~rows:(List.rev !li)
+      ~dicts:
+        [
+          ("l_returnflag", d_returnflag);
+          ("l_linestatus", d_linestatus);
+          ("l_shipmode", d_shipmode);
+          ("l_shipinstruct", d_shipinstruct);
+        ]
+      ~rows:li_strings ()
   in
   let orders =
     Table.of_columns ~name:"orders"
+      ~dicts:
+        [
+          ("o_orderstatus", d_orderstatus);
+          ("o_orderpriority", d_orderpriority);
+        ]
       [
         ("o_orderkey", o_orderkey);
         ("o_custkey", o_custkey);
         ("o_totalprice", o_totalprice);
         ("o_orderdate", o_orderdate);
         ("o_shippriority", o_shippriority);
+        ("o_orderstatus", o_orderstatus);
+        ("o_orderpriority", o_orderpriority);
       ]
   in
   (lineitem, orders)
+
+(* A ~3% null mask plus values for the nullable account balances. *)
+let acctbal rand n =
+  let mask = Array.init n (fun _ -> Random.State.int rand 100 < 3) in
+  let vals = Array.init n (fun _ -> Random.State.int rand 11_000_00 - 999_99) in
+  (vals, mask)
+
+let generate_all ~sf ?(seed = 7) () =
+  let lineitem, orders = generate ~sf ~seed () in
+  let rand = Random.State.make [| seed; 0x8ab1e5 |] in
+  let uniform lo hi = lo + Random.State.int rand (hi - lo + 1) in
+  let scaled per_sf = int_of_float (Float.max 1.0 (float_of_int per_sf *. sf)) in
+  let n_cust = scaled 150_000 in
+  let n_part = scaled 200_000 in
+  let n_psupp = scaled 800_000 in
+  let n_supp = scaled 10_000 in
+  let d_mktsegment = dict_of "customer" "c_mktsegment" in
+  let d_brand = dict_of "part" "p_brand" in
+  let d_type = dict_of "part" "p_type" in
+  let d_container = dict_of "part" "p_container" in
+  let d_nation = dict_of "nation" "n_name" in
+  let d_region = dict_of "region" "r_name" in
+  let customer =
+    let vals, mask = acctbal rand n_cust in
+    Table.of_columns ~name:"customer"
+      ~nulls:[ ("c_acctbal", mask) ]
+      ~dicts:[ ("c_mktsegment", d_mktsegment) ]
+      [
+        ("c_custkey", Array.init n_cust (fun i -> i + 1));
+        ("c_nationkey", Array.init n_cust (fun _ -> uniform 0 24));
+        ("c_mktsegment", draw_codes rand d_mktsegment n_cust);
+        ("c_acctbal", vals);
+      ]
+  in
+  let part =
+    Table.of_columns ~name:"part"
+      ~dicts:
+        [
+          ("p_brand", d_brand); ("p_type", d_type); ("p_container", d_container);
+        ]
+      [
+        ("p_partkey", Array.init n_part (fun i -> i + 1));
+        ("p_size", Array.init n_part (fun _ -> uniform 1 50));
+        ("p_retailprice", Array.init n_part (fun _ -> uniform 900_00 2_000_00));
+        ("p_brand", draw_codes rand d_brand n_part);
+        ("p_type", draw_codes rand d_type n_part);
+        ("p_container", draw_codes rand d_container n_part);
+      ]
+  in
+  let partsupp =
+    Table.of_columns ~name:"partsupp"
+      [
+        ("ps_partkey", Array.init n_psupp (fun _ -> uniform 1 n_part));
+        ("ps_suppkey", Array.init n_psupp (fun _ -> uniform 1 n_supp));
+        ("ps_availqty", Array.init n_psupp (fun _ -> uniform 1 9_999));
+        ("ps_supplycost", Array.init n_psupp (fun _ -> uniform 1_00 1_000_00));
+      ]
+  in
+  let supplier =
+    let vals, mask = acctbal rand n_supp in
+    Table.of_columns ~name:"supplier"
+      ~nulls:[ ("s_acctbal", mask) ]
+      [
+        ("s_suppkey", Array.init n_supp (fun i -> i + 1));
+        ("s_nationkey", Array.init n_supp (fun _ -> uniform 0 24));
+        ("s_acctbal", vals);
+      ]
+  in
+  let nation =
+    Table.of_columns ~name:"nation"
+      ~dicts:[ ("n_name", d_nation) ]
+      [
+        ("n_nationkey", Array.init 25 (fun i -> i));
+        ("n_regionkey", Array.init 25 (fun i -> i mod 5));
+        ("n_name", Array.init 25 (fun i -> i));
+      ]
+  in
+  let region =
+    Table.of_columns ~name:"region"
+      ~dicts:[ ("r_name", d_region) ]
+      [
+        ("r_regionkey", Array.init 5 (fun i -> i));
+        ("r_name", Array.init 5 (fun i -> i));
+      ]
+  in
+  [
+    ("lineitem", lineitem);
+    ("orders", orders);
+    ("customer", customer);
+    ("part", part);
+    ("partsupp", partsupp);
+    ("supplier", supplier);
+    ("nation", nation);
+    ("region", region);
+  ]

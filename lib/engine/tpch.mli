@@ -1,13 +1,26 @@
-(** TPC-H data generator for the two tables the paper's benchmark uses.
+(** TPC-H data generator for the catalog in {!Sia_relalg.Schema.tpch}.
 
     Follows dbgen's date rules: order dates uniform over
     [1992-01-01, 1998-08-02]; per order 1-7 lineitems with
     ship = order + U(1,121), commit = order + U(30,90),
     receipt = ship + U(1,30). Dates are stored as day counts
-    (see {!Sia_sql.Date}); prices as cents. Deterministic per seed. *)
+    (see {!Sia_sql.Date}); prices as cents; categorical string columns
+    as dictionary codes drawn against the catalog's interned domains
+    (DESIGN.md §21.2). Deterministic per seed: the string columns come
+    from an independently seeded stream, so the numeric/date columns are
+    byte-identical to the pre-§21 generator. *)
 
 val orders_per_sf : int
 (** 1_500_000, the TPC-H constant. *)
 
 val generate : sf:float -> ?seed:int -> unit -> Table.t * Table.t
-(** [(lineitem, orders)] at the given scale factor. *)
+(** [(lineitem, orders)] at the given scale factor, including the
+    categorical string columns (l_returnflag, l_linestatus, l_shipmode,
+    l_shipinstruct; o_orderstatus, o_orderpriority). *)
+
+val generate_all : sf:float -> ?seed:int -> unit -> (string * Table.t) list
+(** All 8 TPC-H tables keyed by name, in catalog order: the {!generate}
+    pair plus customer, part, partsupp, supplier, nation and region.
+    The nullable account balances (c_acctbal, s_acctbal) carry a ~3%
+    null mask. The small tables scale with [sf] like dbgen (nation and
+    region are fixed at 25 and 5 rows). *)

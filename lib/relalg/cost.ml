@@ -10,6 +10,12 @@ let rec default_selectivity = function
   | Ast.Cmp ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), _, _) -> 0.33
   | Ast.Cmp (Ast.Eq, _, _) -> 0.05
   | Ast.Cmp (Ast.Ne, _, _) -> 0.95
+  | Ast.In (_, cs) ->
+    (* k independent equalities, capped below certainty. *)
+    Float.min 0.95 (0.05 *. float_of_int (List.length cs))
+  | Ast.Between _ -> 0.25 (* two range bounds: tighter than one *)
+  | Ast.Like _ -> 0.1 (* a prefix class: narrower than a range *)
+  | Ast.IsNull _ -> 0.02 (* nulls are rare in generated data *)
   | Ast.And (a, b) -> default_selectivity a *. default_selectivity b
   | Ast.Or (a, b) ->
     let sa = default_selectivity a and sb = default_selectivity b in

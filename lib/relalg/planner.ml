@@ -12,7 +12,8 @@ let as_join_pred cat from p =
     | _, _ -> None
     | exception Not_found -> None
   end
-  | Ast.Cmp _ | Ast.And _ | Ast.Or _ | Ast.Not _ | Ast.Ptrue | Ast.Pfalse -> None
+  | Ast.Cmp _ | Ast.In _ | Ast.Between _ | Ast.Like _ | Ast.IsNull _
+  | Ast.And _ | Ast.Or _ | Ast.Not _ | Ast.Ptrue | Ast.Pfalse -> None
 
 let naive_plan cat (q : Ast.query) =
   let conjuncts = match q.where with Some p -> Ast.conjuncts p | None -> [] in

@@ -1,6 +1,7 @@
 module Ast = Sia_sql.Ast
+module Strdict = Sia_sql.Strdict
 
-type col_type = Tint | Tdouble | Tdate | Ttimestamp
+type col_type = Tint | Tdouble | Tdate | Ttimestamp | Tstring of Strdict.t
 
 type column_def = {
   cname : string;
@@ -44,6 +45,68 @@ let table_of_column cat from c =
   t.tname
 
 let col name ctype = { cname = name; ctype; nullable = false }
+let coln name ctype = { cname = name; ctype; nullable = true }
+
+(* The dbgen categorical domains (DESIGN.md §21.2): each becomes an
+   interned dictionary, sorted and deduplicated by [Strdict.make], so
+   code = lexicographic rank. *)
+
+let d_regions =
+  Strdict.make [ "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" ]
+
+let d_nations =
+  Strdict.make
+    [
+      "ALGERIA"; "ARGENTINA"; "BRAZIL"; "CANADA"; "CHINA"; "EGYPT"; "ETHIOPIA";
+      "FRANCE"; "GERMANY"; "INDIA"; "INDONESIA"; "IRAN"; "IRAQ"; "JAPAN";
+      "JORDAN"; "KENYA"; "MOROCCO"; "MOZAMBIQUE"; "PERU"; "ROMANIA";
+      "RUSSIA"; "SAUDI ARABIA"; "UNITED KINGDOM"; "UNITED STATES"; "VIETNAM";
+    ]
+
+let d_mktsegments =
+  Strdict.make [ "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "HOUSEHOLD"; "MACHINERY" ]
+
+let d_orderstatus = Strdict.make [ "F"; "O"; "P" ]
+
+let d_orderpriority =
+  Strdict.make [ "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" ]
+
+let d_returnflag = Strdict.make [ "A"; "N"; "R" ]
+let d_linestatus = Strdict.make [ "F"; "O" ]
+
+let d_shipmodes =
+  Strdict.make [ "AIR"; "FOB"; "MAIL"; "RAIL"; "REG AIR"; "SHIP"; "TRUCK" ]
+
+let d_shipinstruct =
+  Strdict.make
+    [ "COLLECT COD"; "DELIVER IN PERSON"; "NONE"; "TAKE BACK RETURN" ]
+
+let d_brands =
+  Strdict.make
+    (List.concat_map
+       (fun m -> List.map (fun b -> Printf.sprintf "Brand#%d%d" m b) [ 1; 2; 3; 4; 5 ])
+       [ 1; 2; 3; 4; 5 ])
+
+let d_types =
+  Strdict.make
+    (List.concat_map
+       (fun a ->
+         List.concat_map
+           (fun b ->
+             List.map
+               (fun c -> String.concat " " [ a; b; c ])
+               [ "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" ])
+           [ "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" ])
+       [ "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" ])
+
+let d_containers =
+  Strdict.make
+    (List.concat_map
+       (fun s ->
+         List.map
+           (fun k -> String.concat " " [ s; k ])
+           [ "CASE"; "BOX"; "BAG"; "JAR"; "PKG"; "PACK"; "CAN"; "DRUM" ])
+       [ "SM"; "LG"; "MED"; "JUMBO"; "WRAP" ])
 
 let tpch =
   [
@@ -63,6 +126,10 @@ let tpch =
           col "l_shipdate" Tdate;
           col "l_commitdate" Tdate;
           col "l_receiptdate" Tdate;
+          col "l_returnflag" (Tstring d_returnflag);
+          col "l_linestatus" (Tstring d_linestatus);
+          col "l_shipmode" (Tstring d_shipmodes);
+          col "l_shipinstruct" (Tstring d_shipinstruct);
         ];
     };
     {
@@ -75,6 +142,68 @@ let tpch =
           col "o_totalprice" Tdouble;
           col "o_orderdate" Tdate;
           col "o_shippriority" Tint;
+          col "o_orderstatus" (Tstring d_orderstatus);
+          col "o_orderpriority" (Tstring d_orderpriority);
         ];
+    };
+    {
+      tname = "customer";
+      row_estimate = 150_000;
+      columns =
+        [
+          col "c_custkey" Tint;
+          col "c_nationkey" Tint;
+          col "c_mktsegment" (Tstring d_mktsegments);
+          coln "c_acctbal" Tint;
+        ];
+    };
+    {
+      tname = "part";
+      row_estimate = 200_000;
+      columns =
+        [
+          col "p_partkey" Tint;
+          col "p_size" Tint;
+          col "p_retailprice" Tint;
+          col "p_brand" (Tstring d_brands);
+          col "p_type" (Tstring d_types);
+          col "p_container" (Tstring d_containers);
+        ];
+    };
+    {
+      tname = "partsupp";
+      row_estimate = 800_000;
+      columns =
+        [
+          col "ps_partkey" Tint;
+          col "ps_suppkey" Tint;
+          col "ps_availqty" Tint;
+          col "ps_supplycost" Tint;
+        ];
+    };
+    {
+      tname = "supplier";
+      row_estimate = 10_000;
+      columns =
+        [
+          col "s_suppkey" Tint;
+          col "s_nationkey" Tint;
+          coln "s_acctbal" Tint;
+        ];
+    };
+    {
+      tname = "nation";
+      row_estimate = 25;
+      columns =
+        [
+          col "n_nationkey" Tint;
+          col "n_regionkey" Tint;
+          col "n_name" (Tstring d_nations);
+        ];
+    };
+    {
+      tname = "region";
+      row_estimate = 5;
+      columns = [ col "r_regionkey" Tint; col "r_name" (Tstring d_regions) ];
     };
   ]

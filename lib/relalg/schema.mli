@@ -1,7 +1,14 @@
 (** Table schemas and catalogs: the metadata the planner and Sia's encoder
     need (column types, nullability, table membership). *)
 
-type col_type = Tint | Tdouble | Tdate | Ttimestamp
+type col_type =
+  | Tint
+  | Tdouble
+  | Tdate
+  | Ttimestamp
+  | Tstring of Sia_sql.Strdict.t
+      (** a categorical string domain with its interned dictionary
+          (DESIGN.md §21.2) *)
 
 type column_def = {
   cname : string;
@@ -28,6 +35,7 @@ val table_of_column : catalog -> string list -> Sia_sql.Ast.column -> string
 (** Resolve within the given FROM list; returns the owning table name. *)
 
 val tpch : catalog
-(** The subset of TPC-H that the paper's benchmark uses (lineitem, orders)
-    with the dbgen column set Sia touches, plus row estimates at scale
-    factor 1. *)
+(** The 8-table TPC-H catalog (lineitem, orders, customer, part, partsupp,
+    supplier, nation, region) with the dbgen column set Sia touches —
+    including the categorical string columns and the nullable account
+    balances — plus row estimates at scale factor 1. *)

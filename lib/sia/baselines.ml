@@ -13,8 +13,12 @@ let edges_of_conjunct p =
   | Ast.Cmp (Ast.Gt, a, b) -> [ (b, a, true) ]
   | Ast.Cmp (Ast.Ge, a, b) -> [ (b, a, false) ]
   | Ast.Cmp (Ast.Eq, a, b) -> [ (a, b, false); (b, a, false) ]
-  | Ast.Cmp (Ast.Ne, _, _) | Ast.And _ | Ast.Or _ | Ast.Not _ | Ast.Ptrue | Ast.Pfalse
-    -> []
+  | Ast.Between (e, lo, hi) ->
+    (* e BETWEEN lo AND hi contributes both bounds, non-strict. *)
+    [ (lo, e, false); (e, hi, false) ]
+  | Ast.Cmp (Ast.Ne, _, _)
+  | Ast.In _ | Ast.Like _ | Ast.IsNull _
+  | Ast.And _ | Ast.Or _ | Ast.Not _ | Ast.Ptrue | Ast.Pfalse -> []
 
 let cols_within target p =
   List.for_all (fun (c : Ast.column) -> List.mem c.Ast.name target) (Ast.pred_columns p)
@@ -73,7 +77,8 @@ let constant_propagation p =
         match c with
         | Ast.Cmp (Ast.Eq, Ast.Col col, Ast.Const k)
         | Ast.Cmp (Ast.Eq, Ast.Const k, Ast.Col col) -> Some (col, k)
-        | Ast.Cmp _ | Ast.And _ | Ast.Or _ | Ast.Not _ | Ast.Ptrue | Ast.Pfalse -> None)
+        | Ast.Cmp _ | Ast.In _ | Ast.Between _ | Ast.Like _ | Ast.IsNull _
+        | Ast.And _ | Ast.Or _ | Ast.Not _ | Ast.Ptrue | Ast.Pfalse -> None)
       conjuncts
   in
   let rec subst_expr e =
@@ -85,8 +90,11 @@ let constant_propagation p =
     end
     | Ast.Const _ -> e
     | Ast.Binop (op, a, b) -> Ast.Binop (op, subst_expr a, subst_expr b)
-  in
-  let rec subst_pred p =
+    | Ast.Case (arms, els) ->
+      Ast.Case
+        ( List.map (fun (p, v) -> (subst_pred p, subst_expr v)) arms,
+          subst_expr els )
+  and subst_pred p =
     match p with
     | Ast.Cmp (op, a, b) -> begin
       (* Keep the defining equality itself untouched. *)
@@ -95,6 +103,11 @@ let constant_propagation p =
         -> p
       | _ -> Ast.Cmp (op, subst_expr a, subst_expr b)
     end
+    | Ast.In (e, cs) -> Ast.In (subst_expr e, cs)
+    | Ast.Between (e, lo, hi) ->
+      Ast.Between (subst_expr e, subst_expr lo, subst_expr hi)
+    | Ast.Like (e, pat) -> Ast.Like (subst_expr e, pat)
+    | Ast.IsNull e -> Ast.IsNull (subst_expr e)
     | Ast.And (a, b) -> Ast.And (subst_pred a, subst_pred b)
     | Ast.Or (a, b) -> Ast.Or (subst_pred a, subst_pred b)
     | Ast.Not a -> Ast.Not (subst_pred a)

@@ -12,7 +12,8 @@ type t = {
       (** round SVM directions and solver-tighten their thresholds
           (stabilized learner); disable to reproduce the paper's plain
           Algorithm 2 and its section 6.7 limitation *)
-  domain_bound : int;  (** |column| bound during sample generation *)
+  domain_bound : int;  (** cap on the sampling box's expansion beyond the
+      predicate's own constant range *)
   time_budget : float option;
       (** wall-clock cap in seconds on the learning loop, checked between
           iterations ([None] = unbounded). The paper's section 6.2

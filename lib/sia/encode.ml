@@ -2,6 +2,7 @@ open Sia_numeric
 open Sia_smt
 module Ast = Sia_sql.Ast
 module Schema = Sia_relalg.Schema
+module Strdict = Sia_sql.Strdict
 module Date = Sia_sql.Date
 module Printer = Sia_sql.Printer
 
@@ -55,6 +56,22 @@ let composite_name op a b =
     (match op with Ast.Mul -> "*" | Ast.Div -> "/" | Ast.Add -> "+" | Ast.Sub -> "-")
     (Printer.string_of_expr b)
 
+let lin_binop env op a b la lb =
+  match op with
+  | Ast.Add -> Linexpr.add la lb
+  | Ast.Sub -> Linexpr.sub la lb
+  | Ast.Mul ->
+    if Linexpr.is_const la then Linexpr.scale (Linexpr.constant la) lb
+    else if Linexpr.is_const lb then Linexpr.scale (Linexpr.constant lb) la
+    else Linexpr.var (intern env (composite_name Ast.Mul a b) Schema.Tint false)
+  | Ast.Div ->
+    if Linexpr.is_const lb then begin
+      let k = Linexpr.constant lb in
+      if Rat.is_zero k then raise (Unsupported "division by constant zero")
+      else Linexpr.scale (Rat.inv k) la
+    end
+    else Linexpr.var (intern env (composite_name Ast.Div a b) Schema.Tint false)
+
 let rec expr_to_lin env e =
   match e with
   | Ast.Col c ->
@@ -68,24 +85,14 @@ let rec expr_to_lin env e =
     Linexpr.of_int (Date.to_days d)
   | Ast.Const (Ast.Cinterval n) -> Linexpr.of_int n
   | Ast.Const (Ast.Cfloat f) -> Linexpr.const (Rat.of_float_approx f)
-  | Ast.Binop (op, a, b) -> begin
-    let la = expr_to_lin env a in
-    let lb = expr_to_lin env b in
-    match op with
-    | Ast.Add -> Linexpr.add la lb
-    | Ast.Sub -> Linexpr.sub la lb
-    | Ast.Mul ->
-      if Linexpr.is_const la then Linexpr.scale (Linexpr.constant la) lb
-      else if Linexpr.is_const lb then Linexpr.scale (Linexpr.constant lb) la
-      else Linexpr.var (intern env (composite_name Ast.Mul a b) Schema.Tint false)
-    | Ast.Div ->
-      if Linexpr.is_const lb then begin
-        let k = Linexpr.constant lb in
-        if Rat.is_zero k then raise (Unsupported "division by constant zero")
-        else Linexpr.scale (Rat.inv k) la
-      end
-      else Linexpr.var (intern env (composite_name Ast.Div a b) Schema.Tint false)
-  end
+  | Ast.Const (Ast.Cstring _) ->
+    raise (Unsupported "string literal outside a string comparison (§21.1)")
+  | Ast.Binop (op, a, b) ->
+    lin_binop env op a b (expr_to_lin env a) (expr_to_lin env b)
+  | Ast.Case _ ->
+    (* CASE never reaches the linear translation directly; comparisons
+       over it go through the guarded-alternative lowering below. *)
+    raise (Unsupported "CASE outside a comparison (§21.3)")
 
 let cmp_to_formula op la lb =
   match op with
@@ -96,43 +103,329 @@ let cmp_to_formula op la lb =
   | Ast.Eq -> Formula.atom (Atom.mk_eq la lb)
   | Ast.Ne -> Formula.not_ (Formula.atom (Atom.mk_eq la lb))
 
+(* --- Interned string codes (§21.2) ------------------------------------- *)
+
+(* Does the expression put a string-typed column or a string literal in
+   value position?  CASE conditions are predicates, not values: strings
+   inside them are encoded recursively and do not count here. *)
+let rec expr_mentions_string env e =
+  match e with
+  | Ast.Col c -> begin
+    match resolve env c with
+    | _, { Schema.ctype = Schema.Tstring _; _ } -> true
+    | _ -> false
+  end
+  | Ast.Const (Ast.Cstring _) -> true
+  | Ast.Const _ -> false
+  | Ast.Binop (_, a, b) -> expr_mentions_string env a || expr_mentions_string env b
+  | Ast.Case (arms, els) ->
+    List.exists (fun (_, v) -> expr_mentions_string env v) arms
+    || expr_mentions_string env els
+
+(* The two-valued core image of [v cmp 'x'] over the code variable, per
+   the §21.2 translation table.  Bounds that fall outside the code range
+   collapse to FALSE; everything else is a linear atom. *)
+let string_image env dict v op s =
+  let lin = Linexpr.var v in
+  let size = Strdict.size dict in
+  let rl = Strdict.rank_lt dict s in
+  let mem = Strdict.mem dict s in
+  let upper b =
+    if b < 0 then Formula.fls
+    else begin
+      note_const env b;
+      Formula.atom (Atom.mk_le lin (Linexpr.of_int b))
+    end
+  in
+  let lower b =
+    if b > size - 1 then Formula.fls
+    else begin
+      note_const env b;
+      Formula.atom (Atom.mk_ge lin (Linexpr.of_int b))
+    end
+  in
+  let eq_image () =
+    if mem then begin
+      note_const env rl;
+      Formula.atom (Atom.mk_eq lin (Linexpr.of_int rl))
+    end
+    else Formula.fls
+  in
+  match op with
+  | Ast.Eq -> eq_image ()
+  | Ast.Ne -> Formula.not_ (eq_image ())
+  | Ast.Lt -> upper (rl - 1)
+  | Ast.Le -> upper (rl - 1 + if mem then 1 else 0)
+  | Ast.Gt -> lower (rl + if mem then 1 else 0)
+  | Ast.Ge -> lower rl
+
+(* LIKE patterns are prefix-only (§21.1): ['p%'] or an exact string. *)
+let like_image env dict v pat =
+  if String.contains pat '_' then
+    raise (Unsupported "LIKE pattern with '_' wildcard (§21.1: prefix-only)");
+  match String.index_opt pat '%' with
+  | None -> string_image env dict v Ast.Eq pat
+  | Some i when i = String.length pat - 1 ->
+    let prefix = String.sub pat 0 i in
+    let plo, phi = Strdict.prefix_range dict prefix in
+    if plo >= phi then Formula.fls
+    else begin
+      note_const env plo;
+      note_const env (phi - 1);
+      Formula.and_
+        [
+          Formula.atom (Atom.mk_ge (Linexpr.var v) (Linexpr.of_int plo));
+          Formula.atom (Atom.mk_le (Linexpr.var v) (Linexpr.of_int (phi - 1)));
+        ]
+    end
+  | Some _ ->
+    raise (Unsupported "LIKE pattern with interior '%' (§21.1: prefix-only)")
+
+(* Classify a comparison's operands: a string column against a string
+   literal takes the interned-code image; anything else that mentions a
+   string must be the same column on both sides (reflexive, safe on the
+   code variable) or is unsupported (§21.1). *)
+type cmp_class =
+  | Cnumeric
+  | Cstring_lit of Schema.column_def * Strdict.t * string * bool (* flipped *)
+
+let classify_cmp env a b =
+  match (a, b) with
+  | Ast.Col c, Ast.Const (Ast.Cstring s) -> begin
+    match resolve env c with
+    | _, ({ Schema.ctype = Schema.Tstring d; _ } as cd) -> Cstring_lit (cd, d, s, false)
+    | _ -> raise (Unsupported "string literal compared to a non-string column")
+  end
+  | Ast.Const (Ast.Cstring s), Ast.Col c -> begin
+    match resolve env c with
+    | _, ({ Schema.ctype = Schema.Tstring d; _ } as cd) -> Cstring_lit (cd, d, s, true)
+    | _ -> raise (Unsupported "string literal compared to a non-string column")
+  end
+  | _ ->
+    if not (expr_mentions_string env a || expr_mentions_string env b) then Cnumeric
+    else begin
+      match (a, b) with
+      | Ast.Col c1, Ast.Col c2 -> begin
+        let t1, cd1 = resolve env c1 and t2, cd2 = resolve env c2 in
+        if t1.Schema.tname = t2.Schema.tname && cd1.Schema.cname = cd2.Schema.cname
+        then Cnumeric (* same column: reflexive over the code variable *)
+        else
+          raise
+            (Unsupported
+               "string comparison between distinct columns (§21.1: no common \
+                order embedding)")
+      end
+      | _ ->
+        raise
+          (Unsupported "string expressions must be flat column-vs-literal (§21.1)")
+    end
+
+(* --- Guarded alternatives for CASE (§21.3) ----------------------------- *)
+
+let rec expr_has_case = function
+  | Ast.Case _ -> true
+  | Ast.Binop (_, a, b) -> expr_has_case a || expr_has_case b
+  | Ast.Col _ | Ast.Const _ -> false
+
+(* Enumerate an expression's value alternatives as
+   (guard, linear value, value columns).  [cond_guard] encodes a WHEN
+   condition's "selects this arm" formula — two-valued for [encode_bool],
+   the T-component for [encode3]; arm i fires iff its condition holds and
+   no earlier arm's does, the mandatory ELSE when none does, so the
+   guards partition every valuation in source order. *)
+let rec expr_alts env cond_guard e =
+  if not (expr_has_case e) then
+    [ (Formula.tru, expr_to_lin env e, Ast.expr_columns e) ]
+  else begin
+    match e with
+    | Ast.Case (arms, els) ->
+      let rec go negs = function
+        | [] ->
+          List.map
+            (fun (g, l, cs) -> (Formula.and_ (List.rev negs @ [ g ]), l, cs))
+            (expr_alts env cond_guard els)
+        | (cond, v) :: rest ->
+          let gc = cond_guard cond in
+          let here =
+            List.map
+              (fun (g, l, cs) ->
+                (Formula.and_ (List.rev negs @ [ gc; g ]), l, cs))
+              (expr_alts env cond_guard v)
+          in
+          here @ go (Formula.not_ gc :: negs) rest
+      in
+      go [] arms
+    | Ast.Binop (op, a, b) ->
+      let aa = expr_alts env cond_guard a in
+      let bb = expr_alts env cond_guard b in
+      List.concat_map
+        (fun (g1, l1, c1) ->
+          List.map
+            (fun (g2, l2, c2) ->
+              (Formula.and_ [ g1; g2 ], lin_binop env op a b l1 l2, c1 @ c2))
+            bb)
+        aa
+    | Ast.Col _ | Ast.Const _ ->
+      [ (Formula.tru, expr_to_lin env e, Ast.expr_columns e) ]
+  end
+
+(* --- Null machinery (§21.3) -------------------------------------------- *)
+
+(* [n_c = 0] conjunction over the nullable columns of [cols], interning
+   as it goes (first-occurrence order, so the encoding stays
+   deterministic for the auditor's replay, §21.4). *)
+let nonnull_of env cols =
+  Formula.and_
+    (List.filter_map
+       (fun c ->
+         let _, cd = resolve env c in
+         let v = intern env cd.Schema.cname cd.Schema.ctype cd.Schema.nullable in
+         match List.assoc_opt v env.infos with
+         | Some { null_var = Some nv; _ } ->
+           Some (Formula.atom (Atom.mk_eq (Linexpr.var nv) Linexpr.zero))
+         | Some { null_var = None; _ } | None -> None)
+       cols)
+
+(* [⋁ n_c = 1] over the nullable columns of [cols]; FALSE when none is
+   nullable (IS NULL on a non-nullable operand is statically FALSE). *)
+let null_flag_disj env cols =
+  Formula.or_
+    (List.filter_map
+       (fun c ->
+         let _, cd = resolve env c in
+         let v = intern env cd.Schema.cname cd.Schema.ctype cd.Schema.nullable in
+         match List.assoc_opt v env.infos with
+         | Some { null_var = Some nv; _ } ->
+           Some (Formula.atom (Atom.mk_eq (Linexpr.var nv) (Linexpr.of_int 1)))
+         | Some { null_var = None; _ } | None -> None)
+       cols)
+
+(* IN and BETWEEN inherit their truth tables through their images
+   (§21.3): the OR row and the AND row respectively. *)
+let desugar_in e cs =
+  Ast.disj (List.map (fun c -> Ast.Cmp (Ast.Eq, e, Ast.Const c)) cs)
+
+let desugar_between e lo hi =
+  Ast.And (Ast.Cmp (Ast.Ge, e, lo), Ast.Cmp (Ast.Le, e, hi))
+
+let like_operand env e =
+  match e with
+  | Ast.Col c -> begin
+    match resolve env c with
+    | _, ({ Schema.ctype = Schema.Tstring d; _ } as cd) -> (cd, d)
+    | _ -> raise (Unsupported "LIKE on a non-string column")
+  end
+  | _ -> raise (Unsupported "LIKE operand must be a string column (§21.1)")
+
 let rec encode_bool env p =
   match p with
-  | Ast.Cmp (op, a, b) ->
-    let la = expr_to_lin env a in
-    let lb = expr_to_lin env b in
-    cmp_to_formula op la lb
+  | Ast.Cmp (op, a, b) -> begin
+    match classify_cmp env a b with
+    | Cstring_lit (cd, d, s, flipped) ->
+      let v = intern env cd.Schema.cname cd.Schema.ctype cd.Schema.nullable in
+      string_image env d v (if flipped then Ast.cmp_flip op else op) s
+    | Cnumeric ->
+      if expr_has_case a || expr_has_case b then begin
+        let aa = expr_alts env (encode_bool env) a in
+        let bb = expr_alts env (encode_bool env) b in
+        Formula.or_
+          (List.concat_map
+             (fun (g1, l1, _) ->
+               List.map
+                 (fun (g2, l2, _) ->
+                   Formula.and_ [ g1; g2; cmp_to_formula op l1 l2 ])
+                 bb)
+             aa)
+      end
+      else begin
+        let la = expr_to_lin env a in
+        let lb = expr_to_lin env b in
+        cmp_to_formula op la lb
+      end
+  end
+  | Ast.In (e, cs) -> encode_bool env (desugar_in e cs)
+  | Ast.Between (e, lo, hi) -> encode_bool env (desugar_between e lo hi)
+  | Ast.Like (e, pat) ->
+    let cd, d = like_operand env e in
+    let v = intern env cd.Schema.cname cd.Schema.ctype cd.Schema.nullable in
+    like_image env d v pat
+  | Ast.IsNull e ->
+    if expr_has_case e then
+      Formula.or_
+        (List.map
+           (fun (g, _, cols) -> Formula.and_ [ g; null_flag_disj env cols ])
+           (expr_alts env (encode_bool env) e))
+    else null_flag_disj env (Ast.expr_columns e)
   | Ast.And (a, b) -> Formula.and_ [ encode_bool env a; encode_bool env b ]
   | Ast.Or (a, b) -> Formula.or_ [ encode_bool env a; encode_bool env b ]
   | Ast.Not a -> Formula.not_ (encode_bool env a)
   | Ast.Ptrue -> Formula.tru
   | Ast.Pfalse -> Formula.fls
 
-(* Trivalent encoding after Zhou et al. 2019: compute the pair
-   (is-TRUE, is-FALSE); NULL is "neither". A comparison is TRUE (FALSE)
-   only when every nullable column involved is non-null and the arithmetic
-   comparison holds (fails). *)
+(* Trivalent encoding after Zhou et al. 2019, extended per §21.3: compute
+   the pair (is-TRUE, is-FALSE); NULL is "neither". A comparison is TRUE
+   (FALSE) only when every nullable column involved is non-null and the
+   arithmetic comparison holds (fails). *)
 let rec encode3 env p =
   match p with
-  | Ast.Cmp (op, a, b) ->
-    let cols = Ast.expr_columns a @ Ast.expr_columns b in
-    let la = expr_to_lin env a in
-    let lb = expr_to_lin env b in
-    let nonnull =
-      Formula.and_
-        (List.filter_map
-           (fun c ->
-             let _, cd = resolve env c in
-             let v = List.assoc cd.Schema.cname env.vars in
-             match List.assoc_opt v env.infos with
-             | Some { null_var = Some nv; _ } ->
-               Some (Formula.atom (Atom.mk_eq (Linexpr.var nv) Linexpr.zero))
-             | Some { null_var = None; _ } | None -> None)
-           cols)
+  | Ast.Cmp (op, a, b) -> begin
+    match classify_cmp env a b with
+    | Cstring_lit (cd, d, s, flipped) ->
+      let v = intern env cd.Schema.cname cd.Schema.ctype cd.Schema.nullable in
+      let op = if flipped then Ast.cmp_flip op else op in
+      let core = string_image env d v op s in
+      let nonnull = nonnull_of env [ { Ast.table = None; name = cd.Schema.cname } ] in
+      (Formula.and_ [ nonnull; core ], Formula.and_ [ nonnull; Formula.not_ core ])
+    | Cnumeric ->
+      if expr_has_case a || expr_has_case b then begin
+        (* Comparison over CASE distributes into the guard product:
+           guards partition, so the verdict is the selected branches'. *)
+        let guard q = fst (encode3 env q) in
+        let aa = expr_alts env guard a in
+        let bb = expr_alts env guard b in
+        let branch core_of =
+          Formula.or_
+            (List.concat_map
+               (fun (g1, l1, c1) ->
+                 List.map
+                   (fun (g2, l2, c2) ->
+                     Formula.and_
+                       [ g1; g2; nonnull_of env (c1 @ c2); core_of l1 l2 ])
+                   bb)
+               aa)
+        in
+        ( branch (fun l1 l2 -> cmp_to_formula op l1 l2),
+          branch (fun l1 l2 -> cmp_to_formula (Ast.cmp_negate op) l1 l2) )
+      end
+      else begin
+        let cols = Ast.expr_columns a @ Ast.expr_columns b in
+        let la = expr_to_lin env a in
+        let lb = expr_to_lin env b in
+        let nonnull = nonnull_of env cols in
+        let t = cmp_to_formula op la lb in
+        let f = cmp_to_formula (Ast.cmp_negate op) la lb in
+        (Formula.and_ [ nonnull; t ], Formula.and_ [ nonnull; f ])
+      end
+  end
+  | Ast.In (e, cs) -> encode3 env (desugar_in e cs)
+  | Ast.Between (e, lo, hi) -> encode3 env (desugar_between e lo hi)
+  | Ast.Like (e, pat) ->
+    let cd, d = like_operand env e in
+    let v = intern env cd.Schema.cname cd.Schema.ctype cd.Schema.nullable in
+    let core = like_image env d v pat in
+    let nonnull = nonnull_of env [ { Ast.table = None; name = cd.Schema.cname } ] in
+    (Formula.and_ [ nonnull; core ], Formula.and_ [ nonnull; Formula.not_ core ])
+  | Ast.IsNull e ->
+    (* The one two-valued predicate: never UNKNOWN (§21.3). *)
+    let t =
+      if expr_has_case e then
+        Formula.or_
+          (List.map
+             (fun (g, _, cols) -> Formula.and_ [ g; null_flag_disj env cols ])
+             (expr_alts env (fun q -> fst (encode3 env q)) e))
+      else null_flag_disj env (Ast.expr_columns e)
     in
-    let t = cmp_to_formula op la lb in
-    let f = cmp_to_formula (Ast.cmp_negate op) la lb in
-    (Formula.and_ [ nonnull; t ], Formula.and_ [ nonnull; f ])
+    (t, Formula.not_ t)
   | Ast.And (a, b) ->
     let ta, fa = encode3 env a in
     let tb, fb = encode3 env b in
@@ -162,6 +455,38 @@ let null_domain env =
          | None -> None)
        env.infos)
 
+(* Ambient domain assumption (§21.3): null-indicator 0/1 boxes plus the
+   [0, size-1] code range of every string column.  Equal to [null_domain]
+   when the predicate touches no string column. *)
+let domains env =
+  Formula.and_
+    (List.filter_map
+       (fun (v, info) ->
+         let null_box =
+           match info.null_var with
+           | Some nv ->
+             [
+               Formula.atom (Atom.mk_ge (Linexpr.var nv) Linexpr.zero);
+               Formula.atom (Atom.mk_le (Linexpr.var nv) (Linexpr.of_int 1));
+             ]
+           | None -> []
+         in
+         let code_range =
+           match info.vtype with
+           | Schema.Tstring d ->
+             [
+               Formula.atom (Atom.mk_ge (Linexpr.var v) Linexpr.zero);
+               Formula.atom
+                 (Atom.mk_le (Linexpr.var v)
+                    (Linexpr.of_int (Strdict.size d - 1)));
+             ]
+           | _ -> []
+         in
+         match null_box @ code_range with
+         | [] -> None
+         | atoms -> Some (Formula.and_ atoms))
+       env.infos)
+
 let encode_is_true env p =
   let t, _ = encode3 env p in
   t
@@ -174,10 +499,16 @@ let build_env catalog from p =
 let var_of_column env name = List.assoc name env.vars
 let columns env = List.map fst env.vars
 
+let null_var_of_column env name =
+  match List.assoc_opt (List.assoc name env.vars) env.infos with
+  | Some { null_var; _ } -> null_var
+  | None -> None
+
 let is_int_var env v =
   match List.assoc_opt v env.infos with
   | Some { vtype = Schema.Tdouble; _ } -> false
-  | Some { vtype = Schema.Tint | Schema.Tdate | Schema.Ttimestamp; _ } -> true
+  | Some { vtype = Schema.Tint | Schema.Tdate | Schema.Ttimestamp | Schema.Tstring _; _ }
+    -> true
   | None -> true (* null indicators *)
 
 let var_name env v =
@@ -207,6 +538,12 @@ let value_to_const env name (r : Rat.t) =
     Ast.Cdate (Date.of_days (Bigint.to_int_exn (Rat.floor r)))
   | Schema.Tint -> Ast.Cint (Bigint.to_int_exn (Rat.floor r))
   | Schema.Tdouble -> Ast.Cfloat (Rat.to_float r)
+  | Schema.Tstring d ->
+    (* Models are drawn under [domains], so the code is in range; clamp
+       defensively rather than crash on a foreign model. *)
+    let code = Bigint.to_int_exn (Rat.floor r) in
+    let code = max 0 (min (Strdict.size d - 1) code) in
+    Ast.Cstring (Strdict.value d code)
 
 let hyperplane_to_pred env ~cols w b =
   ignore env;

@@ -22,6 +22,13 @@ val build_env : Sia_relalg.Schema.catalog -> string list -> Sia_sql.Ast.pred -> 
 val var_of_column : env -> string -> int
 (** @raise Not_found when the column is not in the predicate. *)
 
+val null_var_of_column : env -> string -> int option
+(** The column's 0/1 null-indicator variable, or [None] when the column
+    is not nullable. Exposed so differential harnesses can pin a full
+    point assignment — values and nullness — when evaluating the
+    {!encode3} formulas against an independent evaluator.
+    @raise Not_found when the column is not in the predicate. *)
+
 val columns : env -> string list
 (** Interned predicate columns, in first-occurrence order. *)
 
@@ -34,12 +41,22 @@ val const_range : env -> int * int
 val encode_bool : env -> Sia_sql.Ast.pred -> Formula.t
 (** Two-valued encoding (NULL-free), used by sample generation. *)
 
+val encode3 : env -> Sia_sql.Ast.pred -> Formula.t * Formula.t
+(** Trivalent encoding (DESIGN.md §21.3): the pair [(T p, F p)] —
+    "evaluates to TRUE" / "evaluates to FALSE"; UNKNOWN is the
+    complement [¬T ∧ ¬F]. Combine with {!domains} (a global assumption,
+    never negated). *)
+
 val encode_is_true : env -> Sia_sql.Ast.pred -> Formula.t
-(** Trivalent encoding of "the predicate evaluates to TRUE". Combine with
-    {!null_domain} (a global assumption, never negated). *)
+(** The T-component of {!encode3}. *)
 
 val null_domain : env -> Formula.t
 (** 0/1 domain constraints for the null indicator variables. *)
+
+val domains : env -> Formula.t
+(** Ambient domain assumption (DESIGN.md §21.3): {!null_domain} plus the
+    [0..size-1] code range of every interned string column. Part of the
+    base on every verify, residual and audit query. *)
 
 val hyperplane_to_pred :
   env -> cols:string list -> Rat.t array -> Rat.t -> Sia_sql.Ast.pred

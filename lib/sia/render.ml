@@ -5,13 +5,13 @@ module Schema = Sia_relalg.Schema
 let is_date env name =
   match Encode.column_type env name with
   | Schema.Tdate | Schema.Ttimestamp -> true
-  | Schema.Tint | Schema.Tdouble -> false
+  | Schema.Tint | Schema.Tdouble | Schema.Tstring _ -> false
   | exception Not_found -> false
 
 (* A bare date-typed column (possibly behind a no-op structure). *)
 let date_col env = function
   | Ast.Col c when is_date env c.Ast.name -> true
-  | Ast.Col _ | Ast.Const _ | Ast.Binop _ -> false
+  | Ast.Col _ | Ast.Const _ | Ast.Binop _ | Ast.Case _ -> false
 
 (* Every column in the expression is date-typed and the expression is a
    sum/difference (a "span": date - date, date + date ... any integer
@@ -21,6 +21,7 @@ let rec date_span env = function
   | Ast.Const _ -> false
   | Ast.Binop ((Ast.Add | Ast.Sub), a, b) -> date_span env a && date_span env b
   | Ast.Binop ((Ast.Mul | Ast.Div), _, _) -> false
+  | Ast.Case _ -> false
 
 let rec beautify_pred env p =
   match p with
@@ -41,6 +42,20 @@ let rec beautify_pred env p =
     when date_span env a && date_span env b ->
     Ast.Cmp (op, a, Ast.Binop (Ast.Add, b, Ast.Const (Ast.Cinterval k)))
   | Ast.Cmp _ -> p
+  | Ast.In (e, cs) when date_col env e ->
+    (* IN over a date column: render the member codes as dates. *)
+    Ast.In
+      ( e,
+        List.map
+          (function Ast.Cint k -> Ast.Cdate (Date.of_days k) | c -> c)
+          cs )
+  | Ast.Between (e, Ast.Const (Ast.Cint lo), Ast.Const (Ast.Cint hi))
+    when date_col env e ->
+    Ast.Between
+      ( e,
+        Ast.Const (Ast.Cdate (Date.of_days lo)),
+        Ast.Const (Ast.Cdate (Date.of_days hi)) )
+  | Ast.In _ | Ast.Between _ | Ast.Like _ | Ast.IsNull _ -> p
   | Ast.And (a, b) -> Ast.And (beautify_pred env a, beautify_pred env b)
   | Ast.Or (a, b) -> Ast.Or (beautify_pred env a, beautify_pred env b)
   | Ast.Not a -> Ast.Not (beautify_pred env a)

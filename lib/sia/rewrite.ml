@@ -33,7 +33,8 @@ let non_join_pred cat (q : Ast.query) =
         | t1, t2 -> t1 <> t2
         | exception Not_found -> false
       end
-      | Ast.Cmp _ | Ast.And _ | Ast.Or _ | Ast.Not _ | Ast.Ptrue | Ast.Pfalse -> false
+      | Ast.Cmp _ | Ast.In _ | Ast.Between _ | Ast.Like _ | Ast.IsNull _
+      | Ast.And _ | Ast.Or _ | Ast.Not _ | Ast.Ptrue | Ast.Pfalse -> false
     in
     Ast.conj (List.filter (fun p -> not (is_join_eq p)) (Ast.conjuncts w))
 
@@ -59,7 +60,7 @@ let audit cat ~from ~p ~p1 =
         let query =
           Formula.and_
             [
-              Encode.null_domain env;
+              Encode.domains env;
               Encode.encode_is_true env p;
               Formula.not_ (Encode.encode_is_true env p1);
             ]

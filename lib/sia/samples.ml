@@ -8,6 +8,11 @@ type gen_state = {
   rand : Random.State.t;
   cfg : Config.t;
   pool_key : string option;
+  crange : int * int;
+      (* [Encode.const_range] snapshotted at creation: the box must be
+         sized from the *original* predicate's constants, not drift as
+         learned predicates with tightened thresholds are encoded
+         through the same (mutable) env across CEGIS iterations. *)
   session : Solver.Session.t Lazy.t;
 }
 
@@ -15,6 +20,7 @@ let make_state ?pool_key cfg env ~target_cols =
   {
     env;
     target_vars = List.map (Encode.var_of_column env) target_cols;
+    crange = Encode.const_range env;
     rand = Random.State.make [| cfg.Config.seed |];
     cfg;
     pool_key;
@@ -42,11 +48,15 @@ let not_old st existing = Formula.and_ (List.map (not_sample st) existing)
 let box_range st =
   (* Sample inside a box sized from the predicate's own constants: samples
      light-years from the decision boundary teach the SVM nothing, and a
-     smaller box keeps branch-and-bound quick. [domain_bound] caps it. *)
-  let lo, hi = Encode.const_range st.env in
+     smaller box keeps branch-and-bound quick. [domain_bound] caps the
+     box's expansion beyond the constant range — never the range itself,
+     or a predicate whose constants live at 3.5e6 (TPC-H prices in
+     cents) would exclude its own feasible region and sample generation
+     would call a satisfiable predicate empty. *)
+  let lo, hi = st.crange in
   let span = Stdlib.max 50 (hi - lo) in
-  let cap = st.cfg.Config.domain_bound in
-  (Stdlib.max (-cap) (lo - (2 * span)), Stdlib.min cap (hi + (2 * span)))
+  let expand = Stdlib.min st.cfg.Config.domain_bound (2 * span) in
+  (lo - expand, hi + expand)
 
 let bounds st =
   let lo, hi = box_range st in
@@ -69,7 +79,10 @@ let hints st =
   List.filter_map
     (fun v ->
       if Random.State.bool st.rand then begin
-        let pivot = lo + Random.State.int st.rand (Stdlib.max 1 (hi - lo)) in
+        (* Clamp the draw width under Random.int's 2^30 bound; a pivot in
+           the box's lower 2^29 span still splits the feasible region. *)
+        let width = Stdlib.min (1 lsl 29) (Stdlib.max 1 (hi - lo)) in
+        let pivot = lo + Random.State.int st.rand width in
         let atom =
           if Random.State.bool st.rand then Atom.mk_le (Linexpr.var v) (Linexpr.of_int pivot)
           else Atom.mk_ge (Linexpr.var v) (Linexpr.of_int pivot)

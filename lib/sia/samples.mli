@@ -29,6 +29,11 @@ type gen_state = {
   pool_key : string option;
       (** model-pool family key ({!Sia_smt.Mpool}); [None] disables the
           pool rungs of the ladder *)
+  crange : int * int;
+      (** {!Encode.const_range} snapshotted at creation, so the sampling
+          box is sized from the original predicate's constants and does
+          not drift as learned predicates are encoded through the same
+          mutable env *)
   session : Solver.Session.t Lazy.t;
       (** one incremental solver session shared by every query this state
           issues (sample generation and the residual optimality check);

@@ -48,13 +48,24 @@ let sample_eq env cols (sample : Rat.t array) =
    shards: all attempts of one family run on one worker, in submission
    order, making pool evolution identical sequential or parallel. *)
 let pred_skeleton p =
+  let skeleton_const = function
+    (* String members keep their identity: two IN-lists over different
+       literals are different dictionary ranges, not one template. *)
+    | Ast.Cstring _ as c -> c
+    | Ast.Cint _ | Ast.Cfloat _ | Ast.Cdate _ | Ast.Cinterval _ -> Ast.Cint 0
+  in
   let rec expr = function
     | Ast.Col _ as e -> e
-    | Ast.Const _ -> Ast.Const (Ast.Cint 0)
+    | Ast.Const c -> Ast.Const (skeleton_const c)
     | Ast.Binop (op, a, b) -> Ast.Binop (op, expr a, expr b)
-  in
-  let rec pred = function
+    | Ast.Case (arms, els) ->
+      Ast.Case (List.map (fun (c, v) -> (pred c, expr v)) arms, expr els)
+  and pred = function
     | Ast.Cmp (c, a, b) -> Ast.Cmp (c, expr a, expr b)
+    | Ast.In (e, cs) -> Ast.In (expr e, List.map skeleton_const cs)
+    | Ast.Between (e, lo, hi) -> Ast.Between (expr e, expr lo, expr hi)
+    | Ast.Like (e, pat) -> Ast.Like (expr e, pat)
+    | Ast.IsNull e -> Ast.IsNull (expr e)
     | Ast.And (a, b) -> Ast.And (pred a, pred b)
     | Ast.Or (a, b) -> Ast.Or (pred a, pred b)
     | Ast.Not a -> Ast.Not (pred a)
@@ -128,6 +139,24 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
     if missing <> [] then
       fail (Failed ("target columns not in predicate: " ^ String.concat "," missing))
     else begin
+      (* String columns have no order embedding the hyperplane learner
+         could exploit (§21.1 admits only flat column-vs-literal string
+         comparisons, never the learned linear combinations): synthesis
+         reasons over the orderable target columns and drops the string
+         ones. Sound — a predicate over a column subset is still a
+         dimensionality reduction onto the target table — at worst it
+         costs optimality on string-selective queries. *)
+      let target_cols =
+        List.filter
+          (fun c ->
+            match Encode.column_type env c with
+            | Schema.Tstring _ -> false
+            | _ -> true)
+          target_cols
+      in
+      if target_cols = [] then
+        fail (Failed "no orderable (non-string) target columns")
+      else begin
       let p_formula = Encode.encode_bool env pred in
       let st =
         Samples.make_state ~pool_key:(pool_key_of ~from ~pred) cfg env
@@ -383,6 +412,7 @@ let synthesize ?(cfg = Config.default) catalog ~from ~pred ~target_cols =
           end
         end
       end
+    end
     end
 
 (* ------------------------------------------------------------------ *)

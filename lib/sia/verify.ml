@@ -11,7 +11,7 @@ let implies_ce env ~p ~p1 =
   let t_p = Encode.encode_is_true env p in
   let t_p1 = Encode.encode_is_true env p1 in
   let query =
-    Formula.and_ [ Encode.null_domain env; t_p; Formula.not_ t_p1 ]
+    Formula.and_ [ Encode.domains env; t_p; Formula.not_ t_p1 ]
   in
   match Solver.solve ~is_int:(Encode.is_int_var env) query with
   | Solver.Unsat -> (Valid, None)
@@ -28,7 +28,7 @@ type session = { env : Encode.env; sess : Solver.Session.t }
 
 let make_session env ~p =
   let base =
-    Formula.and_ [ Encode.null_domain env; Encode.encode_is_true env p ]
+    Formula.and_ [ Encode.domains env; Encode.encode_is_true env p ]
   in
   { env; sess = Solver.Session.create ~is_int:(Encode.is_int_var env) base }
 

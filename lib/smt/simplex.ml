@@ -193,6 +193,13 @@ let touch t d =
 
 let seal_base t = t.base_n <- t.round_n
 
+(* Whether a dense variable is active in the current round — the
+   precondition [Theory] checks before extending a sealed round in place
+   rather than rebuilding it (an extension is scratch-identical only if
+   the appended atoms introduce no external the round has not already
+   numbered). *)
+let is_active t d = d < Array.length t.stamp && t.stamp.(d) = t.round
+
 (* Record a base bound from the round scan. Tie-breaking matches a
    scratch build processing bounds in atom order: only a strictly tighter
    bound replaces the cached one, and a crossing raises the same

@@ -49,6 +49,7 @@ type stats = {
   pivots : int;
   tableau_rebuilds : int;
   reused_rounds : int;
+  extended_rounds : int;
   clusters : int;
   shared_hits : int;
   shared_misses : int;
@@ -83,6 +84,7 @@ let stats_zero =
     pivots = 0;
     tableau_rebuilds = 0;
     reused_rounds = 0;
+    extended_rounds = 0;
     clusters = 0;
     shared_hits = 0;
     shared_misses = 0;
@@ -121,6 +123,7 @@ let stats_add a b =
     pivots = a.pivots + b.pivots;
     tableau_rebuilds = a.tableau_rebuilds + b.tableau_rebuilds;
     reused_rounds = a.reused_rounds + b.reused_rounds;
+    extended_rounds = a.extended_rounds + b.extended_rounds;
     clusters = a.clusters + b.clusters;
     shared_hits = a.shared_hits + b.shared_hits;
     shared_misses = a.shared_misses + b.shared_misses;
@@ -162,6 +165,7 @@ let stats_since s0 =
     pivots = s.pivots - s0.pivots;
     tableau_rebuilds = s.tableau_rebuilds - s0.tableau_rebuilds;
     reused_rounds = s.reused_rounds - s0.reused_rounds;
+    extended_rounds = s.extended_rounds - s0.extended_rounds;
     clusters = s.clusters - s0.clusters;
     shared_hits = s.shared_hits - s0.shared_hits;
     shared_misses = s.shared_misses - s0.shared_misses;
@@ -183,13 +187,14 @@ let stats_since s0 =
 let pp_stats fmt s =
   Format.fprintf fmt
     "queries=%d (sat=%d unsat=%d unknown=%d cached=%d) encodings=%d \
-     instances=%d theory-rounds=%d (reused=%d rebuilds=%d) clusters=%d \
+     instances=%d theory-rounds=%d (reused=%d extended=%d rebuilds=%d) clusters=%d \
      shared=%d/%d (lemmas=%d) pool=%d underapprox=%d fallbacks=%d cegqi=%d \
      conflicts=%d propagations=%d restarts=%d \
      pivots=%d encode=%.3fs search=%.3fs (theory=%.3fs) certs=%d/%d/%d \
      rejected=%d cert=%.3fs"
     s.queries s.sat_answers s.unsat_answers s.unknown_answers s.cache_hits
-    s.encodings s.instances s.theory_rounds s.reused_rounds s.tableau_rebuilds
+    s.encodings s.instances s.theory_rounds s.reused_rounds s.extended_rounds
+    s.tableau_rebuilds
     s.clusters s.shared_hits s.shared_misses s.shared_lemmas s.pool_hits
     s.underapprox_solves s.gen_fallbacks s.cegqi_instantiations s.conflicts
     s.propagations s.restarts s.pivots s.encode_time s.search_time
@@ -450,6 +455,7 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
   let r0 = Sat.n_restarts inst.sat in
   let pv0 = Simplex.pivot_count () in
   let ru0 = Theory.reused_round_count () in
+  let ex0 = Theory.extended_round_count () in
   let rb0 = Theory.rebuild_count () in
   (* Model-padding variables: everything the validated formulas mention.
      Sessions precompute this once per query ([fvars]) — walking every
@@ -636,6 +642,8 @@ let run_instance ?(max_rounds = 50_000) ?node_limit ?(assumptions = [])
       restarts = !totals.restarts + (Sat.n_restarts inst.sat - r0);
       pivots = !totals.pivots + (Simplex.pivot_count () - pv0);
       reused_rounds = !totals.reused_rounds + (Theory.reused_round_count () - ru0);
+      extended_rounds =
+        !totals.extended_rounds + (Theory.extended_round_count () - ex0);
       tableau_rebuilds = !totals.tableau_rebuilds + (Theory.rebuild_count () - rb0);
     };
   if Trace.enabled () then

@@ -204,6 +204,9 @@ type stats = {
   pivots : int;  (** simplex pivot operations *)
   tableau_rebuilds : int;  (** scratch rebuilds of a session tableau (bloat escape hatch) *)
   reused_rounds : int;  (** theory rounds served by an already-populated tableau *)
+  extended_rounds : int;
+      (** theory rounds extending the previous round's sealed bound state
+          in place (suffix-only setup, no O(n_base) rescan) *)
   clusters : int;  (** shared-context cluster sessions materialized *)
   shared_hits : int;  (** queries answered Unsat by their cluster session *)
   shared_misses : int;  (** cluster consultations whose verdict was discarded *)

@@ -69,6 +69,15 @@ val reused_round_count : unit -> int
 (** Cumulative rounds served by an already-populated tableau (monotone,
     process-wide); callers sample deltas. *)
 
+val extended_round_count : unit -> int
+(** Cumulative rounds whose literal list extended the previous round's
+    (same prefix, appended suffix) and were served by continuing the
+    sealed round in place — only the suffix's bounds were scanned,
+    instead of rebuilding bound state O(n_base) from scratch. Monotone,
+    process-wide; callers sample deltas. A subset of
+    {!reused_round_count}'s complement: extended rounds are counted here,
+    not there. *)
+
 val rebuild_count : unit -> int
 (** Cumulative scratch rebuilds triggered by the tableau-bloat escape
     hatch. *)

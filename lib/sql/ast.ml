@@ -6,16 +6,24 @@ type const =
   | Cfloat of float
   | Cdate of Date.t
   | Cinterval of int
+  | Cstring of string
 
 type column = { table : string option; name : string }
 
+(* expr and pred are mutually recursive through the searched CASE
+   (DESIGN.md §21.1: WHEN arms carry predicates, ELSE is mandatory). *)
 type expr =
   | Col of column
   | Const of const
   | Binop of binop * expr * expr
+  | Case of (pred * expr) list * expr  (* WHEN/THEN arms, ELSE *)
 
-type pred =
+and pred =
   | Cmp of cmp * expr * expr
+  | In of expr * const list
+  | Between of expr * expr * expr  (* e BETWEEN lo AND hi *)
+  | Like of expr * string  (* prefix pattern 'p%' or exact string *)
+  | IsNull of expr  (* e IS NULL; IS NOT NULL is Not (IsNull e) *)
   | And of pred * pred
   | Or of pred * pred
   | Not of pred
@@ -34,6 +42,7 @@ let col ?table name = Col { table; name }
 let int_ n = Const (Cint n)
 let date s = Const (Cdate (Date.of_string s))
 let interval n = Const (Cinterval n)
+let str s = Const (Cstring s)
 let ( +! ) a b = Binop (Add, a, b)
 let ( -! ) a b = Binop (Sub, a, b)
 let ( *! ) a b = Binop (Mul, a, b)
@@ -68,27 +77,40 @@ let rec expr_columns = function
   | Col c -> [ c ]
   | Const _ -> []
   | Binop (_, a, b) -> expr_columns a @ expr_columns b
+  | Case (arms, els) ->
+    List.concat_map (fun (p, e) -> pred_columns_dup p @ expr_columns e) arms
+    @ expr_columns els
+
+and pred_columns_dup = function
+  | Cmp (_, a, b) -> expr_columns a @ expr_columns b
+  | In (e, _) | Like (e, _) | IsNull e -> expr_columns e
+  | Between (e, lo, hi) -> expr_columns e @ expr_columns lo @ expr_columns hi
+  | And (a, b) | Or (a, b) -> pred_columns_dup a @ pred_columns_dup b
+  | Not a -> pred_columns_dup a
+  | Ptrue | Pfalse -> []
 
 let pred_columns p =
-  let rec go = function
-    | Cmp (_, a, b) -> expr_columns a @ expr_columns b
-    | And (a, b) | Or (a, b) -> go a @ go b
-    | Not a -> go a
-    | Ptrue | Pfalse -> []
-  in
   let rec uniq seen = function
     | [] -> List.rev seen
     | c :: rest ->
       if List.exists (column_equal c) seen then uniq seen rest else uniq (c :: seen) rest
   in
-  uniq [] (go p)
+  uniq [] (pred_columns_dup p)
 
 let rec expr_size = function
   | Col _ | Const _ -> 1
   | Binop (_, a, b) -> 1 + expr_size a + expr_size b
+  | Case (arms, els) ->
+    List.fold_left
+      (fun acc (p, e) -> acc + pred_size p + expr_size e)
+      (1 + expr_size els)
+      arms
 
-let rec pred_size = function
+and pred_size = function
   | Cmp (_, a, b) -> 1 + expr_size a + expr_size b
+  | In (e, cs) -> 1 + expr_size e + List.length cs
+  | Between (e, lo, hi) -> 1 + expr_size e + expr_size lo + expr_size hi
+  | Like (e, _) | IsNull e -> 1 + expr_size e
   | And (a, b) | Or (a, b) -> 1 + pred_size a + pred_size b
   | Not a -> 1 + pred_size a
   | Ptrue | Pfalse -> 1

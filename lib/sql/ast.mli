@@ -9,16 +9,26 @@ type const =
   | Cfloat of float
   | Cdate of Date.t
   | Cinterval of int  (** a span in days *)
+  | Cstring of string  (** a string literal; single quotes in source *)
 
 type column = { table : string option; name : string }
 
+(** Expressions and predicates are mutually recursive through the
+    searched [CASE], whose WHEN arms carry predicates; the ELSE branch
+    is mandatory (DESIGN.md §21.1). *)
 type expr =
   | Col of column
   | Const of const
   | Binop of binop * expr * expr
+  | Case of (pred * expr) list * expr  (** WHEN/THEN arms, ELSE *)
 
-type pred =
+and pred =
   | Cmp of cmp * expr * expr
+  | In of expr * const list  (** [e IN (c1, c2, ...)] *)
+  | Between of expr * expr * expr  (** [e BETWEEN lo AND hi] *)
+  | Like of expr * string
+      (** prefix pattern ['p%'] or exact string; [NOT LIKE] is [Not] *)
+  | IsNull of expr  (** [e IS NULL]; [IS NOT NULL] is [Not (IsNull e)] *)
   | And of pred * pred
   | Or of pred * pred
   | Not of pred
@@ -37,6 +47,9 @@ val col : ?table:string -> string -> expr
 val int_ : int -> expr
 val date : string -> expr
 val interval : int -> expr
+
+(** A string-literal expression. *)
+val str : string -> expr
 val ( +! ) : expr -> expr -> expr
 val ( -! ) : expr -> expr -> expr
 val ( *! ) : expr -> expr -> expr

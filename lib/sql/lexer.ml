@@ -24,7 +24,11 @@ type token =
 exception Error of string * int
 
 let keywords =
-  [ "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "DATE"; "INTERVAL"; "DAY"; "AS"; "TRUE"; "FALSE" ]
+  [
+    "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "DATE"; "INTERVAL"; "DAY";
+    "AS"; "TRUE"; "FALSE"; "IN"; "BETWEEN"; "LIKE"; "IS"; "NULL"; "CASE";
+    "WHEN"; "THEN"; "ELSE"; "END";
+  ]
 
 let is_digit c = c >= '0' && c <= '9'
 let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'

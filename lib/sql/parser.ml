@@ -12,11 +12,34 @@ let expect st t =
 let fail st msg =
   raise (Error (Printf.sprintf "%s (at token %s)" msg (Lexer.pp_token (peek st))))
 
-(* A quoted string is a date literal when it looks like Y-M-D. *)
+(* A quoted string is a date literal when it looks like Y-M-D, a plain
+   string literal otherwise. *)
 let string_const s =
   match Date.of_string s with
   | d -> Ast.Cdate d
-  | exception Invalid_argument _ -> raise (Error (Printf.sprintf "unsupported string literal '%s'" s))
+  | exception Invalid_argument _ -> Ast.Cstring s
+
+let parse_cmp_op st =
+  match peek st with
+  | Lexer.LT ->
+    advance st;
+    Some Ast.Lt
+  | Lexer.LE ->
+    advance st;
+    Some Ast.Le
+  | Lexer.GT ->
+    advance st;
+    Some Ast.Gt
+  | Lexer.GE ->
+    advance st;
+    Some Ast.Ge
+  | Lexer.EQ ->
+    advance st;
+    Some Ast.Eq
+  | Lexer.NE ->
+    advance st;
+    Some Ast.Ne
+  | _ -> None
 
 let rec parse_expr_prec st =
   let lhs = parse_term st in
@@ -108,31 +131,29 @@ and parse_factor st =
     let e = parse_expr_prec st in
     expect st Lexer.RPAREN;
     e
+  | Lexer.KW "CASE" ->
+    advance st;
+    let rec arms acc =
+      match peek st with
+      | Lexer.KW "WHEN" ->
+        advance st;
+        let p = parse_pred st in
+        expect st (Lexer.KW "THEN");
+        let e = parse_expr_prec st in
+        arms ((p, e) :: acc)
+      | Lexer.KW "ELSE" ->
+        advance st;
+        let els = parse_expr_prec st in
+        expect st (Lexer.KW "END");
+        (List.rev acc, els)
+      | _ -> fail st "expected WHEN or ELSE in CASE"
+    in
+    let whens, els = arms [] in
+    if whens = [] then fail st "CASE needs at least one WHEN arm"
+    else Ast.Case (whens, els)
   | _ -> fail st "expected expression"
 
-let parse_cmp_op st =
-  match peek st with
-  | Lexer.LT ->
-    advance st;
-    Some Ast.Lt
-  | Lexer.LE ->
-    advance st;
-    Some Ast.Le
-  | Lexer.GT ->
-    advance st;
-    Some Ast.Gt
-  | Lexer.GE ->
-    advance st;
-    Some Ast.Ge
-  | Lexer.EQ ->
-    advance st;
-    Some Ast.Eq
-  | Lexer.NE ->
-    advance st;
-    Some Ast.Ne
-  | _ -> None
-
-let rec parse_pred st = parse_or st
+and parse_pred st = parse_or st
 
 and parse_or st =
   let lhs = parse_and st in
@@ -176,11 +197,90 @@ and parse_unary st =
   end
   | _ -> parse_comparison st
 
+and parse_const st =
+  match parse_factor st with
+  | Ast.Const c -> c
+  | _ -> fail st "expected a constant"
+
+and parse_in_list st =
+  expect st Lexer.LPAREN;
+  let rec items acc =
+    let c = parse_const st in
+    match peek st with
+    | Lexer.COMMA ->
+      advance st;
+      items (c :: acc)
+    | _ ->
+      expect st Lexer.RPAREN;
+      List.rev (c :: acc)
+  in
+  items []
+
+(* The suffix predicate forms after a parsed lhs expression. [NOT IN] /
+   [NOT BETWEEN] / [NOT LIKE] are sugar for [Not] (§21.1: under 3VL the
+   two readings coincide). BETWEEN's [AND] binds to the BETWEEN — [hi]
+   is parsed at expression level, so a following [AND] still conjoins. *)
 and parse_comparison st =
   let lhs = parse_expr_prec st in
   match parse_cmp_op st with
   | Some op -> Ast.Cmp (op, lhs, parse_expr_prec st)
-  | None -> fail st "expected comparison operator"
+  | None -> begin
+    match peek st with
+    | Lexer.KW "IN" ->
+      advance st;
+      Ast.In (lhs, parse_in_list st)
+    | Lexer.KW "BETWEEN" ->
+      advance st;
+      let lo = parse_expr_prec st in
+      expect st (Lexer.KW "AND");
+      Ast.Between (lhs, lo, parse_expr_prec st)
+    | Lexer.KW "LIKE" -> begin
+      advance st;
+      match peek st with
+      | Lexer.STRING s ->
+        advance st;
+        Ast.Like (lhs, s)
+      | _ -> fail st "expected string pattern after LIKE"
+    end
+    | Lexer.KW "IS" -> begin
+      advance st;
+      match peek st with
+      | Lexer.KW "NULL" ->
+        advance st;
+        Ast.IsNull lhs
+      | Lexer.KW "NOT" -> begin
+        advance st;
+        match peek st with
+        | Lexer.KW "NULL" ->
+          advance st;
+          Ast.Not (Ast.IsNull lhs)
+        | _ -> fail st "expected NULL after IS NOT"
+      end
+      | _ -> fail st "expected NULL after IS"
+    end
+    | Lexer.KW "NOT" -> begin
+      advance st;
+      match peek st with
+      | Lexer.KW "IN" ->
+        advance st;
+        Ast.Not (Ast.In (lhs, parse_in_list st))
+      | Lexer.KW "BETWEEN" ->
+        advance st;
+        let lo = parse_expr_prec st in
+        expect st (Lexer.KW "AND");
+        Ast.Not (Ast.Between (lhs, lo, parse_expr_prec st))
+      | Lexer.KW "LIKE" -> begin
+        advance st;
+        match peek st with
+        | Lexer.STRING s ->
+          advance st;
+          Ast.Not (Ast.Like (lhs, s))
+        | _ -> fail st "expected string pattern after NOT LIKE"
+      end
+      | _ -> fail st "expected IN, BETWEEN or LIKE after NOT"
+    end
+    | _ -> fail st "expected comparison operator"
+  end
 
 let parse_select_items st =
   match peek st with

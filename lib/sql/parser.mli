@@ -1,15 +1,29 @@
 (** Recursive-descent parser for Sia's SQL fragment.
 
-    Grammar (section 4.1 of the paper, plus SELECT):
+    Grammar (section 4.1 of the paper extended to the DESIGN.md §21.1
+    predicate grammar, plus SELECT):
     {v
     query  := SELECT items FROM tables [WHERE pred] [;]
     pred   := or ; or := and (OR and)* ; and := unary (AND unary)*
-    unary  := NOT unary | TRUE | FALSE | '(' pred ')' | expr cmp expr
+    unary  := NOT unary | TRUE | FALSE | '(' pred ')' | expr suffix
+    suffix := cmp expr
+            | [NOT] IN '(' const (',' const)* ')'
+            | [NOT] BETWEEN expr AND expr
+            | [NOT] LIKE 'pattern'
+            | IS [NOT] NULL
     expr   := term (add-op term)* ; term := factor (mul-op factor)*
     factor := const | column | '(' expr ')' | '-' factor
-    const  := INT | FLOAT | DATE 'Y-M-D' | 'Y-M-D' | INTERVAL 'n' DAY
+            | CASE (WHEN pred THEN expr)+ ELSE expr END
+    const  := INT | FLOAT | 'string' | DATE 'Y-M-D' | 'Y-M-D'
+            | INTERVAL 'n' DAY
     column := ident | ident '.' ident
-    v} *)
+    v}
+
+    [NOT IN] / [NOT BETWEEN] / [NOT LIKE] and [IS NOT NULL] are sugar
+    for [Not] around the positive form (sound under 3VL —
+    the sugar and the wrap agree on UNKNOWN). A bare ['Y-M-D'] string
+    in a date position parses as a date; elsewhere a quoted token is a
+    string literal. *)
 
 exception Error of string
 

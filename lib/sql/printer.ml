@@ -18,6 +18,7 @@ let string_of_const = function
   | Cfloat f -> Printf.sprintf "%g" f
   | Cdate d -> Printf.sprintf "DATE '%s'" (Date.to_string d)
   | Cinterval n -> Printf.sprintf "INTERVAL '%d' DAY" n
+  | Cstring s -> Printf.sprintf "'%s'" s
 
 (* Precedence-aware printing: parenthesize a subexpression only when its
    operator binds looser than the context. *)
@@ -34,13 +35,38 @@ let rec expr_doc prec e =
         (expr_doc (p + 1) b)
     in
     if p < prec then "(" ^ s ^ ")" else s
+  | Case (arms, els) ->
+    (* Self-delimiting (CASE ... END): never parenthesized. *)
+    Printf.sprintf "CASE %sELSE %s END"
+      (String.concat ""
+         (List.map
+            (fun (p, e) ->
+              Printf.sprintf "WHEN %s THEN %s " (pred_doc 0 p) (expr_doc 0 e))
+            arms))
+      (expr_doc 0 els)
 
-let string_of_expr e = expr_doc 0 e
-
-let rec pred_doc prec p =
+(* The sugared negations ([NOT IN] etc.) re-render from [Not] so output
+   parses back to the identical tree (§21.1). *)
+and pred_doc prec p =
   match p with
   | Cmp (op, a, b) ->
-    Printf.sprintf "%s %s %s" (string_of_expr a) (string_of_cmp op) (string_of_expr b)
+    Printf.sprintf "%s %s %s" (expr_doc 0 a) (string_of_cmp op) (expr_doc 0 b)
+  | In (e, cs) ->
+    Printf.sprintf "%s IN (%s)" (expr_doc 0 e)
+      (String.concat ", " (List.map string_of_const cs))
+  | Between (e, lo, hi) ->
+    Printf.sprintf "%s BETWEEN %s AND %s" (expr_doc 0 e) (expr_doc 0 lo)
+      (expr_doc 0 hi)
+  | Like (e, pat) -> Printf.sprintf "%s LIKE '%s'" (expr_doc 0 e) pat
+  | IsNull e -> Printf.sprintf "%s IS NULL" (expr_doc 0 e)
+  | Not (In (e, cs)) ->
+    Printf.sprintf "%s NOT IN (%s)" (expr_doc 0 e)
+      (String.concat ", " (List.map string_of_const cs))
+  | Not (Between (e, lo, hi)) ->
+    Printf.sprintf "%s NOT BETWEEN %s AND %s" (expr_doc 0 e) (expr_doc 0 lo)
+      (expr_doc 0 hi)
+  | Not (Like (e, pat)) -> Printf.sprintf "%s NOT LIKE '%s'" (expr_doc 0 e) pat
+  | Not (IsNull e) -> Printf.sprintf "%s IS NOT NULL" (expr_doc 0 e)
   | And (a, b) ->
     let s = Printf.sprintf "%s AND %s" (pred_doc 2 a) (pred_doc 2 b) in
     if prec > 2 then "(" ^ s ^ ")" else s
@@ -51,6 +77,7 @@ let rec pred_doc prec p =
   | Ptrue -> "TRUE"
   | Pfalse -> "FALSE"
 
+let string_of_expr e = expr_doc 0 e
 let string_of_pred p = pred_doc 0 p
 
 let string_of_query (q : query) =

@@ -1,0 +1,75 @@
+(* Interned string dictionaries: a categorical string domain sorted
+   lexicographically, code = rank, so string order embeds into integer
+   order and prefix predicates become contiguous code ranges
+   (DESIGN.md §21.2). *)
+
+type t = {
+  values : string array; (* sorted ascending, deduplicated *)
+  index : (string, int) Hashtbl.t; (* value -> code, the reverse lookup *)
+}
+
+let make values =
+  let sorted = List.sort_uniq String.compare values in
+  let values = Array.of_list sorted in
+  let index = Hashtbl.create (Array.length values * 2) in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) values;
+  { values; index }
+
+let size d = Array.length d.values
+let mem d s = Hashtbl.mem d.index s
+let code d s = Hashtbl.find_opt d.index s
+
+let value d i =
+  if i < 0 || i >= Array.length d.values then
+    invalid_arg (Printf.sprintf "Strdict.value: code %d out of range" i);
+  d.values.(i)
+
+let values d = Array.to_list d.values
+
+(* Number of dictionary values lexicographically below [s]: binary search
+   for the insertion point, defined for members and non-members alike and
+   monotone in [s] — the rank function of the §21.2 literal table. *)
+let rank_lt d s =
+  let lo = ref 0 and hi = ref (Array.length d.values) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare d.values.(mid) s < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Code range [lo, hi) of dictionary values carrying prefix [p]: sorted
+   order makes it contiguous. [hi] uses the smallest string greater than
+   every [p]-prefixed one, obtained by incrementing the last byte of [p]
+   (bytes below 0xff in all our domains; the 0xff edge falls back to a
+   linear scan for correctness). *)
+let prefix_range d p =
+  let n = String.length p in
+  if n = 0 then (0, Array.length d.values)
+  else begin
+    let lo = rank_lt d p in
+    let last = Char.code p.[n - 1] in
+    let hi =
+      if last < 0xff then
+        rank_lt d (String.sub p 0 (n - 1) ^ String.make 1 (Char.chr (last + 1)))
+      else begin
+        let h = ref lo in
+        let len = Array.length d.values in
+        while
+          !h < len
+          && String.length d.values.(!h) >= n
+          && String.equal (String.sub d.values.(!h) 0 n) p
+        do
+          incr h
+        done;
+        !h
+      end
+    in
+    (lo, hi)
+  end
+
+let equal a b =
+  Array.length a.values = Array.length b.values
+  && Array.for_all2 String.equal a.values b.values
+
+let pp fmt d =
+  Format.fprintf fmt "{%s}" (String.concat "," (Array.to_list d.values))

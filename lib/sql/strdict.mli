@@ -1,0 +1,45 @@
+(** Interned string dictionaries (DESIGN.md §21.2).
+
+    A categorical string domain, sorted lexicographically and
+    deduplicated; a value's {e code} is its rank, so string order embeds
+    into integer order and the SMT encoding can treat a string column as
+    an integer variable constrained to [[0, size-1]]. Prefix predicates
+    ([LIKE 'p%']) map to one contiguous code range.
+
+    The type owns a reverse-lookup hash table, so structural equality and
+    polymorphic hashing are representation-dependent: compare dictionaries
+    with {!equal} only. [Strdict.t] is on sia-lint R1's canonical type
+    list for exactly this reason. *)
+
+type t
+
+val make : string list -> t
+(** Build a dictionary from a domain; duplicates are dropped, order is
+    irrelevant (the dictionary sorts). *)
+
+val size : t -> int
+(** Number of distinct values; codes are [0 .. size - 1]. *)
+
+val mem : t -> string -> bool
+
+val code : t -> string -> int option
+(** The code of a member value, [None] for non-members. *)
+
+val value : t -> int -> string
+(** The value at a code. @raise Invalid_argument when out of range. *)
+
+val values : t -> string list
+(** All values, ascending (= code order). *)
+
+val rank_lt : t -> string -> int
+(** [rank_lt d s] is the number of dictionary values lexicographically
+    below [s] — defined for members and non-members, monotone in [s].
+    This is the rank function of the §21.2 literal translation table:
+    [col < 'x'] encodes as [v <= rank_lt x - 1]. *)
+
+val prefix_range : t -> string -> int * int
+(** [prefix_range d p] is the half-open code range [[lo, hi)] of values
+    carrying prefix [p]; empty ([lo = hi]) when no value matches. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -74,6 +74,298 @@ let satisfiable pred =
      | Solver.Sat _ -> true
      | Solver.Unsat | Solver.Unknown -> false)
 
+(* ------------------------------------------------------------------ *)
+(* TPC-H-class suite over the full eight-table catalog (§21)           *)
+(* ------------------------------------------------------------------ *)
+
+type suite_query = {
+  sid : int;
+  label : string;
+  squery : Ast.query;
+  spred : Ast.pred;
+  starget : string;
+}
+
+type features = {
+  f_in : int;
+  f_between : int;
+  f_case : int;
+  f_like : int;
+  f_isnull : int;
+  f_string_eq : int;
+}
+
+let features_zero =
+  { f_in = 0; f_between = 0; f_case = 0; f_like = 0; f_isnull = 0; f_string_eq = 0 }
+
+let features_add a b =
+  {
+    f_in = a.f_in + b.f_in;
+    f_between = a.f_between + b.f_between;
+    f_case = a.f_case + b.f_case;
+    f_like = a.f_like + b.f_like;
+    f_isnull = a.f_isnull + b.f_isnull;
+    f_string_eq = a.f_string_eq + b.f_string_eq;
+  }
+
+let features_of_pred p =
+  let n_in = ref 0
+  and n_between = ref 0
+  and n_case = ref 0
+  and n_like = ref 0
+  and n_isnull = ref 0
+  and n_string_eq = ref 0 in
+  let is_string_lit = function Ast.Const (Ast.Cstring _) -> true | _ -> false in
+  let rec expr = function
+    | Ast.Col _ | Ast.Const _ -> ()
+    | Ast.Binop (_, a, b) ->
+      expr a;
+      expr b
+    | Ast.Case (arms, els) ->
+      incr n_case;
+      List.iter
+        (fun (c, e) ->
+          pred c;
+          expr e)
+        arms;
+      expr els
+  and pred = function
+    | Ast.Cmp ((Ast.Eq | Ast.Ne), a, b) when is_string_lit a || is_string_lit b ->
+      incr n_string_eq;
+      expr a;
+      expr b
+    | Ast.Cmp (_, a, b) ->
+      expr a;
+      expr b
+    | Ast.In (e, _) ->
+      incr n_in;
+      expr e
+    | Ast.Between (e, lo, hi) ->
+      incr n_between;
+      expr e;
+      expr lo;
+      expr hi
+    | Ast.Like (e, _) ->
+      incr n_like;
+      expr e
+    | Ast.IsNull e ->
+      incr n_isnull;
+      expr e
+    | Ast.And (p, q) | Ast.Or (p, q) ->
+      pred p;
+      pred q
+    | Ast.Not p -> pred p
+    | Ast.Ptrue | Ast.Pfalse -> ()
+  in
+  pred p;
+  {
+    f_in = !n_in;
+    f_between = !n_between;
+    f_case = !n_case;
+    f_like = !n_like;
+    f_isnull = !n_isnull;
+    f_string_eq = !n_string_eq;
+  }
+
+(* Satisfiability of a suite predicate over its own FROM list, under the
+   §21 domain constraints (null boxes, string code ranges). *)
+let suite_satisfiable from pred =
+  match Encode.build_env Schema.tpch from pred with
+  | exception Encode.Unsupported _ -> false
+  | exception Not_found -> false
+  | env ->
+    let f =
+      Formula.and_ [ Encode.domains env; Encode.encode_bool env pred ]
+    in
+    (match Solver.solve ~is_int:(Encode.is_int_var env) f with
+     | Solver.Sat _ -> true
+     | Solver.Unsat | Solver.Unknown -> false)
+
+module Parser = Sia_sql.Parser
+
+(* The templates below are modeled on TPC-H Q1/Q3/Q4/Q5/Q6/Q10/Q12/Q14/
+   Q16/Q19 (restricted to the §21.1 grammar), plus two null-centric
+   shapes; constants are drawn per variant. Each template is a closure
+   over the random state returning (label, FROM, join conjuncts, the
+   non-join predicate as SQL, target table). *)
+let suite_templates rand =
+  let pick l = List.nth l (Random.State.int rand (List.length l)) in
+  let day lo hi = lo + Random.State.int rand (hi - lo + 1) in
+  let ds d = Date.to_string (Date.of_days d) in
+  let d92 = Date.to_days (Date.of_ymd 1992 1 1) in
+  let d97 = Date.to_days (Date.of_ymd 1997 1 1) in
+  let window span =
+    let lo = day d92 (d97 - span) in
+    (ds lo, ds (lo + span))
+  in
+  let segment () =
+    pick [ "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "HOUSEHOLD"; "MACHINERY" ]
+  in
+  let region () = pick [ "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" ] in
+  let brand () = Printf.sprintf "Brand#%d%d" (1 + Random.State.int rand 5) (1 + Random.State.int rand 5) in
+  let type_prefix () =
+    pick [ "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" ]
+  in
+  [
+    ( "q1",
+      [ "lineitem" ],
+      [],
+      (fun () ->
+        Printf.sprintf
+          "l_shipdate <= DATE '%s' AND l_returnflag = '%s' AND l_quantity <= %d"
+          (ds (day (d97 - 365) d97))
+          (pick [ "A"; "N"; "R" ])
+          (20 + Random.State.int rand 30)),
+      "lineitem" );
+    ( "q3",
+      [ "customer"; "orders"; "lineitem" ],
+      [ "c_custkey = o_custkey"; "l_orderkey = o_orderkey" ],
+      (fun () ->
+        Printf.sprintf
+          "c_mktsegment = '%s' AND o_orderdate < DATE '%s' AND l_shipdate - \
+           o_orderdate > %d"
+          (segment ())
+          (ds (day d92 d97))
+          (10 + Random.State.int rand 60)),
+      "lineitem" );
+    ( "q4",
+      [ "orders"; "lineitem" ],
+      [ "l_orderkey = o_orderkey" ],
+      (fun () ->
+        let lo, hi = window 92 in
+        Printf.sprintf
+          "o_orderdate BETWEEN DATE '%s' AND DATE '%s' AND l_commitdate < \
+           l_receiptdate AND o_orderpriority IN ('1-URGENT', '2-HIGH')"
+          lo hi),
+      "lineitem" );
+    ( "q5",
+      [ "region"; "nation"; "customer"; "orders" ],
+      [
+        "r_regionkey = n_regionkey";
+        "n_nationkey = c_nationkey";
+        "c_custkey = o_custkey";
+      ],
+      (fun () ->
+        let lo, hi = window 365 in
+        Printf.sprintf
+          "r_name = '%s' AND o_orderdate BETWEEN DATE '%s' AND DATE '%s' AND \
+           o_totalprice > %d"
+          (region ()) lo hi
+          (100_00 + Random.State.int rand 100_000_00)),
+      "orders" );
+    ( "q6",
+      [ "lineitem" ],
+      [],
+      (fun () ->
+        let lo, hi = window 365 in
+        let disc = 2 + Random.State.int rand 6 in
+        Printf.sprintf
+          "l_shipdate BETWEEN DATE '%s' AND DATE '%s' AND l_discount BETWEEN \
+           %d AND %d AND l_quantity < %d"
+          lo hi (disc - 1) (disc + 1)
+          (10 + Random.State.int rand 20)),
+      "lineitem" );
+    ( "q10",
+      [ "customer"; "orders"; "lineitem" ],
+      [ "c_custkey = o_custkey"; "l_orderkey = o_orderkey" ],
+      (fun () ->
+        let lo, hi = window 92 in
+        Printf.sprintf
+          "o_orderdate BETWEEN DATE '%s' AND DATE '%s' AND l_returnflag = 'R' \
+           AND c_acctbal IS NOT NULL AND c_acctbal >= %d"
+          lo hi
+          (Random.State.int rand 1000_00)),
+      "orders" );
+    ( "q12",
+      [ "orders"; "lineitem" ],
+      [ "l_orderkey = o_orderkey" ],
+      (fun () ->
+        let lo, hi = window 365 in
+        Printf.sprintf
+          "l_shipmode IN ('MAIL', 'SHIP') AND l_shipdate < l_commitdate AND \
+           l_commitdate < l_receiptdate AND l_receiptdate BETWEEN DATE '%s' \
+           AND DATE '%s' AND CASE WHEN o_orderpriority = '1-URGENT' THEN 1 \
+           WHEN o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END = %d"
+          lo hi (Random.State.int rand 2)),
+      "lineitem" );
+    ( "q14",
+      [ "lineitem"; "part" ],
+      [ "p_partkey = l_partkey" ],
+      (fun () ->
+        let lo, hi = window 31 in
+        Printf.sprintf
+          "p_type LIKE '%s%%' AND l_shipdate BETWEEN DATE '%s' AND DATE '%s'"
+          (type_prefix ()) lo hi),
+      "lineitem" );
+    ( "q16",
+      [ "partsupp"; "part" ],
+      [ "p_partkey = ps_partkey" ],
+      (fun () ->
+        let s = 1 + Random.State.int rand 40 in
+        Printf.sprintf
+          "NOT p_brand = '%s' AND NOT p_type LIKE '%s%%' AND p_size IN (%d, \
+           %d, %d, %d) AND ps_availqty > %d"
+          (brand ()) (type_prefix ()) s (s + 3) (s + 6) (s + 9)
+          (Random.State.int rand 5_000)),
+      "part" );
+    ( "q19",
+      [ "lineitem"; "part" ],
+      [ "p_partkey = l_partkey" ],
+      (fun () ->
+        let q = 1 + Random.State.int rand 30 in
+        Printf.sprintf
+          "p_brand = '%s' AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', \
+           'SM PKG') AND l_quantity BETWEEN %d AND %d AND p_size BETWEEN 1 \
+           AND %d AND l_shipmode IN ('AIR', 'REG AIR') AND l_shipinstruct = \
+           'DELIVER IN PERSON'"
+          (brand ()) q (q + 10)
+          (5 + Random.State.int rand 10)),
+      "lineitem" );
+    ( "qnull",
+      [ "supplier" ],
+      [],
+      (fun () ->
+        Printf.sprintf "s_acctbal IS NULL OR s_acctbal < %d"
+          (Random.State.int rand 1000_00 - 500_00)),
+      "supplier" );
+    ( "qcase",
+      [ "lineitem" ],
+      [],
+      (fun () ->
+        Printf.sprintf
+          "CASE WHEN l_returnflag = 'A' THEN l_quantity ELSE %d END <= %d AND \
+           l_shipdate >= DATE '%s'"
+          (Random.State.int rand 10)
+          (5 + Random.State.int rand 40)
+          (ds (day d92 d97))),
+      "lineitem" );
+  ]
+
+let suite ?(seed = 42) ?(variants = 2) () =
+  let rand = Random.State.make [| seed; 0x5017e |] in
+  let templates = suite_templates rand in
+  let sid = ref 0 in
+  List.concat_map
+    (fun (label, from, joins, gen_pred, starget) ->
+      List.init variants (fun _ ->
+          let rec draw attempts =
+            if attempts > 100 then
+              failwith
+                (Printf.sprintf "Qgen.suite: template %s keeps drawing unsat"
+                   label);
+            let pred = Parser.parse_predicate (gen_pred ()) in
+            if suite_satisfiable from pred then pred else draw (attempts + 1)
+          in
+          let spred = draw 0 in
+          let where =
+            Ast.conj (List.map Parser.parse_predicate joins @ [ spred ])
+          in
+          let q = { Ast.select = [ Ast.Star ]; from; where = Some where } in
+          let id = !sid in
+          incr sid;
+          { sid = id; label; squery = q; spred; starget }))
+    templates
+
 let generate ?(seed = 42) ~count () =
   let rand = Random.State.make [| seed |] in
   let rec gen_one id attempts =

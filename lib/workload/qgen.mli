@@ -20,3 +20,45 @@ val lineitem_cols : string list
 
 val column_subsets : int -> string list list
 (** Non-empty subsets of {!lineitem_cols} of the given size. *)
+
+(** {1 TPC-H-class suite}
+
+    Templates modeled on TPC-H Q1/Q3/Q4/Q5/Q6/Q10/Q12/Q14/Q16/Q19 plus
+    two null-centric shapes, restricted to the DESIGN.md §21.1 grammar:
+    together they span all eight catalog tables and every predicate
+    construct (IN, BETWEEN, searched CASE, prefix LIKE, IS NULL, string
+    equality and ordering). Constants are drawn per variant from a
+    dedicated seeded stream and each instantiation is
+    satisfiability-checked under the §21 domain constraints before it is
+    emitted. *)
+
+type suite_query = {
+  sid : int;  (** stable position in the suite *)
+  label : string;  (** the TPC-H query the template is modeled on *)
+  squery : Sia_sql.Ast.query;
+  spred : Sia_sql.Ast.pred;  (** the non-join predicate *)
+  starget : string;  (** table whose scan the rewrite should narrow *)
+}
+
+type features = {
+  f_in : int;
+  f_between : int;
+  f_case : int;
+  f_like : int;
+  f_isnull : int;
+  f_string_eq : int;
+}
+(** Occurrence counts of the §21.1 grammar constructs in a predicate.
+    [f_string_eq] counts [=]/[<>] comparisons against a string literal. *)
+
+val features_zero : features
+val features_add : features -> features -> features
+
+val features_of_pred : Sia_sql.Ast.pred -> features
+(** Counts over the whole tree, including predicates nested inside CASE
+    conditions. *)
+
+val suite : ?seed:int -> ?variants:int -> unit -> suite_query list
+(** The full suite: [variants] (default 2) constant instantiations of
+    each template, in template order. Deterministic per seed, and
+    independent of the {!generate} stream. *)

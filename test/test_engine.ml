@@ -18,7 +18,7 @@ let small () = Tpch.generate ~sf:0.001 ~seed:5 ()
 let test_table_create () =
   let t =
     Table.create ~name:"t" ~col_names:[ "a"; "b" ]
-      ~rows:[ [| 1; 10 |]; [| 2; 20 |]; [| 3; 30 |] ]
+      ~rows:[ [| 1; 10 |]; [| 2; 20 |]; [| 3; 30 |] ] ()
   in
   Alcotest.(check int) "rows" 3 t.Table.nrows;
   Alcotest.(check (array int)) "column a" [| 1; 2; 3 |] (Table.column t "a");
@@ -28,7 +28,8 @@ let test_table_create () =
 
 let test_table_select_rows () =
   let t =
-    Table.create ~name:"t" ~col_names:[ "a" ] ~rows:[ [| 1 |]; [| 2 |]; [| 3 |]; [| 4 |] ]
+    Table.create ~name:"t" ~col_names:[ "a" ]
+      ~rows:[ [| 1 |]; [| 2 |]; [| 3 |]; [| 4 |] ] ()
   in
   let t' = Table.select_rows t [| true; false; true; false |] in
   Alcotest.(check (array int)) "mask keeps 1,3" [| 1; 3 |] (Table.column t' "a")
@@ -68,6 +69,70 @@ let test_tpch_deterministic () =
   Alcotest.(check (array int)) "same shipdates" (Table.column li1 "l_shipdate")
     (Table.column li2 "l_shipdate")
 
+let test_tpch_generate_all () =
+  let tables = Tpch.generate_all ~sf:0.002 ~seed:5 () in
+  Alcotest.(check (list string))
+    "8 tables in catalog order"
+    [
+      "lineitem"; "orders"; "customer"; "part"; "partsupp"; "supplier";
+      "nation"; "region";
+    ]
+    (List.map fst tables);
+  let table n = List.assoc n tables in
+  Alcotest.(check int) "nation fixed" 25 (table "nation").Table.nrows;
+  Alcotest.(check int) "region fixed" 5 (table "region").Table.nrows;
+  List.iter
+    (fun (n, t) ->
+      Alcotest.(check bool) (n ^ " nonempty") true (t.Table.nrows > 0))
+    tables;
+  (* every string column of the catalog is interned with a dictionary,
+     and the decoded codes stay inside the dictionary's domain *)
+  List.iter
+    (fun (tname, t) ->
+      List.iter
+        (fun { Schema.cname; ctype; _ } ->
+          match ctype with
+          | Schema.Tstring _ ->
+            (match Table.dict t cname with
+             | None -> Alcotest.fail (tname ^ "." ^ cname ^ " has no dict")
+             | Some d ->
+               let n = Sia_sql.Strdict.size d in
+               Array.iter
+                 (fun code -> assert (code >= 0 && code < n))
+                 (Table.column t cname))
+          | _ ->
+            (* no structural equality on [Strdict.t option] (lint R1) *)
+            (match Table.dict t cname with
+             | None -> ()
+             | Some _ ->
+               Alcotest.fail (tname ^ "." ^ cname ^ " numeric column has a dict")))
+        (Schema.table Schema.tpch tname).Schema.columns)
+    tables;
+  (* the nullable account balances carry a sparse null mask (~3%) *)
+  List.iter
+    (fun (tname, cname) ->
+      match Table.null_mask (table tname) cname with
+      | None -> Alcotest.fail (cname ^ " should be nullable")
+      | Some mask ->
+        let nulls = Array.fold_left (fun a b -> if b then a + 1 else a) 0 mask in
+        let frac = float_of_int nulls /. float_of_int (Array.length mask) in
+        (* ~3% of rows; only demand a hit when the table is big enough
+           for that to be near-certain (supplier has ~20 rows here) *)
+        Alcotest.(check bool)
+          (cname ^ " null fraction plausible")
+          true
+          (frac < 0.10 && (Array.length mask < 200 || nulls > 0)))
+    [ ("customer", "c_acctbal"); ("supplier", "s_acctbal") ];
+  (* deterministic per seed, including the small tables *)
+  let again = Tpch.generate_all ~sf:0.002 ~seed:5 () in
+  List.iter2
+    (fun (n1, t1) (n2, t2) ->
+      Alcotest.(check string) "same order" n1 n2;
+      Alcotest.(check (array int))
+        (n1 ^ " first column deterministic")
+        t1.Table.cols.(0) t2.Table.cols.(0))
+    tables again
+
 (* --- Eval --- *)
 
 let test_eval_filter () =
@@ -91,7 +156,9 @@ let test_eval_arith () =
   Alcotest.(check (float 0.0)) "complement" 0.0 (Eval.selectivity li p2)
 
 let test_eval_logic () =
-  let t = Table.create ~name:"t" ~col_names:[ "a" ] ~rows:[ [| 1 |]; [| 5 |]; [| 9 |] ] in
+  let t =
+    Table.create ~name:"t" ~col_names:[ "a" ] ~rows:[ [| 1 |]; [| 5 |]; [| 9 |] ] ()
+  in
   let p = Parser.parse_predicate "a < 3 OR NOT a < 7" in
   let filtered = Eval.filter t p in
   Alcotest.(check (array int)) "1 and 9 pass" [| 1; 9 |] (Table.column filtered "a")
@@ -203,6 +270,7 @@ let () =
         [
           Alcotest.test_case "invariants" `Quick test_tpch_invariants;
           Alcotest.test_case "deterministic" `Quick test_tpch_deterministic;
+          Alcotest.test_case "generate_all" `Quick test_tpch_generate_all;
         ] );
       ( "eval",
         [

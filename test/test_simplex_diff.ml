@@ -94,38 +94,103 @@ let same_verdict a b =
   | Theory.Unknown, Theory.Unknown -> true
   | _ -> false
 
+(* One session answering [rounds] in order: every verdict must equal a
+   fresh from-scratch solve of the same round, and every incremental
+   Unsat certificate must satisfy the independent checker. *)
+let rounds_agree rounds =
+  QCheck.assume
+    (List.for_all
+       (List.for_all (fun (a, pol) ->
+            pol || match a with Atom.Dvd _ -> true | Atom.Lin _ -> false))
+       rounds);
+  let is_int v = v <> 1 in
+  let node_limit = 200 in
+  let session = Theory.create_session ~is_int ~node_limit ~max_var:16 () in
+  List.iteri
+    (fun i round ->
+      let sv, scert = Theory.check_cert_session session round in
+      let fv, _ = Theory.check_cert ~is_int ~node_limit round in
+      if not (same_verdict sv fv) then
+        QCheck.Test.fail_reportf "round %d: session %s but fresh %s" i
+          (show_verdict sv) (show_verdict fv);
+      match (sv, scert) with
+      | Theory.Unsat core, Some cert ->
+        (* Incremental certificates must pass the independent checker. *)
+        (try Sia_check.Check.check_lemma ~is_int core cert
+         with Cert.Certificate_error msg ->
+           QCheck.Test.fail_reportf "round %d: certificate rejected: %s" i msg)
+      | Theory.Unsat _, None ->
+        QCheck.Test.fail_reportf "round %d: Unsat without certificate" i
+      | (Theory.Sat _ | Theory.Unknown), _ -> ())
+    rounds;
+  true
+
+let pp_rounds rounds =
+  String.concat " | "
+    (List.map (fun r -> Format.asprintf "%a" (Format.pp_print_list lit_pp) r) rounds)
+
 let prop_session_matches_fresh =
   QCheck.Test.make ~name:"session rounds identical to fresh solves" ~count:300
-    (QCheck.make gen_rounds ~print:(fun rounds ->
-         String.concat " | "
-           (List.map (fun r -> Format.asprintf "%a" (Format.pp_print_list lit_pp) r) rounds)))
-    (fun rounds ->
-      QCheck.assume
-        (List.for_all
-           (List.for_all (fun (a, pol) ->
-                pol || match a with Atom.Dvd _ -> true | Atom.Lin _ -> false))
-           rounds);
-      let is_int v = v <> 1 in
-      let node_limit = 200 in
-      let session = Theory.create_session ~is_int ~node_limit ~max_var:16 () in
-      List.iteri
-        (fun i round ->
-          let sv, scert = Theory.check_cert_session session round in
-          let fv, _ = Theory.check_cert ~is_int ~node_limit round in
-          if not (same_verdict sv fv) then
-            QCheck.Test.fail_reportf "round %d: session %s but fresh %s" i
-              (show_verdict sv) (show_verdict fv);
-          match (sv, scert) with
-          | Theory.Unsat core, Some cert ->
-            (* Incremental certificates must pass the independent checker. *)
-            (try Sia_check.Check.check_lemma ~is_int core cert
-             with Cert.Certificate_error msg ->
-               QCheck.Test.fail_reportf "round %d: certificate rejected: %s" i msg)
-          | Theory.Unsat _, None ->
-            QCheck.Test.fail_reportf "round %d: Unsat without certificate" i
-          | (Theory.Sat _ | Theory.Unknown), _ -> ())
-        rounds;
-      true)
+    (QCheck.make gen_rounds ~print:pp_rounds)
+    rounds_agree
+
+(* Growing literal lists — each round appends a suffix to the previous
+   one, the exact shape the in-place round extension recognizes (when
+   the suffix brings no new external variable, which these generated
+   pools frequently satisfy). Verdicts and certificates must stay
+   bit-identical to scratch regardless of which setup path served the
+   round. *)
+let gen_growing =
+  QCheck.Gen.(
+    let* base = list_size (int_range 1 4) gen_lit in
+    let* exts = list_size (int_range 1 3) (list_size (int_range 1 2) gen_lit) in
+    return
+      (List.rev
+         (List.fold_left (fun acc ext -> (List.hd acc @ ext) :: acc) [ base ] exts)))
+
+let prop_extension_matches_fresh =
+  QCheck.Test.make ~name:"extended rounds identical to fresh solves" ~count:300
+    (QCheck.make gen_growing ~print:pp_rounds)
+    rounds_agree
+
+(* The extension path must actually fire — a deterministic session whose
+   rounds grow strictly over already-active variables. Guards the QCheck
+   property above against silently degrading into scratch-only cover. *)
+let test_extension_fires () =
+  let is_int _ = true in
+  let s = Theory.create_session ~is_int ~max_var:16 () in
+  let r1 =
+    [
+      (Atom.mk_ge (Linexpr.var 0) (c 1), true);
+      (Atom.mk_le (Linexpr.add (sv 1 0) (sv 1 1)) (c 10), true);
+    ]
+  in
+  let r2 = r1 @ [ (Atom.mk_ge (Linexpr.var 1) (c 2), true) ] in
+  let r3 = r2 @ [ (Atom.mk_le (Linexpr.sub (Linexpr.var 0) (Linexpr.var 1)) (c 3), true) ] in
+  (* Contradicts r1's lower bound on x0: the extended round must come
+     back Unsat with a certificate the independent checker accepts. *)
+  let r4 = r3 @ [ (Atom.mk_le (Linexpr.var 0) (c 0), true) ] in
+  let e0 = Theory.extended_round_count () in
+  let rounds = [ r1; r2; r3; r4 ] in
+  let verdicts =
+    List.map (fun r -> (Theory.check_cert_session s r, r)) rounds
+  in
+  Alcotest.(check int) "r2-r4 served by extension" (e0 + 3)
+    (Theory.extended_round_count ());
+  List.iteri
+    (fun i ((sv, scert), round) ->
+      let fv, _ = Theory.check_cert ~is_int round in
+      if not (same_verdict sv fv) then
+        Alcotest.failf "round %d: session %s but fresh %s" (i + 1)
+          (show_verdict sv) (show_verdict fv);
+      match (sv, scert) with
+      | Theory.Unsat core, Some cert -> Sia_check.Check.check_lemma ~is_int core cert
+      | Theory.Unsat _, None -> Alcotest.failf "round %d: Unsat without certificate" (i + 1)
+      | (Theory.Sat _ | Theory.Unknown), _ -> ())
+    verdicts;
+  (match fst (List.nth verdicts 3) with
+   | Theory.Unsat _, _ -> ()
+   | _ -> Alcotest.fail "round 4 should be Unsat")
 
 (* --- Push/pop cuts vs scratch solves (simplex level) ------------------- *)
 
@@ -337,5 +402,8 @@ let () =
   Alcotest.run "simplex-diff"
     [
       ("session-vs-fresh", qsuite [ prop_session_matches_fresh ]);
+      ( "extension",
+        qsuite [ prop_extension_matches_fresh ]
+        @ [ Alcotest.test_case "extension path fires" `Quick test_extension_fires ] );
       ("pushpop-vs-scratch", qsuite [ prop_pushpop_matches_scratch ]);
     ]

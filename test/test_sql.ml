@@ -138,6 +138,100 @@ let test_roundtrip () =
       "SELECT * FROM orders WHERE o_totalprice / 4 >= 100 AND (o_custkey < 5 OR o_custkey > 10)";
     ]
 
+(* --- §21.1 grammar: IN, BETWEEN, CASE, LIKE, IS NULL, strings --- *)
+
+let test_parse_in () =
+  (match Parser.parse_predicate "l_shipmode IN ('AIR', 'RAIL')" with
+   | Ast.In (Ast.Col _, [ Ast.Cstring "AIR"; Ast.Cstring "RAIL" ]) -> ()
+   | _ -> Alcotest.fail "IN shape");
+  (match Parser.parse_predicate "l_quantity IN (1, 2, 3)" with
+   | Ast.In (Ast.Col _, [ Ast.Cint 1; Ast.Cint 2; Ast.Cint 3 ]) -> ()
+   | _ -> Alcotest.fail "integer IN shape");
+  (* NOT IN is sugar for Not (In ...) *)
+  match Parser.parse_predicate "l_shipmode NOT IN ('AIR')" with
+  | Ast.Not (Ast.In (Ast.Col _, [ Ast.Cstring "AIR" ])) -> ()
+  | _ -> Alcotest.fail "NOT IN shape"
+
+let test_parse_between () =
+  (match Parser.parse_predicate "l_quantity BETWEEN 5 AND 15" with
+   | Ast.Between (Ast.Col _, Ast.Const (Ast.Cint 5), Ast.Const (Ast.Cint 15)) ->
+     ()
+   | _ -> Alcotest.fail "BETWEEN shape");
+  (* the bounds are full expressions, and AND after the hi bound still
+     starts a new conjunct *)
+  (match
+     Parser.parse_predicate
+       "o_orderdate BETWEEN DATE '1994-01-01' AND DATE '1994-12-31' AND a < 1"
+   with
+   | Ast.And (Ast.Between (_, Ast.Const (Ast.Cdate _), Ast.Const (Ast.Cdate _)), Ast.Cmp _)
+     -> ()
+   | _ -> Alcotest.fail "BETWEEN dates + conjunct shape");
+  match Parser.parse_predicate "l_quantity NOT BETWEEN 5 AND 15" with
+  | Ast.Not (Ast.Between _) -> ()
+  | _ -> Alcotest.fail "NOT BETWEEN shape"
+
+let test_parse_case () =
+  match
+    Parser.parse_predicate
+      "CASE WHEN l_quantity < 10 THEN 1 WHEN l_quantity < 20 THEN 2 ELSE 0 END \
+       >= 1"
+  with
+  | Ast.Cmp
+      ( Ast.Ge,
+        Ast.Case
+          ( [
+              (Ast.Cmp (Ast.Lt, _, _), Ast.Const (Ast.Cint 1));
+              (Ast.Cmp (Ast.Lt, _, _), Ast.Const (Ast.Cint 2));
+            ],
+            Ast.Const (Ast.Cint 0) ),
+        Ast.Const (Ast.Cint 1) ) -> ()
+  | _ -> Alcotest.fail "searched CASE shape"
+
+let test_parse_like_null () =
+  (match Parser.parse_predicate "p_type LIKE 'PROMO%'" with
+   | Ast.Like (Ast.Col _, "PROMO%") -> ()
+   | _ -> Alcotest.fail "LIKE shape");
+  (match Parser.parse_predicate "p_type NOT LIKE 'PROMO%'" with
+   | Ast.Not (Ast.Like (Ast.Col _, "PROMO%")) -> ()
+   | _ -> Alcotest.fail "NOT LIKE shape");
+  (match Parser.parse_predicate "s_acctbal IS NULL" with
+   | Ast.IsNull (Ast.Col _) -> ()
+   | _ -> Alcotest.fail "IS NULL shape");
+  match Parser.parse_predicate "s_acctbal IS NOT NULL" with
+  | Ast.Not (Ast.IsNull (Ast.Col _)) -> ()
+  | _ -> Alcotest.fail "IS NOT NULL shape"
+
+let test_parse_string_cmp () =
+  (match Parser.parse_predicate "o_orderpriority = '1-URGENT'" with
+   | Ast.Cmp (Ast.Eq, Ast.Col _, Ast.Const (Ast.Cstring "1-URGENT")) -> ()
+   | _ -> Alcotest.fail "string equality shape");
+  match Parser.parse_predicate "l_returnflag <> 'R'" with
+  | Ast.Cmp (Ast.Ne, Ast.Col _, Ast.Const (Ast.Cstring "R")) -> ()
+  | _ -> Alcotest.fail "string inequality shape"
+
+let test_grammar_roundtrip () =
+  (* parse -> print -> parse is a fixpoint for every §21.1 construct *)
+  List.iter
+    (fun s ->
+      let p = Parser.parse_predicate s in
+      let s' = Printer.string_of_pred p in
+      let p' = Parser.parse_predicate s' in
+      Alcotest.(check bool)
+        ("pred fixpoint: " ^ s)
+        true
+        (Ast.pred_equal p p' && String.equal s' (Printer.string_of_pred p')))
+    [
+      "l_shipmode IN ('AIR', 'RAIL', 'SHIP')";
+      "l_quantity NOT IN (1, 2, 3)";
+      "l_quantity BETWEEN 5 AND 15 AND l_discount NOT BETWEEN 1 AND 3";
+      "o_orderdate BETWEEN DATE '1994-01-01' AND DATE '1994-12-31'";
+      "CASE WHEN l_quantity < 10 THEN l_discount ELSE 0 END > 2";
+      "p_type LIKE 'PROMO%' OR p_type NOT LIKE 'STANDARD%'";
+      "s_acctbal IS NULL OR s_acctbal IS NOT NULL";
+      "o_orderpriority = '1-URGENT' AND l_returnflag <> 'R'";
+      "NOT (l_shipmode IN ('AIR') AND c_mktsegment = 'BUILDING')";
+    ]
+
 (* --- AST helpers --- *)
 
 let test_conjuncts () =
@@ -175,6 +269,15 @@ let () =
           Alcotest.test_case "qualified" `Quick test_parse_qualified;
           Alcotest.test_case "errors" `Quick test_parse_errors;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        ] );
+      ( "grammar",
+        [
+          Alcotest.test_case "IN" `Quick test_parse_in;
+          Alcotest.test_case "BETWEEN" `Quick test_parse_between;
+          Alcotest.test_case "CASE" `Quick test_parse_case;
+          Alcotest.test_case "LIKE and IS NULL" `Quick test_parse_like_null;
+          Alcotest.test_case "string comparisons" `Quick test_parse_string_cmp;
+          Alcotest.test_case "roundtrip" `Quick test_grammar_roundtrip;
         ] );
       ( "ast",
         [

@@ -54,6 +54,58 @@ let test_column_subsets () =
   Alcotest.(check int) "3 pairs" 3 (List.length (Qgen.column_subsets 2));
   Alcotest.(check int) "1 triple" 1 (List.length (Qgen.column_subsets 3))
 
+(* --- TPC-H-class suite --- *)
+
+let test_suite_shape () =
+  let qs = Qgen.suite ~seed:5 () in
+  Alcotest.(check int) "two variants of twelve templates" 24 (List.length qs);
+  let tables =
+    List.sort_uniq compare
+      (List.concat_map (fun (s : Qgen.suite_query) -> s.Qgen.squery.Ast.from) qs)
+  in
+  Alcotest.(check int) "all eight tables exercised" 8 (List.length tables);
+  List.iter
+    (fun (s : Qgen.suite_query) ->
+      Alcotest.(check bool) "target table in FROM" true
+        (List.mem s.Qgen.starget s.Qgen.squery.Ast.from);
+      (* The rewrite entry point needs at least one predicate column on
+         the target table, or the attempt fails before synthesis. *)
+      let on_target =
+        List.exists
+          (fun (c : Ast.column) ->
+            match Schema.table_of_column Schema.tpch s.Qgen.squery.Ast.from c with
+            | t -> t = s.Qgen.starget
+            | exception Not_found -> false)
+          (Ast.pred_columns s.Qgen.spred)
+      in
+      Alcotest.(check bool) "predicate mentions a target column" true on_target)
+    qs
+
+let test_suite_features () =
+  let qs = Qgen.suite ~seed:5 () in
+  let f =
+    List.fold_left
+      (fun acc (s : Qgen.suite_query) ->
+        Qgen.features_add acc (Qgen.features_of_pred s.Qgen.spred))
+      Qgen.features_zero qs
+  in
+  Alcotest.(check bool) "IN covered" true (f.Qgen.f_in > 0);
+  Alcotest.(check bool) "BETWEEN covered" true (f.Qgen.f_between > 0);
+  Alcotest.(check bool) "CASE covered" true (f.Qgen.f_case > 0);
+  Alcotest.(check bool) "LIKE covered" true (f.Qgen.f_like > 0);
+  Alcotest.(check bool) "IS NULL covered" true (f.Qgen.f_isnull > 0);
+  Alcotest.(check bool) "string equality covered" true (f.Qgen.f_string_eq > 0)
+
+let test_suite_deterministic () =
+  let a = Qgen.suite ~seed:5 () in
+  let b = Qgen.suite ~seed:5 () in
+  List.iter2
+    (fun (x : Qgen.suite_query) (y : Qgen.suite_query) ->
+      Alcotest.(check string) "same predicate"
+        (Sia_sql.Printer.string_of_pred x.Qgen.spred)
+        (Sia_sql.Printer.string_of_pred y.Qgen.spred))
+    a b
+
 let test_case_study_classification () =
   let records = Case_study.simulate ~seed:3 ~n_queries:25 () in
   Alcotest.(check int) "record count" 25 (List.length records);
@@ -84,6 +136,12 @@ let () =
           Alcotest.test_case "satisfiable" `Quick test_qgen_satisfiable;
           Alcotest.test_case "deterministic" `Quick test_qgen_deterministic;
           Alcotest.test_case "subsets" `Quick test_column_subsets;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "shape" `Quick test_suite_shape;
+          Alcotest.test_case "feature coverage" `Quick test_suite_features;
+          Alcotest.test_case "deterministic" `Quick test_suite_deterministic;
         ] );
       ( "case-study",
         [

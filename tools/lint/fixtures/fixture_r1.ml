@@ -26,3 +26,24 @@ let lookup x = Hashtbl.find_opt table x (* EXPECT R1 *)
 (* no finding: equality against a constant constructor is a tag check *)
 let is_small (x : Bigint.t) = match x with Small _ -> true | Big _ -> false
 let non_empty (l : bound list) = l <> []
+
+(* Strdict.t owns a reverse-lookup hash table (DESIGN.md §21.2), so its
+   structural equality is representation-dependent — on the canonical
+   list like the solver types above. *)
+module Strdict = struct
+  type t = { values : string array; index : (string, int) Hashtbl.t }
+
+  let make vs =
+    let values = Array.of_list vs in
+    let index = Hashtbl.create (Array.length values) in
+    Array.iteri (fun i v -> Hashtbl.replace index v i) values;
+    { values; index }
+end
+
+let same_dict (a : Strdict.t) (b : Strdict.t) = a = b (* EXPECT R1 *)
+
+let dict_rank (d : Strdict.t) = Hashtbl.hash d (* EXPECT R1 *)
+
+(* no finding: comparing the value arrays compares plain strings *)
+let same_domain (a : Strdict.t) (b : Strdict.t) =
+  a.Strdict.values = b.Strdict.values

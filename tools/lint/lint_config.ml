@@ -49,7 +49,19 @@ type t = {
 let default =
   {
     canonical_types =
-      [ "Bigint.t"; "Rat.t"; "Delta.t"; "Linexpr.t"; "Formula.t"; "Atom.t"; "Key.t" ];
+      [
+        "Bigint.t";
+        "Rat.t";
+        "Delta.t";
+        "Linexpr.t";
+        "Formula.t";
+        "Atom.t";
+        "Key.t";
+        (* Owns a reverse-lookup hash table: structural equality and
+           polymorphic hashing are representation-dependent; use
+           Strdict.equal. *)
+        "Strdict.t";
+      ];
     r1_compare_fns =
       [
         "Stdlib.compare";
